@@ -1,0 +1,99 @@
+//! Section 4 hardware overhead numbers.
+//!
+//! * State Skip circuit GE vs. k for the s13207 LFSR (paper: 52 GE at
+//!   k = 12 rising to 119 GE at k = 32);
+//! * the shared "rest of the decompressor" (paper: ~320 GE);
+//! * Mode Select GE over 50 <= L <= 500 and 2 <= S <= 50 (paper:
+//!   44-262 GE);
+//! * the 5-core SoC case study at L = 200, S = 10, k = 10 (paper:
+//!   Mode Select 107-373 GE per core, everything else shared).
+//!
+//! ```text
+//! cargo bench -p ss-bench --bench hardware
+//! ```
+
+use ss_bench::{banner, run_profile, scaled_circuits, workload};
+use ss_core::{ModeSelect, SegmentPlan, Table};
+use ss_gf2::primitive_poly;
+use ss_lfsr::{CostModel, GateCount, Lfsr, SkipCircuit};
+
+fn main() {
+    banner("Section 4: hardware overhead");
+    let model = CostModel::default();
+
+    // --- State Skip circuit GE vs k (n = 24, s13207's LFSR) ---
+    let lfsr24 = Lfsr::fibonacci(primitive_poly(24).expect("tabulated degree"));
+    let mut skip_table = Table::new(["k", "raw XOR2", "shared XOR2", "skip GE (incl. muxes)"]);
+    for k in [8u64, 12, 16, 24, 32] {
+        let skip = SkipCircuit::new(&lfsr24, k).expect("k >= 1");
+        let net = skip.synthesize();
+        let ge = model.ge(&GateCount::skip_frontend(24, net.gate_count()));
+        skip_table.add_row([
+            k.to_string(),
+            skip.raw_xor2_count().to_string(),
+            net.gate_count().to_string(),
+            format!("{ge:.0}"),
+        ]);
+    }
+    println!("{skip_table}");
+    println!("paper: State Skip circuit grows from 52 GE (k=12) to 119 GE (k=32) for s13207.\n");
+
+    // --- Mode Select GE over (L, S) for s13207 ---
+    let profile = scaled_circuits().remove(1);
+    assert_eq!(profile.name, "s13207");
+    let set = workload(&profile);
+    let mut ms_table = Table::new(["L", "S", "useful segs", "ModeSelect GE", "shared GE"]);
+    let mut ms_min = f64::MAX;
+    let mut ms_max: f64 = 0.0;
+    for window in [50usize, 200, 500] {
+        let report = run_profile(&profile, &set, window, 2, 10);
+        for segment in [2usize, 10, 50] {
+            if segment > window {
+                continue;
+            }
+            let plan = SegmentPlan::build(&report.embedding, segment);
+            let ms = ModeSelect::from_plan(&plan);
+            let ge = model.ge(&ms.gate_count());
+            ms_min = ms_min.min(ge);
+            ms_max = ms_max.max(ge);
+            ms_table.add_row([
+                window.to_string(),
+                segment.to_string(),
+                plan.total_useful().to_string(),
+                format!("{ge:.0}"),
+                format!("{:.0}", report.cost.shared_ge()),
+            ]);
+        }
+    }
+    println!("{ms_table}");
+    println!(
+        "measured Mode Select range: {ms_min:.0}-{ms_max:.0} GE (paper: 44-262 GE over 50<=L<=500, 2<=S<=50)"
+    );
+    println!("paper: rest of the decompressor (shared) ~320 GE for s13207.\n");
+
+    // --- 5-core SoC case study: L = 200, S = 10, k = 10 ---
+    let mut soc_table = Table::new(["core", "LFSR n", "ModeSelect GE"]);
+    let mut shared: f64 = 0.0;
+    let mut skip_ge: f64 = 0.0;
+    let mut ms_lo = f64::MAX;
+    let mut ms_hi: f64 = 0.0;
+    for profile in scaled_circuits() {
+        let set = workload(&profile);
+        let report = run_profile(&profile, &set, 200, 10, 10);
+        shared = shared.max(report.cost.shared_ge());
+        skip_ge = skip_ge.max(report.cost.skip_ge());
+        let ge = report.cost.mode_select_ge();
+        ms_lo = ms_lo.min(ge);
+        ms_hi = ms_hi.max(ge);
+        soc_table.add_row([
+            profile.name.to_string(),
+            profile.lfsr_size.to_string(),
+            format!("{ge:.0}"),
+        ]);
+    }
+    println!("{soc_table}");
+    println!(
+        "SoC: shared decompressor {shared:.0} GE + skip {skip_ge:.0} GE; per-core Mode Select {ms_lo:.0}-{ms_hi:.0} GE"
+    );
+    println!("paper: Mode Select 107-373 GE per core; decompressor = 6.6% of SoC area.");
+}

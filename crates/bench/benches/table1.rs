@@ -1,0 +1,52 @@
+//! Table 1 — Classical vs. window-based LFSR reseeding.
+//!
+//! For each circuit: LFSR size, TDV (bits) and TSL (vectors) for the
+//! classical scheme (L = 1) and window-based reseeding with L = 50,
+//! 200 and 500. Paper-reported values are printed beside the measured
+//! ones.
+//!
+//! ```text
+//! cargo bench -p ss-bench --bench table1            # scaled workload
+//! SS_SCALE=1 cargo bench -p ss-bench --bench table1 # full size
+//! ```
+
+use ss_bench::{banner, run_profile, scaled_circuits, timed, workload};
+use ss_core::{Table, PAPER_TABLE1};
+
+fn main() {
+    banner("Table 1: classical vs window-based LFSR reseeding");
+    let windows = [1usize, 50, 200, 500];
+    let mut table = Table::new([
+        "circuit", "LFSR", "L", "TDV meas", "TDV paper", "TSL meas", "TSL paper",
+    ]);
+    let mut total_secs = 0.0;
+    for (profile, &(paper_name, paper_n, paper_entries)) in
+        scaled_circuits().iter().zip(PAPER_TABLE1)
+    {
+        assert_eq!(profile.name, paper_name);
+        let set = workload(profile);
+        for (wi, &window) in windows.iter().enumerate() {
+            let ((tdv, tsl), secs) = timed(|| {
+                // classical and window-based alike run through the same
+                // encoder; L=1 degenerates to classical reseeding
+                let report = run_profile(profile, &set, window, 1.max(window / 10), 1);
+                (report.tdv, report.tsl_original)
+            });
+            total_secs += secs;
+            let (paper_l, paper_tdv, paper_tsl) = paper_entries[wi];
+            assert_eq!(paper_l, window);
+            table.add_row([
+                profile.name.to_string(),
+                paper_n.to_string(),
+                window.to_string(),
+                tdv.to_string(),
+                paper_tdv.to_string(),
+                tsl.to_string(),
+                paper_tsl.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("total encoding time: {total_secs:.1}s");
+    println!("expected shape: TDV falls and TSL grows as L increases, for every circuit.");
+}

@@ -1,0 +1,63 @@
+//! Table 2 — Test sequence length improvements.
+//!
+//! For each circuit and L in {50, 200, 500}: the original window-based
+//! TSL, the proposed State-Skip TSL (best S in {2, 5, 10}, 5 <= k <=
+//! 24, as in the paper) and the improvement percentage, printed beside
+//! the paper-reported triple. One encoding per (circuit, L); the
+//! (S, k) sweep reuses it, exactly like the paper's experiments.
+//!
+//! ```text
+//! cargo bench -p ss-bench --bench table2
+//! SS_SCALE=1 cargo bench -p ss-bench --bench table2   # full size
+//! ```
+
+use ss_bench::{banner, best_reduction, run_profile, scaled_circuits, timed, workload};
+use ss_core::{improvement_percent, Table, PAPER_TABLE2};
+
+fn main() {
+    banner("Table 2: TSL improvements (best S in {2,5,10}, 5<=k<=24)");
+    let windows = [50usize, 200, 500];
+    let segments = [2usize, 5, 10];
+    let speedups: Vec<u64> = (5..=24).collect();
+    let mut table = Table::new([
+        "circuit",
+        "L",
+        "orig meas",
+        "orig paper",
+        "prop meas",
+        "prop paper",
+        "impr meas",
+        "impr paper",
+        "best S/k",
+    ]);
+    let mut total_secs = 0.0;
+    for (profile, &(paper_name, paper_entries)) in scaled_circuits().iter().zip(PAPER_TABLE2) {
+        assert_eq!(profile.name, paper_name);
+        let set = workload(profile);
+        let r = set.config().depth();
+        for (wi, &window) in windows.iter().enumerate() {
+            let (best, secs) = timed(|| {
+                let report = run_profile(profile, &set, window, segments[0], speedups[0]);
+                best_reduction(&report, r, &segments, &speedups)
+            });
+            total_secs += secs;
+            let impr = improvement_percent(best.orig, best.prop);
+            let (paper_l, paper_orig, paper_prop, paper_impr) = paper_entries[wi];
+            assert_eq!(paper_l, window);
+            table.add_row([
+                profile.name.to_string(),
+                window.to_string(),
+                best.orig.to_string(),
+                paper_orig.to_string(),
+                best.prop.to_string(),
+                paper_prop.to_string(),
+                format!("{impr:.0}%"),
+                format!("{paper_impr}%"),
+                format!("{}/{}", best.segment, best.speedup),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("total time: {total_secs:.1}s");
+    println!("expected shape: improvements of 60-96%, growing with L, lowest for s38584/s38417.");
+}

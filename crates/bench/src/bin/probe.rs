@@ -1,0 +1,49 @@
+//! Timing probe: how long does one pipeline run take per circuit and
+//! window size at the current `SS_SCALE`? Used to calibrate the bench
+//! harness (not part of the paper's tables).
+//!
+//! ```text
+//! SS_SCALE=0.25 cargo run --release -p ss-bench --bin probe
+//! ```
+
+use ss_bench::{banner, run_profile, timed, workload};
+use ss_core::Table;
+use ss_testdata::CubeProfile;
+
+fn main() {
+    banner("timing probe");
+    let mut table = Table::new(["circuit", "cubes", "L", "seeds", "TDV", "TSL prop", "seconds"]);
+    let circuits: Vec<CubeProfile> = std::env::args()
+        .nth(1)
+        .map(|name| {
+            ss_bench::scaled_circuits()
+                .into_iter()
+                .filter(|p| p.name == name)
+                .collect()
+        })
+        .unwrap_or_else(ss_bench::scaled_circuits);
+    for profile in circuits {
+        let set = workload(&profile);
+        for window in [50usize, 200] {
+            let (report, secs) = timed(|| run_profile(&profile, &set, window, 5, 20));
+            table.add_row([
+                profile.name.to_string(),
+                set.len().to_string(),
+                window.to_string(),
+                report.seeds.to_string(),
+                report.tdv.to_string(),
+                report.tsl_proposed.to_string(),
+                format!("{secs:.2}"),
+            ]);
+            eprintln!(
+                "  L={window}: useful segments {} over {} seeds ({:.2}/seed), impr {:.1}%, mean embeddings {:.1}",
+                report.plan.total_useful(),
+                report.seeds,
+                report.plan.total_useful() as f64 / report.seeds as f64,
+                report.improvement_percent,
+                report.embedding.mean_embeddings(),
+            );
+        }
+    }
+    println!("{table}");
+}

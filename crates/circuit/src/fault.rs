@@ -1,0 +1,214 @@
+//! Single-stuck-at faults and structural collapsing.
+
+use std::fmt;
+
+use crate::{GateKind, Netlist, NodeId};
+
+/// The stuck polarity of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckAt {
+    /// The stuck value as a bool.
+    pub fn value(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+
+    /// The *activation* value a test must drive on the node (the
+    /// opposite of the stuck value).
+    pub fn activation(self) -> bool {
+        !self.value()
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => write!(f, "sa0"),
+            StuckAt::One => write!(f, "sa1"),
+        }
+    }
+}
+
+/// A single stuck-at fault on a node output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The faulted node.
+    pub node: NodeId,
+    /// The stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{} {}", self.node, self.stuck)
+    }
+}
+
+/// A collapsed list of stuck-at faults for a netlist.
+///
+/// Generation enumerates both polarities on every node, then collapses
+/// structural equivalences that need no simulation to prove:
+///
+/// * through a BUF, output faults are equivalent to input faults;
+/// * through a NOT, output faults are equivalent to *inverted* input
+///   faults;
+/// * the stuck-at-`c` fault on the single fanin of a fanout-free
+///   AND/NAND/OR/NOR input is equivalent to the gate's output
+///   stuck-at-(c^inv) fault when the input is the gate's only
+///   connection (covered here by the BUF/NOT rules only — input-pin
+///   faults are not modelled separately, so AND-input collapsing does
+///   not apply).
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::{FaultList, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), ss_circuit::NetlistError> {
+/// let mut n = Netlist::new(2);
+/// let a = n.add_gate(GateKind::And, vec![0, 1])?;
+/// let b = n.add_gate(GateKind::Buf, vec![a])?;
+/// n.add_output(b)?;
+/// let faults = FaultList::collapsed(&n);
+/// // buffer output faults collapse onto the AND output
+/// assert_eq!(faults.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Every fault, uncollapsed: two per node.
+    pub fn full(netlist: &Netlist) -> Self {
+        let mut faults = Vec::with_capacity(netlist.node_count() * 2);
+        for node in 0..netlist.node_count() {
+            faults.push(Fault {
+                node,
+                stuck: StuckAt::Zero,
+            });
+            faults.push(Fault {
+                node,
+                stuck: StuckAt::One,
+            });
+        }
+        FaultList { faults }
+    }
+
+    /// Structurally collapsed fault list (see the type docs).
+    pub fn collapsed(netlist: &Netlist) -> Self {
+        let mut list = FaultList::full(netlist);
+        list.faults.retain(|f| {
+            match netlist.gate(f.node) {
+                // faults on BUF/NOT outputs are represented by their
+                // (possibly inverted) input faults
+                Some(gate) if matches!(gate.kind, GateKind::Buf | GateKind::Not) => false,
+                _ => true,
+            }
+        });
+        list
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fault> {
+        self.faults.iter()
+    }
+
+    /// Removes (and returns how many) faults matched by `detected`.
+    pub fn drop_where<F: FnMut(&Fault) -> bool>(&mut self, mut detected: F) -> usize {
+        let before = self.faults.len();
+        self.faults.retain(|f| !detected(f));
+        before - self.faults.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    fn chain() -> Netlist {
+        // in0 -> NOT -> BUF -> AND(in1) -> out
+        let mut n = Netlist::new(2);
+        let inv = n.add_gate(GateKind::Not, vec![0]).unwrap();
+        let buf = n.add_gate(GateKind::Buf, vec![inv]).unwrap();
+        let and = n.add_gate(GateKind::And, vec![buf, 1]).unwrap();
+        n.add_output(and).unwrap();
+        n
+    }
+
+    #[test]
+    fn full_list_has_two_per_node() {
+        let n = chain();
+        let list = FaultList::full(&n);
+        assert_eq!(list.len(), n.node_count() * 2);
+    }
+
+    #[test]
+    fn collapsed_drops_buf_not_outputs() {
+        let n = chain();
+        let list = FaultList::collapsed(&n);
+        // nodes: 0,1 inputs; 2 NOT; 3 BUF; 4 AND — NOT/BUF outputs collapse
+        assert_eq!(list.len(), 3 * 2);
+        assert!(list.iter().all(|f| f.node != 2 && f.node != 3));
+    }
+
+    #[test]
+    fn stuck_polarity_helpers() {
+        assert!(!StuckAt::Zero.value());
+        assert!(StuckAt::Zero.activation());
+        assert!(StuckAt::One.value());
+        assert!(!StuckAt::One.activation());
+        assert_eq!(StuckAt::Zero.to_string(), "sa0");
+    }
+
+    #[test]
+    fn drop_where_removes_matching() {
+        let n = chain();
+        let mut list = FaultList::collapsed(&n);
+        let removed = list.drop_where(|f| f.stuck == StuckAt::Zero);
+        assert_eq!(removed, 3);
+        assert!(list.iter().all(|f| f.stuck == StuckAt::One));
+    }
+
+    #[test]
+    fn display() {
+        let f = Fault {
+            node: 7,
+            stuck: StuckAt::One,
+        };
+        assert_eq!(f.to_string(), "node7 sa1");
+    }
+}

@@ -1,0 +1,284 @@
+//! Parallel-pattern single-fault simulation.
+//!
+//! Simulates 64 test patterns per machine word. For each fault only the
+//! transitive fanout cone of the faulted node is re-evaluated, with the
+//! node forced to its stuck value; a fault is detected by a pattern
+//! when any primary output differs from the good machine.
+
+use crate::fault::{Fault, FaultList};
+use crate::netlist::Netlist;
+
+/// A fault simulator bound to a netlist.
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::{Fault, FaultList, FaultSimulator, GateKind, Netlist, StuckAt};
+///
+/// # fn main() -> Result<(), ss_circuit::NetlistError> {
+/// let mut n = Netlist::new(2);
+/// let g = n.add_gate(GateKind::And, vec![0, 1])?;
+/// n.add_output(g)?;
+/// let fsim = FaultSimulator::new(&n);
+/// let faults = FaultList::collapsed(&n);
+/// // pattern 11 detects the AND-output sa0
+/// let detected = fsim.detected_by_pattern(&faults, &[true, true]);
+/// let sa0_index = faults.iter().position(|f| f.node == g && f.stuck == StuckAt::Zero).unwrap();
+/// assert!(detected[sa0_index]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Binds a simulator to `netlist`.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        FaultSimulator { netlist }
+    }
+
+    /// Returns, for each fault, the 64-bit mask of patterns (bit `p` =
+    /// pattern `p`) that detect it. `pi_words[i]` carries input `i` of
+    /// all 64 patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len()` differs from the input count.
+    pub fn detected_masks(&self, faults: &FaultList, pi_words: &[u64]) -> Vec<u64> {
+        let good = self.netlist.eval_nodes_parallel(pi_words);
+        faults
+            .iter()
+            .map(|&fault| self.fault_mask(fault, &good))
+            .collect()
+    }
+
+    /// Detection flags for a single fully specified pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the input count.
+    pub fn detected_by_pattern(&self, faults: &FaultList, pattern: &[bool]) -> Vec<bool> {
+        let pi_words: Vec<u64> = pattern.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.detected_masks(faults, &pi_words)
+            .into_iter()
+            .map(|m| m & 1 == 1)
+            .collect()
+    }
+
+    /// Runs a whole pattern list (each a full-width bool vector) and
+    /// returns per-fault detection flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from the input count.
+    pub fn run(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> Vec<bool> {
+        let n_in = self.netlist.input_count();
+        let mut detected = vec![false; faults.len()];
+        for block in patterns.chunks(64) {
+            let mut pi_words = vec![0u64; n_in];
+            for (p, pattern) in block.iter().enumerate() {
+                assert_eq!(pattern.len(), n_in, "pattern width mismatch");
+                for (i, &b) in pattern.iter().enumerate() {
+                    if b {
+                        pi_words[i] |= 1 << p;
+                    }
+                }
+            }
+            let block_mask = if block.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << block.len()) - 1
+            };
+            // skip faults already detected
+            let good = self.netlist.eval_nodes_parallel(&pi_words);
+            for (fi, &fault) in faults.iter().enumerate() {
+                if detected[fi] {
+                    continue;
+                }
+                if self.fault_mask(fault, &good) & block_mask != 0 {
+                    detected[fi] = true;
+                }
+            }
+        }
+        detected
+    }
+
+    /// Fault coverage of a pattern list over `faults`.
+    pub fn coverage(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> f64 {
+        if faults.is_empty() {
+            return 1.0;
+        }
+        let detected = self.run(faults, patterns);
+        detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+    }
+
+    /// Detection mask of one fault given precomputed good values.
+    fn fault_mask(&self, fault: Fault, good: &[u64]) -> u64 {
+        let forced = if fault.stuck.value() { u64::MAX } else { 0 };
+        if good[fault.node] == forced {
+            // the fault is never excited by any of the 64 patterns
+            return 0;
+        }
+        let cone = self.netlist.fanout_cone(fault.node);
+        // sparse re-evaluation: faulty values only for cone nodes
+        let mut faulty: Vec<u64> = Vec::with_capacity(cone.len());
+        let value_of = |node: usize, cone: &[usize], faulty: &[u64], good: &[u64]| -> u64 {
+            match cone.binary_search(&node) {
+                Ok(idx) => faulty[idx],
+                Err(_) => good[node],
+            }
+        };
+        for &node in &cone {
+            let v = if node == fault.node {
+                forced
+            } else {
+                let gate = self.netlist.gate(node).expect("cone nodes above the fault are gates");
+                let ins = gate
+                    .fanins
+                    .iter()
+                    .map(|&f| value_of(f, &cone, &faulty, good));
+                use crate::netlist::GateKind::*;
+                match gate.kind {
+                    And => ins.fold(u64::MAX, |a, b| a & b),
+                    Nand => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| value_of(f, &cone, &faulty, good))
+                        .fold(u64::MAX, |a, b| a & b),
+                    Or => ins.fold(0, |a, b| a | b),
+                    Nor => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| value_of(f, &cone, &faulty, good))
+                        .fold(0, |a, b| a | b),
+                    Xor => ins.fold(0, |a, b| a ^ b),
+                    Xnor => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| value_of(f, &cone, &faulty, good))
+                        .fold(0, |a, b| a ^ b),
+                    Not => !value_of(gate.fanins[0], &cone, &faulty, good),
+                    Buf => value_of(gate.fanins[0], &cone, &faulty, good),
+                }
+            };
+            faulty.push(v);
+        }
+        let mut mask = 0u64;
+        for &o in self.netlist.outputs() {
+            if let Ok(idx) = cone.binary_search(&o) {
+                mask |= faulty[idx] ^ good[o];
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StuckAt;
+    use crate::netlist::GateKind;
+
+    fn c17() -> Netlist {
+        let mut n = Netlist::new(5);
+        let g10 = n.add_gate(GateKind::Nand, vec![0, 2]).unwrap();
+        let g11 = n.add_gate(GateKind::Nand, vec![2, 3]).unwrap();
+        let g16 = n.add_gate(GateKind::Nand, vec![1, g11]).unwrap();
+        let g19 = n.add_gate(GateKind::Nand, vec![g11, 4]).unwrap();
+        let g22 = n.add_gate(GateKind::Nand, vec![g10, g16]).unwrap();
+        let g23 = n.add_gate(GateKind::Nand, vec![g16, g19]).unwrap();
+        n.add_output(g22).unwrap();
+        n.add_output(g23).unwrap();
+        n
+    }
+
+    /// Brute-force reference: full faulty re-simulation, scalar.
+    fn reference_detects(n: &Netlist, fault: Fault, pattern: &[bool]) -> bool {
+        let good = n.eval_nodes(pattern);
+        // faulty scalar sim
+        let mut faulty: Vec<bool> = Vec::with_capacity(n.node_count());
+        for (i, &b) in pattern.iter().enumerate() {
+            faulty.push(if i == fault.node { fault.stuck.value() } else { b });
+        }
+        for (g, gate) in n.gates().iter().enumerate() {
+            let node = n.input_count() + g;
+            let mut v = {
+                use GateKind::*;
+                let ins = gate.fanins.iter().map(|&f| faulty[f]);
+                match gate.kind {
+                    And => ins.fold(true, |a, b| a & b),
+                    Nand => !gate.fanins.iter().map(|&f| faulty[f]).fold(true, |a, b| a & b),
+                    Or => ins.fold(false, |a, b| a | b),
+                    Nor => !gate.fanins.iter().map(|&f| faulty[f]).fold(false, |a, b| a | b),
+                    Xor => ins.fold(false, |a, b| a ^ b),
+                    Xnor => !gate.fanins.iter().map(|&f| faulty[f]).fold(false, |a, b| a ^ b),
+                    Not => !faulty[gate.fanins[0]],
+                    Buf => faulty[gate.fanins[0]],
+                }
+            };
+            if node == fault.node {
+                v = fault.stuck.value();
+            }
+            faulty.push(v);
+        }
+        n.outputs().iter().any(|&o| faulty[o] != good[o])
+    }
+
+    #[test]
+    fn matches_bruteforce_on_c17_exhaustively() {
+        let n = c17();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::full(&n);
+        for pattern_bits in 0u32..32 {
+            let pattern: Vec<bool> = (0..5).map(|i| (pattern_bits >> i) & 1 == 1).collect();
+            let got = fsim.detected_by_pattern(&faults, &pattern);
+            for (fi, &fault) in faults.iter().enumerate() {
+                assert_eq!(
+                    got[fi],
+                    reference_detects(&n, fault, &pattern),
+                    "fault {fault} pattern {pattern_bits:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_accumulates_over_blocks() {
+        let n = c17();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::collapsed(&n);
+        let all_patterns: Vec<Vec<bool>> = (0u32..32)
+            .map(|p| (0..5).map(|i| (p >> i) & 1 == 1).collect())
+            .collect();
+        let detected = fsim.run(&faults, &all_patterns);
+        // c17 has no redundant faults; exhaustive patterns detect all
+        assert!(detected.iter().all(|&d| d), "exhaustive set must detect everything");
+        assert_eq!(fsim.coverage(&faults, &all_patterns), 1.0);
+    }
+
+    #[test]
+    fn empty_pattern_list_detects_nothing() {
+        let n = c17();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::collapsed(&n);
+        assert_eq!(fsim.coverage(&faults, &[]), 0.0);
+    }
+
+    #[test]
+    fn unexcitable_block_shortcut() {
+        // AND output is 0 under the all-zero pattern; sa0 never excited
+        let mut n = Netlist::new(2);
+        let g = n.add_gate(GateKind::And, vec![0, 1]).unwrap();
+        n.add_output(g).unwrap();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::collapsed(&n);
+        let sa0 = faults
+            .iter()
+            .position(|f| f.node == g && f.stuck == StuckAt::Zero)
+            .unwrap();
+        let detected = fsim.detected_by_pattern(&faults, &[false, false]);
+        assert!(!detected[sa0]);
+    }
+}

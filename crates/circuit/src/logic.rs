@@ -1,0 +1,260 @@
+//! Five-valued logic (the D-calculus) for ATPG.
+
+use std::fmt;
+
+/// A 5-valued logic value: the composite of the good-machine value and
+/// the faulty-machine value.
+///
+/// | variant | good | faulty |
+/// |---------|------|--------|
+/// | `Zero`  | 0    | 0      |
+/// | `One`   | 1    | 1      |
+/// | `D`     | 1    | 0      |
+/// | `Dbar`  | 0    | 1      |
+/// | `X`     | ?    | ?      |
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::V5;
+///
+/// assert_eq!(V5::D.and(V5::One), V5::D);
+/// assert_eq!(V5::D.and(V5::Zero), V5::Zero);
+/// assert_eq!(V5::D.xor(V5::Dbar), V5::One);
+/// assert_eq!(V5::D.not(), V5::Dbar);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V5 {
+    /// 0 in both machines.
+    Zero,
+    /// 1 in both machines.
+    One,
+    /// Unknown.
+    X,
+    /// 1 in the good machine, 0 in the faulty machine.
+    D,
+    /// 0 in the good machine, 1 in the faulty machine.
+    Dbar,
+}
+
+impl V5 {
+    /// Wraps a concrete bit.
+    pub fn from_bool(b: bool) -> V5 {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// Good-machine component (`None` for X).
+    pub fn good(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::Dbar => Some(false),
+            V5::One | V5::D => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// Faulty-machine component (`None` for X).
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::D => Some(false),
+            V5::One | V5::Dbar => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// `true` for D or D̄ (a fault effect).
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, V5::D | V5::Dbar)
+    }
+
+    /// Recombines good/faulty components into a composite value.
+    fn compose(good: Option<bool>, faulty: Option<bool>) -> V5 {
+        match (good, faulty) {
+            (Some(false), Some(false)) => V5::Zero,
+            (Some(true), Some(true)) => V5::One,
+            (Some(true), Some(false)) => V5::D,
+            (Some(false), Some(true)) => V5::Dbar,
+            _ => V5::X,
+        }
+    }
+
+    /// 5-valued AND.
+    pub fn and(self, other: V5) -> V5 {
+        // short-circuit: a controlling 0 dominates X
+        let good = and3(self.good(), other.good());
+        let faulty = and3(self.faulty(), other.faulty());
+        V5::compose(good, faulty)
+    }
+
+    /// 5-valued OR.
+    pub fn or(self, other: V5) -> V5 {
+        let good = or3(self.good(), other.good());
+        let faulty = or3(self.faulty(), other.faulty());
+        V5::compose(good, faulty)
+    }
+
+    /// 5-valued XOR.
+    pub fn xor(self, other: V5) -> V5 {
+        let good = xor3(self.good(), other.good());
+        let faulty = xor3(self.faulty(), other.faulty());
+        V5::compose(good, faulty)
+    }
+
+    /// 5-valued NOT.
+    pub fn not(self) -> V5 {
+        match self {
+            V5::Zero => V5::One,
+            V5::One => V5::Zero,
+            V5::X => V5::X,
+            V5::D => V5::Dbar,
+            V5::Dbar => V5::D,
+        }
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn xor3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x ^ y),
+        _ => None,
+    }
+}
+
+impl fmt::Display for V5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            V5::Zero => "0",
+            V5::One => "1",
+            V5::X => "X",
+            V5::D => "D",
+            V5::Dbar => "D'",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [V5; 5] = [V5::Zero, V5::One, V5::X, V5::D, V5::Dbar];
+
+    /// Reference: evaluate by splitting into good/faulty 3-valued pairs.
+    fn reference_op(a: V5, b: V5, op: fn(bool, bool) -> bool) -> V5 {
+        let candidates = |v: V5| -> Vec<(bool, bool)> {
+            match v {
+                V5::Zero => vec![(false, false)],
+                V5::One => vec![(true, true)],
+                V5::D => vec![(true, false)],
+                V5::Dbar => vec![(false, true)],
+                V5::X => vec![(false, false), (false, true), (true, false), (true, true)],
+            }
+        };
+        let mut goods = std::collections::HashSet::new();
+        let mut faults = std::collections::HashSet::new();
+        for (ga, fa) in candidates(a) {
+            for (gb, fb) in candidates(b) {
+                goods.insert(op(ga, gb));
+                faults.insert(op(fa, fb));
+            }
+        }
+        let pick = |s: std::collections::HashSet<bool>| {
+            if s.len() == 1 {
+                Some(s.into_iter().next().unwrap())
+            } else {
+                None
+            }
+        };
+        V5::compose(pick(goods), pick(faults))
+    }
+
+    #[test]
+    fn and_matches_reference() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), reference_op(a, b, |x, y| x & y), "{a} & {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_matches_reference() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.or(b), reference_op(a, b, |x, y| x | y), "{a} | {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_matches_reference() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.xor(b), reference_op(a, b, |x, y| x ^ y), "{a} ^ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_involution() {
+        for a in ALL {
+            assert_eq!(a.not().not(), a);
+        }
+        assert_eq!(V5::D.not(), V5::Dbar);
+        assert_eq!(V5::Zero.not(), V5::One);
+        assert_eq!(V5::X.not(), V5::X);
+    }
+
+    #[test]
+    fn commutativity() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_effect_propagation_basics() {
+        // a D propagates through AND only with non-controlling other input
+        assert_eq!(V5::D.and(V5::One), V5::D);
+        assert_eq!(V5::D.and(V5::Zero), V5::Zero);
+        assert_eq!(V5::D.and(V5::X), V5::X);
+        // D and Dbar cancel in AND (good 1&0=0, faulty 0&1=0)
+        assert_eq!(V5::D.and(V5::Dbar), V5::Zero);
+        // ... but produce a solid One through XOR
+        assert_eq!(V5::D.xor(V5::Dbar), V5::One);
+        assert_eq!(V5::D.xor(V5::D), V5::Zero);
+    }
+
+    #[test]
+    fn components() {
+        assert_eq!(V5::D.good(), Some(true));
+        assert_eq!(V5::D.faulty(), Some(false));
+        assert_eq!(V5::X.good(), None);
+        assert!(V5::Dbar.is_fault_effect());
+        assert!(!V5::One.is_fault_effect());
+        assert_eq!(V5::from_bool(true), V5::One);
+        assert_eq!(V5::from_bool(false), V5::Zero);
+    }
+}

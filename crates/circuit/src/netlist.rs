@@ -1,0 +1,494 @@
+//! Combinational gate-level netlists.
+
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node (primary input or gate output) in a [`Netlist`].
+///
+/// Nodes `0..input_count` are the primary inputs; gate `g` drives node
+/// `input_count + g`.
+pub type NodeId = usize;
+
+/// Logic function of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// 2-input XOR (n-input = parity).
+    Xor,
+    /// 2-input XNOR (n-input = inverted parity).
+    Xnor,
+    /// Inverter (1 input).
+    Not,
+    /// Buffer (1 input).
+    Buf,
+}
+
+impl GateKind {
+    /// `true` for kinds whose output is inverted relative to the
+    /// underlying AND/OR/parity core.
+    pub fn inverts(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The controlling input value, if the kind has one (AND/NAND: 0,
+    /// OR/NOR: 1; parity and unary gates have none).
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// All multi-input kinds (used by the random generator).
+    pub fn multi_input_kinds() -> [GateKind; 6] {
+        [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One gate: a kind plus fanin node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Logic function.
+    pub kind: GateKind,
+    /// Fanin nodes (all `< ` this gate's own node id, so the gate list
+    /// is topologically ordered by construction).
+    pub fanins: Vec<NodeId>,
+}
+
+/// Error building a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate referenced a node that does not exist yet.
+    ForwardReference {
+        /// The offending fanin id.
+        fanin: NodeId,
+        /// The gate's own node id.
+        node: NodeId,
+    },
+    /// A gate had the wrong number of fanins for its kind.
+    BadFaninCount {
+        /// The gate kind.
+        kind: GateKind,
+        /// Fanins supplied.
+        got: usize,
+    },
+    /// An output referenced a nonexistent node.
+    BadOutput {
+        /// The offending node id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { fanin, node } => {
+                write!(f, "gate node {node} references later node {fanin}")
+            }
+            NetlistError::BadFaninCount { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::BadOutput { node } => write!(f, "output references unknown node {node}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A combinational netlist: `input_count` primary inputs followed by a
+/// topologically ordered gate list, plus designated output nodes.
+///
+/// For a full-scan core, "primary inputs" are the scan cells plus the
+/// functional PIs — exactly the positions of a test cube.
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), ss_circuit::NetlistError> {
+/// let mut n = Netlist::new(2);
+/// let g = n.add_gate(GateKind::And, vec![0, 1])?;
+/// n.add_output(g)?;
+/// assert_eq!(n.eval(&[true, true]), vec![true]);
+/// assert_eq!(n.eval(&[true, false]), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    input_count: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates a netlist with `input_count` primary inputs and no gates.
+    pub fn new(input_count: usize) -> Self {
+        Netlist {
+            input_count,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a gate; returns its node id.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ForwardReference`] if a fanin id is not yet
+    ///   defined (this keeps the list topologically ordered).
+    /// * [`NetlistError::BadFaninCount`] if the fanin count does not
+    ///   suit the kind (unary kinds need exactly 1, others >= 2).
+    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<NodeId>) -> Result<NodeId, NetlistError> {
+        let node = self.node_count();
+        let unary = matches!(kind, GateKind::Not | GateKind::Buf);
+        if (unary && fanins.len() != 1) || (!unary && fanins.len() < 2) {
+            return Err(NetlistError::BadFaninCount {
+                kind,
+                got: fanins.len(),
+            });
+        }
+        if let Some(&fanin) = fanins.iter().find(|&&f| f >= node) {
+            return Err(NetlistError::ForwardReference { fanin, node });
+        }
+        self.gates.push(Gate { kind, fanins });
+        Ok(node)
+    }
+
+    /// Marks `node` as a primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadOutput`] for an unknown node.
+    pub fn add_output(&mut self, node: NodeId) -> Result<(), NetlistError> {
+        if node >= self.node_count() {
+            return Err(NetlistError::BadOutput { node });
+        }
+        self.outputs.push(node);
+        Ok(())
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total nodes (inputs + gates).
+    pub fn node_count(&self) -> usize {
+        self.input_count + self.gates.len()
+    }
+
+    /// `true` if `node` is a primary input.
+    pub fn is_input(&self, node: NodeId) -> bool {
+        node < self.input_count
+    }
+
+    /// The gate driving `node`, or `None` for a primary input.
+    pub fn gate(&self, node: NodeId) -> Option<&Gate> {
+        node.checked_sub(self.input_count).and_then(|g| self.gates.get(g))
+    }
+
+    /// The gates in topological order (gate `g` drives node
+    /// `input_count + g`).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The primary output nodes.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Per-node fanout lists (which gates read each node).
+    pub fn fanouts(&self) -> Vec<Vec<NodeId>> {
+        let mut fanouts = vec![Vec::new(); self.node_count()];
+        for (g, gate) in self.gates.iter().enumerate() {
+            let node = self.input_count + g;
+            for &f in &gate.fanins {
+                fanouts[f].push(node);
+            }
+        }
+        fanouts
+    }
+
+    /// Logic level of every node (inputs are level 0).
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.node_count()];
+        for (g, gate) in self.gates.iter().enumerate() {
+            let node = self.input_count + g;
+            levels[node] = gate.fanins.iter().map(|&f| levels[f]).max().unwrap_or(0) + 1;
+        }
+        levels
+    }
+
+    /// Evaluates the netlist on a single fully specified input vector,
+    /// returning the primary output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.eval_nodes(inputs);
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Evaluates the netlist, returning every node's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    pub fn eval_nodes(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.input_count, "input width mismatch");
+        let mut values = Vec::with_capacity(self.node_count());
+        values.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let v = eval_gate_bool(gate, &values);
+            values.push(v);
+        }
+        values
+    }
+
+    /// Evaluates 64 patterns at once (bit `p` of each word belongs to
+    /// pattern `p`), returning a value word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    pub fn eval_nodes_parallel(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.input_count, "input width mismatch");
+        let mut values = Vec::with_capacity(self.node_count());
+        values.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let v = eval_gate_u64(gate, &values);
+            values.push(v);
+        }
+        values
+    }
+
+    /// The transitive fanout cone of `node` (including `node`), as a
+    /// sorted list of node ids. Fault simulation re-evaluates only this
+    /// cone.
+    pub fn fanout_cone(&self, node: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.node_count()];
+        in_cone[node] = true;
+        for (g, gate) in self.gates.iter().enumerate() {
+            let id = self.input_count + g;
+            if id <= node {
+                continue;
+            }
+            if gate.fanins.iter().any(|&f| in_cone[f]) {
+                in_cone[id] = true;
+            }
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+}
+
+fn eval_gate_bool(gate: &Gate, values: &[bool]) -> bool {
+    let ins = gate.fanins.iter().map(|&f| values[f]);
+    match gate.kind {
+        GateKind::And => ins.fold(true, |a, b| a & b),
+        GateKind::Nand => !gate.fanins.iter().map(|&f| values[f]).fold(true, |a, b| a & b),
+        GateKind::Or => ins.fold(false, |a, b| a | b),
+        GateKind::Nor => !gate.fanins.iter().map(|&f| values[f]).fold(false, |a, b| a | b),
+        GateKind::Xor => ins.fold(false, |a, b| a ^ b),
+        GateKind::Xnor => !gate.fanins.iter().map(|&f| values[f]).fold(false, |a, b| a ^ b),
+        GateKind::Not => !values[gate.fanins[0]],
+        GateKind::Buf => values[gate.fanins[0]],
+    }
+}
+
+fn eval_gate_u64(gate: &Gate, values: &[u64]) -> u64 {
+    let ins = gate.fanins.iter().map(|&f| values[f]);
+    match gate.kind {
+        GateKind::And => ins.fold(u64::MAX, |a, b| a & b),
+        GateKind::Nand => !gate.fanins.iter().map(|&f| values[f]).fold(u64::MAX, |a, b| a & b),
+        GateKind::Or => ins.fold(0, |a, b| a | b),
+        GateKind::Nor => !gate.fanins.iter().map(|&f| values[f]).fold(0, |a, b| a | b),
+        GateKind::Xor => ins.fold(0, |a, b| a ^ b),
+        GateKind::Xnor => !gate.fanins.iter().map(|&f| values[f]).fold(0, |a, b| a ^ b),
+        GateKind::Not => !values[gate.fanins[0]],
+        GateKind::Buf => values[gate.fanins[0]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// c17-like miniature: 5 inputs, 6 NAND gates, 2 outputs.
+    fn c17() -> Netlist {
+        let mut n = Netlist::new(5);
+        let g10 = n.add_gate(GateKind::Nand, vec![0, 2]).unwrap();
+        let g11 = n.add_gate(GateKind::Nand, vec![2, 3]).unwrap();
+        let g16 = n.add_gate(GateKind::Nand, vec![1, g11]).unwrap();
+        let g19 = n.add_gate(GateKind::Nand, vec![g11, 4]).unwrap();
+        let g22 = n.add_gate(GateKind::Nand, vec![g10, g16]).unwrap();
+        let g23 = n.add_gate(GateKind::Nand, vec![g16, g19]).unwrap();
+        n.add_output(g22).unwrap();
+        n.add_output(g23).unwrap();
+        n
+    }
+
+    #[test]
+    fn build_and_counts() {
+        let n = c17();
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.gate_count(), 6);
+        assert_eq!(n.node_count(), 11);
+        assert_eq!(n.outputs().len(), 2);
+        assert!(n.is_input(4));
+        assert!(!n.is_input(5));
+        assert!(n.gate(4).is_none());
+        assert_eq!(n.gate(5).unwrap().kind, GateKind::Nand);
+    }
+
+    #[test]
+    fn build_errors() {
+        let mut n = Netlist::new(2);
+        assert!(matches!(
+            n.add_gate(GateKind::And, vec![0, 5]),
+            Err(NetlistError::ForwardReference { fanin: 5, node: 2 })
+        ));
+        assert!(matches!(
+            n.add_gate(GateKind::Not, vec![0, 1]),
+            Err(NetlistError::BadFaninCount { .. })
+        ));
+        assert!(matches!(
+            n.add_gate(GateKind::And, vec![0]),
+            Err(NetlistError::BadFaninCount { .. })
+        ));
+        assert!(matches!(n.add_output(9), Err(NetlistError::BadOutput { node: 9 })));
+    }
+
+    #[test]
+    fn eval_known_vectors() {
+        let n = c17();
+        // exhaustive check against a hand-rolled reference
+        for pattern in 0u32..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            let out = n.eval(&inputs);
+            let (a, b, c, d, e) = (inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+            let g10 = !(a & c);
+            let g11 = !(c & d);
+            let g16 = !(b & g11);
+            let g19 = !(g11 & e);
+            let g22 = !(g10 & g16);
+            let g23 = !(g16 & g19);
+            assert_eq!(out, vec![g22, g23], "pattern {pattern:05b}");
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_scalar() {
+        let n = c17();
+        // pack all 32 patterns into one word
+        let inputs: Vec<u64> = (0..5)
+            .map(|i| {
+                let mut w = 0u64;
+                for p in 0u64..32 {
+                    if (p >> i) & 1 == 1 {
+                        w |= 1 << p;
+                    }
+                }
+                w
+            })
+            .collect();
+        let values = n.eval_nodes_parallel(&inputs);
+        for p in 0..32usize {
+            let scalar_in: Vec<bool> = (0..5).map(|i| (p >> i) & 1 == 1).collect();
+            let scalar = n.eval_nodes(&scalar_in);
+            for node in 0..n.node_count() {
+                assert_eq!(
+                    (values[node] >> p) & 1 == 1,
+                    scalar[node],
+                    "node {node} pattern {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_gate_kinds_evaluate() {
+        let mut n = Netlist::new(2);
+        let and = n.add_gate(GateKind::And, vec![0, 1]).unwrap();
+        let or = n.add_gate(GateKind::Or, vec![0, 1]).unwrap();
+        let nand = n.add_gate(GateKind::Nand, vec![0, 1]).unwrap();
+        let nor = n.add_gate(GateKind::Nor, vec![0, 1]).unwrap();
+        let xor = n.add_gate(GateKind::Xor, vec![0, 1]).unwrap();
+        let xnor = n.add_gate(GateKind::Xnor, vec![0, 1]).unwrap();
+        let not = n.add_gate(GateKind::Not, vec![0]).unwrap();
+        let buf = n.add_gate(GateKind::Buf, vec![1]).unwrap();
+        for node in [and, or, nand, nor, xor, xnor, not, buf] {
+            n.add_output(node).unwrap();
+        }
+        let v = n.eval(&[true, false]);
+        assert_eq!(v, vec![false, true, true, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn levels_and_fanouts() {
+        let n = c17();
+        let levels = n.levels();
+        assert_eq!(levels[0], 0);
+        assert_eq!(levels[5], 1); // g10
+        assert_eq!(levels[7], 2); // g16
+        assert_eq!(levels[9], 3); // g22
+        let fanouts = n.fanouts();
+        assert_eq!(fanouts[6], vec![7, 8], "g11 feeds g16 and g19");
+        assert!(fanouts[9].is_empty(), "outputs feed nothing");
+    }
+
+    #[test]
+    fn fanout_cone_contains_path_to_outputs() {
+        let n = c17();
+        let cone = n.fanout_cone(6); // g11
+        assert_eq!(cone, vec![6, 7, 8, 9, 10]);
+        let cone = n.fanout_cone(0); // input a feeds g10 -> g22
+        assert_eq!(cone, vec![0, 5, 9]);
+    }
+}

@@ -1,0 +1,294 @@
+//! SCOAP testability measures (Goldstein's controllability /
+//! observability analysis).
+//!
+//! * `CC0(n)` / `CC1(n)` — the minimum "effort" (number of circuit
+//!   lines that must be set) to drive node `n` to 0 / 1;
+//! * `CO(n)` — the effort to propagate a change on `n` to a primary
+//!   output.
+//!
+//! Classic uses: ranking faults by expected difficulty, and guiding
+//! ATPG backtrace toward the cheapest input assignment — the optional
+//! `scoap_guided` mode of [`AtpgConfig`](crate::AtpgConfig).
+
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// Combinational SCOAP measures for every node of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::{GateKind, Netlist, Scoap};
+///
+/// # fn main() -> Result<(), ss_circuit::NetlistError> {
+/// let mut n = Netlist::new(2);
+/// let g = n.add_gate(GateKind::And, vec![0, 1])?;
+/// n.add_output(g)?;
+/// let scoap = Scoap::analyze(&n);
+/// // driving an AND to 1 needs both inputs: costlier than driving 0
+/// assert!(scoap.cc1(g) > scoap.cc0(g));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+/// Cost representing "unreachable" (saturating arithmetic keeps sums
+/// from wrapping).
+const INF: u32 = u32::MAX / 4;
+
+impl Scoap {
+    /// Runs the analysis: one forward pass for controllability, one
+    /// backward pass for observability.
+    pub fn analyze(netlist: &Netlist) -> Self {
+        let count = netlist.node_count();
+        let mut cc0 = vec![INF; count];
+        let mut cc1 = vec![INF; count];
+        for i in 0..netlist.input_count() {
+            cc0[i] = 1;
+            cc1[i] = 1;
+        }
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            let node = netlist.input_count() + g;
+            let (c0, c1) = gate_controllability(gate.kind, &gate.fanins, &cc0, &cc1);
+            cc0[node] = c0;
+            cc1[node] = c1;
+        }
+
+        let mut co = vec![INF; count];
+        for &o in netlist.outputs() {
+            co[o] = 0;
+        }
+        // walk gates in reverse topological order
+        for (g, gate) in netlist.gates().iter().enumerate().rev() {
+            let node = netlist.input_count() + g;
+            if co[node] == INF {
+                continue;
+            }
+            for (i, &fanin) in gate.fanins.iter().enumerate() {
+                let through = observability_through(gate.kind, &gate.fanins, i, &cc0, &cc1);
+                let candidate = co[node].saturating_add(through).saturating_add(1).min(INF);
+                co[fanin] = co[fanin].min(candidate);
+            }
+        }
+
+        Scoap { cc0, cc1, co }
+    }
+
+    /// 0-controllability of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cc0(&self, node: NodeId) -> u32 {
+        self.cc0[node]
+    }
+
+    /// 1-controllability of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cc1(&self, node: NodeId) -> u32 {
+        self.cc1[node]
+    }
+
+    /// Controllability toward a specific value.
+    pub fn cc(&self, node: NodeId, value: bool) -> u32 {
+        if value {
+            self.cc1[node]
+        } else {
+            self.cc0[node]
+        }
+    }
+
+    /// Observability of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn co(&self, node: NodeId) -> u32 {
+        self.co[node]
+    }
+
+    /// Combined detect difficulty of a stuck-at fault on `node`:
+    /// controllability of the activation value plus observability.
+    pub fn fault_difficulty(&self, node: NodeId, stuck_value: bool) -> u32 {
+        self.cc(node, !stuck_value).saturating_add(self.co[node]).min(INF)
+    }
+}
+
+fn sum_cc(fanins: &[NodeId], table: &[u32]) -> u32 {
+    fanins
+        .iter()
+        .fold(0u32, |acc, &f| acc.saturating_add(table[f]))
+        .min(INF)
+}
+
+fn min_cc(fanins: &[NodeId], table: &[u32]) -> u32 {
+    fanins.iter().map(|&f| table[f]).min().unwrap_or(INF)
+}
+
+/// (CC0, CC1) of a gate output from its fanin controllabilities.
+fn gate_controllability(kind: GateKind, fanins: &[NodeId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let bump = |v: u32| v.saturating_add(1).min(INF);
+    match kind {
+        GateKind::And => (bump(min_cc(fanins, cc0)), bump(sum_cc(fanins, cc1))),
+        GateKind::Nand => (bump(sum_cc(fanins, cc1)), bump(min_cc(fanins, cc0))),
+        GateKind::Or => (bump(sum_cc(fanins, cc0)), bump(min_cc(fanins, cc1))),
+        GateKind::Nor => (bump(min_cc(fanins, cc1)), bump(sum_cc(fanins, cc0))),
+        GateKind::Xor | GateKind::Xnor => {
+            // cheapest parity assignments; exact for 2 inputs, a sound
+            // approximation beyond
+            let even = cheapest_parity(fanins, cc0, cc1, false);
+            let odd = cheapest_parity(fanins, cc0, cc1, true);
+            if kind == GateKind::Xor {
+                (bump(even), bump(odd))
+            } else {
+                (bump(odd), bump(even))
+            }
+        }
+        GateKind::Not => (bump(cc1[fanins[0]]), bump(cc0[fanins[0]])),
+        GateKind::Buf => (bump(cc0[fanins[0]]), bump(cc1[fanins[0]])),
+    }
+}
+
+/// Cheapest way to give `fanins` a parity of ones equal to `odd`.
+fn cheapest_parity(fanins: &[NodeId], cc0: &[u32], cc1: &[u32], odd: bool) -> u32 {
+    // dynamic programming over fanins: cost[parity]
+    let mut cost = [0u32, INF]; // parity 0 achievable at 0 cost with no inputs
+    for &f in fanins {
+        let next0 = (cost[0].saturating_add(cc0[f])).min(cost[1].saturating_add(cc1[f]));
+        let next1 = (cost[1].saturating_add(cc0[f])).min(cost[0].saturating_add(cc1[f]));
+        cost = [next0.min(INF), next1.min(INF)];
+    }
+    cost[usize::from(odd)]
+}
+
+/// Cost of making every *other* fanin of the gate non-controlling (so
+/// a change on fanin `through` propagates).
+fn observability_through(
+    kind: GateKind,
+    fanins: &[NodeId],
+    through: usize,
+    cc0: &[u32],
+    cc1: &[u32],
+) -> u32 {
+    let mut cost = 0u32;
+    for (i, &f) in fanins.iter().enumerate() {
+        if i == through {
+            continue;
+        }
+        let c = match kind {
+            GateKind::And | GateKind::Nand => cc1[f],
+            GateKind::Or | GateKind::Nor => cc0[f],
+            // parity gates propagate regardless; side inputs just need
+            // *some* value — charge the cheaper one
+            GateKind::Xor | GateKind::Xnor => cc0[f].min(cc1[f]),
+            GateKind::Not | GateKind::Buf => 0,
+        };
+        cost = cost.saturating_add(c);
+    }
+    cost.min(INF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn chain_of_ands(depth: usize) -> (Netlist, Vec<NodeId>) {
+        let mut n = Netlist::new(depth + 1);
+        let mut nodes = Vec::new();
+        let mut prev = 0;
+        for i in 0..depth {
+            let g = n.add_gate(GateKind::And, vec![prev, i + 1]).unwrap();
+            nodes.push(g);
+            prev = g;
+        }
+        n.add_output(prev).unwrap();
+        (n, nodes)
+    }
+
+    #[test]
+    fn inputs_have_unit_controllability() {
+        let (n, _) = chain_of_ands(3);
+        let s = Scoap::analyze(&n);
+        for i in 0..n.input_count() {
+            assert_eq!(s.cc0(i), 1);
+            assert_eq!(s.cc1(i), 1);
+        }
+    }
+
+    #[test]
+    fn and_chain_cc1_grows_linearly() {
+        let (n, nodes) = chain_of_ands(4);
+        let s = Scoap::analyze(&n);
+        // CC1 of the i-th AND needs i+2 ones
+        let mut prev = 0;
+        for &g in &nodes {
+            assert!(s.cc1(g) > s.cc0(g), "AND is harder to set to 1");
+            assert!(s.cc1(g) > prev, "CC1 must grow along the chain");
+            prev = s.cc1(g);
+        }
+    }
+
+    #[test]
+    fn observability_decreases_toward_outputs() {
+        let (n, nodes) = chain_of_ands(4);
+        let s = Scoap::analyze(&n);
+        let last = *nodes.last().unwrap();
+        assert_eq!(s.co(last), 0, "outputs are directly observable");
+        // earlier gates are harder to observe
+        for pair in nodes.windows(2) {
+            assert!(s.co(pair[0]) >= s.co(pair[1]));
+        }
+    }
+
+    #[test]
+    fn inverter_swaps_controllabilities() {
+        let mut n = Netlist::new(1);
+        let inv = n.add_gate(GateKind::Not, vec![0]).unwrap();
+        n.add_output(inv).unwrap();
+        let s = Scoap::analyze(&n);
+        assert_eq!(s.cc0(inv), s.cc1(0) + 1);
+        assert_eq!(s.cc1(inv), s.cc0(0) + 1);
+    }
+
+    #[test]
+    fn xor_parity_costs() {
+        let mut n = Netlist::new(2);
+        let x = n.add_gate(GateKind::Xor, vec![0, 1]).unwrap();
+        n.add_output(x).unwrap();
+        let s = Scoap::analyze(&n);
+        // both polarities need two assignments
+        assert_eq!(s.cc0(x), 3);
+        assert_eq!(s.cc1(x), 3);
+    }
+
+    #[test]
+    fn unobservable_node_has_infinite_co() {
+        let mut n = Netlist::new(2);
+        let dead = n.add_gate(GateKind::And, vec![0, 1]).unwrap();
+        let live = n.add_gate(GateKind::Or, vec![0, 1]).unwrap();
+        n.add_output(live).unwrap();
+        let s = Scoap::analyze(&n);
+        assert!(s.co(dead) >= INF);
+        assert_eq!(s.co(live), 0);
+    }
+
+    #[test]
+    fn fault_difficulty_combines_cc_and_co() {
+        let (n, nodes) = chain_of_ands(3);
+        let s = Scoap::analyze(&n);
+        let first = nodes[0];
+        let last = *nodes.last().unwrap();
+        // sa0 on the last AND: activate 1 (expensive) but observe free
+        // sa0 on the first AND: activate 1 (cheap) but observe costly
+        assert!(s.fault_difficulty(last, false) >= s.cc1(last));
+        assert!(s.fault_difficulty(first, false) >= s.co(first));
+    }
+}

@@ -1,0 +1,177 @@
+//! `state-skip` — command-line driver for the State Skip compression
+//! flow.
+//!
+//! ```text
+//! state-skip stats   <test_set.txt>
+//! state-skip run     <test_set.txt> [L] [S] [k]
+//! state-skip sweep   <test_set.txt> [L]
+//! state-skip rtl     <test_set.txt> [k]
+//! state-skip gen     <profile> <seed>          # emit a synthetic set
+//! ```
+//!
+//! Test sets use the text format of `ss_testdata::TestSet`
+//! (`chains <m> depth <r>` header + one `01X` cube per line).
+
+use std::process::ExitCode;
+
+use ss_core::{
+    emit_decompressor_rtl, improvement_percent, Pipeline, PipelineConfig, SegmentPlan, Table,
+};
+use ss_lfsr::SkipCircuit;
+use ss_testdata::{generate_test_set, CubeProfile, TestSet};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  state-skip stats <test_set.txt>
+  state-skip run   <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip sweep <test_set.txt> [L=100]
+  state-skip rtl   <test_set.txt> [k=10]
+  state-skip gen   <s9234|s13207|s15850|s38417|s38584|mini> <seed>";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).ok_or("missing command")?;
+    match command {
+        "stats" => stats(args.get(1).ok_or("missing test set path")?),
+        "run" => cmd_run(
+            args.get(1).ok_or("missing test set path")?,
+            parse_or(args.get(2), 100)?,
+            parse_or(args.get(3), 5)?,
+            parse_or(args.get(4), 10)? as u64,
+        ),
+        "sweep" => sweep(
+            args.get(1).ok_or("missing test set path")?,
+            parse_or(args.get(2), 100)?,
+        ),
+        "rtl" => rtl(
+            args.get(1).ok_or("missing test set path")?,
+            parse_or(args.get(2), 10)? as u64,
+        ),
+        "gen" => gen(
+            args.get(1).ok_or("missing profile name")?,
+            parse_or(args.get(2), 1)? as u64,
+        ),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn parse_or(arg: Option<&String>, default: usize) -> Result<usize, String> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("not a number: {s:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<TestSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    TestSet::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let set = load(path)?;
+    let s = set.stats();
+    println!("geometry:        {}", set.config());
+    println!("cubes:           {}", s.cube_count);
+    println!("smax:            {}", s.smax);
+    println!("total specified: {}", s.total_specified);
+    println!("mean specified:  {:.2}", s.mean_specified);
+    Ok(())
+}
+
+fn pipeline_for(set: &TestSet, window: usize, segment: usize, speedup: u64) -> Result<(Pipeline<'_>, PipelineConfig), String> {
+    let config = PipelineConfig {
+        window,
+        segment,
+        speedup,
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(set, config)
+        .map(|p| (p, config))
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
+    let set = load(path)?;
+    let (probe, config) = pipeline_for(&set, window, segment, speedup)?;
+    let (encodable, dropped) = probe.encodable_subset();
+    if !dropped.is_empty() {
+        eprintln!(
+            "note: dropped {} intrinsically unencodable cube(s); raise the LFSR size to keep them",
+            dropped.len()
+        );
+    }
+    let pipeline = Pipeline::new(&encodable, config).map_err(|e| e.to_string())?;
+    let report = pipeline.run().map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    println!(
+        "hardware: skip {:.0} GE, mode-select {:.0} GE, shared {:.0} GE",
+        report.cost.skip_ge(),
+        report.cost.mode_select_ge(),
+        report.cost.shared_ge()
+    );
+    Ok(())
+}
+
+fn sweep(path: &str, window: usize) -> Result<(), String> {
+    let set = load(path)?;
+    let (probe, config) = pipeline_for(&set, window, 5, 10)?;
+    let (encodable, _) = probe.encodable_subset();
+    let pipeline = Pipeline::new(&encodable, config).map_err(|e| e.to_string())?;
+    let report = pipeline.run().map_err(|e| e.to_string())?;
+    let r = set.config().depth();
+    let mut table = Table::new(["S", "k", "TSL", "improvement"]);
+    for segment in [2usize, 5, 10, 20] {
+        if segment > window {
+            continue;
+        }
+        let plan = SegmentPlan::build(&report.embedding, segment);
+        for k in [4u64, 8, 16, 24] {
+            let tsl = plan.tsl(k, r).vectors;
+            table.add_row([
+                segment.to_string(),
+                k.to_string(),
+                tsl.to_string(),
+                format!("{:.1}%", improvement_percent(report.tsl_original, tsl)),
+            ]);
+        }
+    }
+    println!("window L={window}: {} seeds, TDV {} bits, orig TSL {}", report.seeds, report.tdv, report.tsl_original);
+    println!("{table}");
+    Ok(())
+}
+
+fn rtl(path: &str, speedup: u64) -> Result<(), String> {
+    let set = load(path)?;
+    let (pipeline, _) = pipeline_for(&set, 1, 1, speedup)?;
+    let skip = SkipCircuit::new(pipeline.lfsr(), speedup).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        emit_decompressor_rtl(pipeline.lfsr(), &skip, pipeline.shifter())
+    );
+    Ok(())
+}
+
+fn gen(profile_name: &str, seed: u64) -> Result<(), String> {
+    let profile = match profile_name {
+        "s9234" => CubeProfile::s9234(),
+        "s13207" => CubeProfile::s13207(),
+        "s15850" => CubeProfile::s15850(),
+        "s38417" => CubeProfile::s38417(),
+        "s38584" => CubeProfile::s38584(),
+        "mini" => CubeProfile::mini(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    print!("{}", generate_test_set(&profile, seed).to_text());
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Classical LFSR reseeding (the paper's `L = 1` baseline).
+//!
+//! Each seed expands into exactly one test vector. For the fair
+//! comparison of the paper's Table 1, the same multi-cube encoding
+//! algorithm is used: a seed still encodes every *compatible* cube that
+//! fits into one vector's worth of linear equations.
+
+use ss_testdata::TestSet;
+
+use crate::encoder::{EncodingResult, WindowEncoder};
+use crate::expr_table::ExprTable;
+use crate::pipeline::{Pipeline, PipelineConfig, PipelineError};
+
+/// Result of the classical (`L = 1`) reseeding baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalResult {
+    /// The underlying encoding (window length 1).
+    pub encoding: EncodingResult,
+}
+
+impl ClassicalResult {
+    /// Test data volume in bits.
+    pub fn tdv(&self) -> usize {
+        self.encoding.tdv()
+    }
+
+    /// Test sequence length — one vector per seed.
+    pub fn tsl(&self) -> usize {
+        self.encoding.seeds.len()
+    }
+}
+
+/// Runs classical reseeding on `set` with the same hardware-synthesis
+/// conventions as [`Pipeline`].
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from hardware synthesis or encoding.
+pub fn classical_reseeding(
+    set: &TestSet,
+    lfsr_size: Option<usize>,
+    hw_seed: u64,
+    fill_seed: u64,
+) -> Result<ClassicalResult, PipelineError> {
+    let config = PipelineConfig {
+        window: 1,
+        segment: 1,
+        speedup: 1,
+        lfsr_size,
+        hw_seed,
+        fill_seed,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(set, config)?;
+    let table = ExprTable::build(pipeline.lfsr(), pipeline.shifter(), set.config(), 1);
+    let encoding = WindowEncoder::new(set, &table)?.encode(fill_seed)?;
+    Ok(ClassicalResult { encoding })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_testdata::{generate_test_set, CubeProfile};
+
+    #[test]
+    fn classical_tsl_equals_seed_count() {
+        let set = generate_test_set(&CubeProfile::mini(), 8);
+        let result = classical_reseeding(&set, None, 0xDA7E_2008, 1).unwrap();
+        assert_eq!(result.tsl(), result.encoding.seeds.len());
+        assert_eq!(result.tdv(), result.encoding.tdv());
+        assert!(result.tsl() > 0);
+    }
+
+    #[test]
+    fn window_encoding_compresses_better_than_classical() {
+        // the motivation experiment of the paper's Table 1: larger L
+        // yields fewer seeds (lower TDV) at the price of longer TSL
+        let set = generate_test_set(&CubeProfile::mini(), 8);
+        let classical = classical_reseeding(&set, None, 0xDA7E_2008, 1).unwrap();
+        let windowed = Pipeline::new(
+            &set,
+            PipelineConfig {
+                window: 30,
+                segment: 5,
+                speedup: 6,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(
+            windowed.tdv <= classical.tdv(),
+            "windowed TDV {} must not exceed classical {}",
+            windowed.tdv,
+            classical.tdv()
+        );
+        assert!(
+            windowed.tsl_original as usize >= classical.tsl(),
+            "windowed raw TSL must exceed classical"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Decompressor hardware cost roll-up (the paper's Section 4 GE
+//! numbers).
+
+use ss_lfsr::{CostModel, GateCount};
+
+/// Everything the estimator needs about one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompressorCostInputs {
+    /// LFSR size `n`.
+    pub lfsr_size: usize,
+    /// Characteristic polynomial weight (term count).
+    pub poly_weight: usize,
+    /// Phase shifter 2-input XOR count.
+    pub ps_xor2: usize,
+    /// State Skip network XOR count *after* common-subexpression
+    /// extraction.
+    pub skip_xor2: usize,
+    /// Scan depth `r` (Bit Counter range).
+    pub scan_depth: usize,
+    /// Segment size `S` (Vector Counter range).
+    pub segment: usize,
+    /// Window length `L` (Segment Counter range is `ceil(L/S)`).
+    pub window: usize,
+    /// Number of seed groups (Group Counter range).
+    pub group_count: usize,
+    /// Largest group size (Seed Counter range).
+    pub max_group_size: usize,
+    /// Largest useful-segment count (Useful Segment Counter range).
+    pub max_useful: usize,
+    /// Mode Select product terms.
+    pub mode_select_terms: usize,
+}
+
+/// Per-block gate inventories and gate-equivalent totals for the
+/// decompression architecture of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompressorCost {
+    /// LFSR (cells + feedback cone).
+    pub lfsr: GateCount,
+    /// State Skip circuit (shared XOR network + per-cell mode muxes).
+    pub skip: GateCount,
+    /// Phase shifter XOR block.
+    pub phase_shifter: GateCount,
+    /// All six counters of Fig. 3.
+    pub counters: GateCount,
+    /// Mode Select combinational unit.
+    pub mode_select: GateCount,
+}
+
+impl DecompressorCost {
+    /// Estimates the cost from configuration inputs.
+    pub fn estimate(inputs: &DecompressorCostInputs) -> Self {
+        let counters_bits = bits_for(inputs.scan_depth)
+            + bits_for(inputs.segment)
+            + bits_for(inputs.window.div_ceil(inputs.segment.max(1)))
+            + bits_for(inputs.max_useful.max(1))
+            + bits_for(inputs.max_group_size.max(1))
+            + bits_for(inputs.group_count.max(1));
+        let t = inputs.mode_select_terms;
+        DecompressorCost {
+            lfsr: GateCount::lfsr(inputs.lfsr_size, inputs.poly_weight),
+            skip: GateCount::skip_frontend(inputs.lfsr_size, inputs.skip_xor2),
+            phase_shifter: GateCount::xor_block(inputs.ps_xor2),
+            counters: GateCount::counter(counters_bits),
+            mode_select: GateCount {
+                and2: 2 * t + t.saturating_sub(1),
+                ..GateCount::default()
+            },
+        }
+    }
+
+    /// Total inventory.
+    pub fn total(&self) -> GateCount {
+        self.lfsr + self.skip + self.phase_shifter + self.counters + self.mode_select
+    }
+
+    /// Total gate equivalents under the default cost model.
+    pub fn total_ge(&self) -> f64 {
+        self.total_ge_with(&CostModel::default())
+    }
+
+    /// Total gate equivalents under a custom cost model.
+    pub fn total_ge_with(&self, model: &CostModel) -> f64 {
+        model.ge(&self.total())
+    }
+
+    /// GE of the *shared* decompressor blocks (everything except Mode
+    /// Select, which must be re-implemented per core — the paper's
+    /// "rest of the decompressor" figure of ~320 GE for s13207).
+    pub fn shared_ge(&self) -> f64 {
+        let model = CostModel::default();
+        model.ge(&self.lfsr)
+            + model.ge(&self.phase_shifter)
+            + model.ge(&self.counters)
+    }
+
+    /// GE of the State Skip circuit alone (the paper's 52–119 GE
+    /// range for s13207, k = 12..32).
+    pub fn skip_ge(&self) -> f64 {
+        CostModel::default().ge(&self.skip)
+    }
+
+    /// GE of the Mode Select unit alone (the paper's 44–262 GE range).
+    pub fn mode_select_ge(&self) -> f64 {
+        CostModel::default().ge(&self.mode_select)
+    }
+}
+
+/// Bits needed to count to `range - 1` (at least 1).
+fn bits_for(range: usize) -> usize {
+    match range {
+        0 | 1 => 1,
+        n => (usize::BITS - (n - 1).leading_zeros()) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> DecompressorCostInputs {
+        DecompressorCostInputs {
+            lfsr_size: 24,
+            poly_weight: 5,
+            ps_xor2: 64,
+            skip_xor2: 30,
+            scan_depth: 22,
+            segment: 10,
+            window: 200,
+            group_count: 3,
+            max_group_size: 40,
+            max_useful: 4,
+            mode_select_terms: 20,
+        }
+    }
+
+    #[test]
+    fn bits_for_ranges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(22), 5);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let cost = DecompressorCost::estimate(&inputs());
+        let total = cost.total();
+        assert_eq!(
+            total.total_primitives(),
+            cost.lfsr.total_primitives()
+                + cost.skip.total_primitives()
+                + cost.phase_shifter.total_primitives()
+                + cost.counters.total_primitives()
+                + cost.mode_select.total_primitives()
+        );
+        assert!(cost.total_ge() > 0.0);
+        assert!(cost.shared_ge() < cost.total_ge());
+    }
+
+    #[test]
+    fn skip_cost_tracks_xor_count() {
+        let mut i = inputs();
+        let small = DecompressorCost::estimate(&i).skip_ge();
+        i.skip_xor2 = 120;
+        let big = DecompressorCost::estimate(&i).skip_ge();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn mode_select_cost_tracks_terms() {
+        let mut i = inputs();
+        let small = DecompressorCost::estimate(&i).mode_select_ge();
+        i.mode_select_terms = 80;
+        let big = DecompressorCost::estimate(&i).mode_select_ge();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn paper_ballpark_for_s13207() {
+        // n=24, 32 chains, L=200, S=10: shared decompressor should be
+        // in the few-hundred-GE range the paper reports (~320 GE).
+        let cost = DecompressorCost::estimate(&inputs());
+        let shared = cost.shared_ge();
+        assert!(
+            (150.0..600.0).contains(&shared),
+            "shared GE {shared} out of the plausible range"
+        );
+    }
+}

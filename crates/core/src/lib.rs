@@ -1,0 +1,87 @@
+//! State Skip LFSR test set embedding — the primary contribution of
+//! *"State Skip LFSRs: Bridging the Gap between Test Data Compression
+//! and Test Set Embedding for IP Cores"* (Tenentes, Kavousianos,
+//! Kalligeros; DATE 2008), reproduced in Rust.
+//!
+//! # The flow
+//!
+//! 1. **Window-based LFSR reseeding** ([`WindowEncoder`]): every n-bit
+//!    seed is expanded on-chip into a window of `L` pseudorandom test
+//!    vectors; a greedy algorithm packs as many test cubes as possible
+//!    into each window by solving GF(2) systems over the seed bits
+//!    (Section 2 of the paper). High compression, but the test
+//!    sequence grows to `seeds x L` vectors.
+//! 2. **Fortuitous embedding detection** ([`EmbeddingMap`]): after the
+//!    seeds are fixed, sparse cubes turn out to be embedded in many
+//!    window positions by chance; the reduction step exploits this.
+//! 3. **Segment labelling and selection** ([`SegmentPlan`]): windows
+//!    are cut into `L/S` segments; a set-cover pass picks the minimum
+//!    useful segments; seeds are grouped by useful-segment count and
+//!    truncated after their last useful segment (Section 3.2).
+//! 4. **State Skip traversal** ([`TslReport`]): useless segments are
+//!    traversed with `T^k` jumps — `k` states per clock — shrinking
+//!    the applied test sequence by up to the paper's reported 96%
+//!    while storing exactly the same seeds (same TDV).
+//! 5. **Decompression architecture** ([`Decompressor`]): the counter
+//!    pipeline + Mode Select unit of Fig. 3, simulated cycle-accurately
+//!    to prove every cube is really applied.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ss_core::{Pipeline, PipelineConfig};
+//! use ss_testdata::{generate_test_set, CubeProfile};
+//!
+//! # fn main() -> Result<(), ss_core::PipelineError> {
+//! let set = generate_test_set(&CubeProfile::mini(), 1);
+//! let config = PipelineConfig {
+//!     window: 40,
+//!     segment: 5,
+//!     speedup: 8,
+//!     ..PipelineConfig::default()
+//! };
+//! let report = Pipeline::new(&set, config)?.run()?;
+//! assert!(report.tsl_proposed < report.tsl_original);
+//! println!("{}", report.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline11;
+mod classical;
+mod cost;
+mod decompressor;
+mod embedding;
+mod encoder;
+mod expr_table;
+mod literature;
+mod modeselect;
+mod pipeline;
+mod report;
+mod rtl;
+mod soc;
+
+pub use baseline11::baseline11_tsl;
+pub use classical::{classical_reseeding, ClassicalResult};
+pub use cost::{DecompressorCost, DecompressorCostInputs};
+pub use decompressor::{Decompressor, DecompressorTrace};
+pub use embedding::EmbeddingMap;
+pub use encoder::{EncodeError, EncodedSeed, EncodingResult, Placement, WindowEncoder};
+pub use expr_table::ExprTable;
+pub use literature::{
+    lit_table3, lit_table4, LitEmbeddingRow, LitMethod, LitTable4Row, PAPER_TABLE1, PAPER_TABLE2,
+    PAPER_TSL_TABLE2,
+};
+pub use modeselect::ModeSelect;
+pub use pipeline::{expand_seed, Pipeline, PipelineConfig, PipelineError, PipelineReport};
+pub use report::{improvement_percent, Table};
+pub use rtl::emit_decompressor_rtl;
+pub use soc::{estimated_core_area_ge, SocCore, SocPlan};
+
+/// Segment labelling, selection and TSL accounting (Section 3.2).
+pub mod segments;
+
+pub use segments::{SegmentPlan, TslReport};

@@ -1,0 +1,150 @@
+//! Plain-text table formatting for the experiment harness.
+
+use std::fmt;
+
+/// TSL improvement in percent, the paper's relation (2):
+/// `(1 - new/old) * 100`.
+///
+/// Returns 0 when `old` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ss_core::improvement_percent(100, 25), 75.0);
+/// ```
+pub fn improvement_percent(old: u64, new: u64) -> f64 {
+    if old == 0 {
+        0.0
+    } else {
+        (1.0 - new as f64 / old as f64) * 100.0
+    }
+}
+
+/// A minimal aligned-column text table, used by every bench target to
+/// print paper-style rows.
+///
+/// # Example
+///
+/// ```
+/// use ss_core::Table;
+///
+/// let mut t = Table::new(["circuit", "TDV", "TSL"]);
+/// t.add_row(["s13207", "3816", "1756"]);
+/// let text = t.to_string();
+/// assert!(text.contains("s13207"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn add_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            row.len() <= self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_formula() {
+        assert_eq!(improvement_percent(200, 50), 75.0);
+        assert_eq!(improvement_percent(10, 10), 0.0);
+        assert_eq!(improvement_percent(0, 5), 0.0);
+        assert!(improvement_percent(10, 20) < 0.0, "regressions go negative");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["a", "long-header", "x"]);
+        t.add_row(["1", "2", "3"]);
+        t.add_row(["100000", "2", "3"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines equal width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["only"]);
+        assert_eq!(t.row_count(), 1);
+        assert!(t.to_string().contains("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn long_rows_panic() {
+        let mut t = Table::new(["a"]);
+        t.add_row(["1", "2"]);
+    }
+}

@@ -1,0 +1,587 @@
+//! Dense, word-packed bit vectors: the GF(2) row-vector type.
+
+use std::fmt;
+use std::ops::{BitAndAssign, BitXorAssign};
+
+use rand::Rng;
+
+const WORD_BITS: usize = 64;
+
+/// A dense vector of bits, packed into `u64` words.
+///
+/// `BitVec` is the workhorse of the workspace: LFSR states, linear
+/// expressions over seed variables, rows of transition matrices and test
+/// cube bit-planes are all `BitVec`s. Arithmetic is GF(2): addition is
+/// XOR ([`BitXorAssign`]), pointwise multiplication is AND
+/// ([`BitAndAssign`]).
+///
+/// Bits beyond `len` are kept zero at all times; every mutating method
+/// preserves that invariant, so word-level operations (popcount,
+/// equality, dot products) never see stray bits.
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// v.set(7, true);
+/// assert_eq!(v.count_ones(), 2);
+/// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a vector with exactly one bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn unit(len: usize, index: usize) -> Self {
+        let mut v = BitVec::zeros(len);
+        v.set(index, true);
+        v
+    }
+
+    /// Builds a vector from an iterator of bools (index 0 first).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector of `len` bits from the low bits of `value`
+    /// (bit 0 of `value` becomes index 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 128`.
+    pub fn from_u128(len: usize, value: u128) -> Self {
+        assert!(len <= 128, "from_u128 supports at most 128 bits");
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if (value >> i) & 1 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a vector of `len` bits from packed words (low word
+    /// first); bits beyond `len` in the last word are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(len: usize, words: &[u64]) -> Self {
+        let needed = len.div_ceil(WORD_BITS);
+        assert!(words.len() >= needed, "need {needed} words for {len} bits");
+        let mut v = BitVec {
+            words: words[..needed].to_vec(),
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a vector of `len` uniformly random bits.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = BitVec::zeros(len);
+        for w in &mut v.words {
+            *w = rng.gen();
+        }
+        v.mask_tail();
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has no bits at all (zero length).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            self.words[index / WORD_BITS] |= mask;
+        } else {
+            self.words[index / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn toggle(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
+    }
+
+    /// Sets every bit to zero, keeping the length.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `true` when every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Index of the lowest set bit, or `None` if the vector is zero.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Index of the highest set bit, or `None` if the vector is zero.
+    pub fn last_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterates over all bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// GF(2) dot product: parity of the AND of the two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "dot product length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// XORs `other` into `self` (GF(2) vector addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// ANDs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "and length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Returns `true` if every set bit of `self` is also set in `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset_of(&self, mask: &BitVec) -> bool {
+        assert_eq!(self.len, mask.len, "subset length mismatch");
+        self.words.iter().zip(&mask.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the two vectors agree on every position where
+    /// `mask` is set. This is the cube-matching primitive: a test cube
+    /// with care-mask `mask` and values `self` is embedded in a fully
+    /// specified vector `other` iff `self.eq_under_mask(other, mask)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs.
+    pub fn eq_under_mask(&self, other: &BitVec, mask: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "eq_under_mask length mismatch");
+        assert_eq!(self.len, mask.len, "eq_under_mask mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&mask.words)
+            .all(|((a, b), m)| (a ^ b) & m == 0)
+    }
+
+    /// Grows or shrinks the vector to `new_len`, zero-filling new bits.
+    pub fn resize(&mut self, new_len: usize) {
+        self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+        self.len = new_len;
+        self.mask_tail();
+    }
+
+    /// Shifts all bits one position toward index 0; bit 0 is dropped and
+    /// the top bit becomes zero. (Used by Fibonacci LFSR stepping.)
+    pub fn shift_down(&mut self) {
+        let n = self.words.len();
+        for i in 0..n {
+            let carry = if i + 1 < n { self.words[i + 1] & 1 } else { 0 };
+            self.words[i] = (self.words[i] >> 1) | (carry << (WORD_BITS - 1));
+        }
+        self.mask_tail();
+    }
+
+    /// Shifts all bits one position away from index 0; the top bit is
+    /// dropped and bit 0 becomes zero.
+    pub fn shift_up(&mut self) {
+        let n = self.words.len();
+        for i in (0..n).rev() {
+            let carry = if i > 0 { self.words[i - 1] >> (WORD_BITS - 1) } else { 0 };
+            self.words[i] = (self.words[i] << 1) | carry;
+        }
+        self.mask_tail();
+    }
+
+    /// View of the underlying words (low word first).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Interprets the low 64 bits as a `u64` (bit 0 = index 0).
+    pub fn low_u64(&self) -> u64 {
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_with(rhs);
+    }
+}
+
+impl BitAndAssign<&BitVec> for BitVec {
+    fn bitand_assign(&mut self, rhs: &BitVec) {
+        self.and_with(rhs);
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+/// Iterator over the set-bit indices of a [`BitVec`], produced by
+/// [`BitVec::iter_ones`].
+pub struct IterOnes<'a> {
+    vec: &'a BitVec,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * WORD_BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn ones_has_len_ones_and_clean_tail() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.as_words().len(), 2);
+        assert_eq!(v.as_words()[1] >> 6, 0, "tail bits must be masked");
+    }
+
+    #[test]
+    fn set_get_toggle_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1));
+        v.toggle(99);
+        assert!(!v.get(99));
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(8);
+        let _ = v.get(8);
+    }
+
+    #[test]
+    fn unit_vector() {
+        let v = BitVec::unit(65, 64);
+        assert_eq!(v.count_ones(), 1);
+        assert!(v.get(64));
+        assert_eq!(v.first_one(), Some(64));
+        assert_eq!(v.last_one(), Some(64));
+    }
+
+    #[test]
+    fn from_bits_and_iter_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, true];
+        let v = BitVec::from_bits(bits.clone());
+        assert_eq!(v.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn from_words_roundtrip_and_masking() {
+        let v = BitVec::from_words(70, &[u64::MAX, u64::MAX]);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v, BitVec::ones(70));
+        let w = BitVec::from_words(10, &[0b1010_0110, 99]);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "words")]
+    fn from_words_too_short_panics() {
+        let _ = BitVec::from_words(65, &[0]);
+    }
+
+    #[test]
+    fn from_u128_matches_bit_pattern() {
+        let v = BitVec::from_u128(8, 0b1010_0110);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn first_last_one() {
+        let mut v = BitVec::zeros(200);
+        assert_eq!(v.first_one(), None);
+        assert_eq!(v.last_one(), None);
+        v.set(77, true);
+        v.set(150, true);
+        assert_eq!(v.first_one(), Some(77));
+        assert_eq!(v.last_one(), Some(150));
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut v = BitVec::zeros(192);
+        let idx = [0, 1, 63, 64, 127, 128, 191];
+        for &i in &idx {
+            v.set(i, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn dot_product_parity() {
+        let a = BitVec::from_bits([true, true, false, true]);
+        let b = BitVec::from_bits([true, false, true, true]);
+        // overlap at 0 and 3 -> even parity
+        assert!(!a.dot(&b));
+        let c = BitVec::from_bits([true, false, false, false]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn xor_and_identities() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = BitVec::random(300, &mut rng);
+        let mut x = a.clone();
+        x.xor_with(&a);
+        assert!(x.is_zero(), "a ^ a == 0");
+        let mut y = a.clone();
+        y.and_with(&a);
+        assert_eq!(y, a, "a & a == a");
+    }
+
+    #[test]
+    fn subset_and_mask_equality() {
+        let mask = BitVec::from_bits([true, true, false, false]);
+        let sub = BitVec::from_bits([true, false, false, false]);
+        let not_sub = BitVec::from_bits([true, false, true, false]);
+        assert!(sub.is_subset_of(&mask));
+        assert!(!not_sub.is_subset_of(&mask));
+
+        let values = BitVec::from_bits([true, false, true, true]);
+        let vector = BitVec::from_bits([true, false, false, false]);
+        // agree on positions 0,1 (the mask) though they differ at 2,3
+        assert!(values.eq_under_mask(&vector, &mask));
+        let vector2 = BitVec::from_bits([false, false, true, true]);
+        assert!(!values.eq_under_mask(&vector2, &mask));
+    }
+
+    #[test]
+    fn shift_down_and_up() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        v.shift_down();
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![63, 128]);
+        v.shift_up();
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![64, 129]);
+        // shifting up at the top drops the bit
+        let mut w = BitVec::unit(10, 9);
+        w.shift_up();
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    fn resize_preserves_prefix_and_masks_tail() {
+        let mut v = BitVec::ones(100);
+        v.resize(40);
+        assert_eq!(v.count_ones(), 40);
+        v.resize(100);
+        assert_eq!(v.count_ones(), 40, "regrown bits must be zero");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = SmallRng::seed_from_u64(42);
+        let mut r2 = SmallRng::seed_from_u64(42);
+        assert_eq!(BitVec::random(257, &mut r1), BitVec::random(257, &mut r2));
+    }
+
+    #[test]
+    fn display_binary() {
+        let v = BitVec::from_bits([true, false, true]);
+        assert_eq!(format!("{v}"), "101");
+        assert_eq!(format!("{v:b}"), "101");
+        assert!(format!("{v:?}").contains("101"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Row-major matrices over GF(2).
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::BitVec;
+
+/// A dense matrix over GF(2), stored as one [`BitVec`] per row.
+///
+/// The matrix powering method [`BitMatrix::pow`] is the mathematical core
+/// of State Skip LFSRs: if `T` is the transition matrix of an LFSR, the
+/// State Skip circuit for speedup factor `k` is exactly the linear map
+/// `T^k`, and its rows are the XOR expressions `F_0^k .. F_{n-1}^k` of
+/// the paper (equation (1)).
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::BitMatrix;
+///
+/// let identity = BitMatrix::identity(4);
+/// assert_eq!(identity.pow(12345), identity);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates a `rows x cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zeros(cols); rows],
+            cols,
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.rows[i].set(i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// Creates a uniformly random `rows x cols` matrix.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        BitMatrix {
+            rows: (0..rows).map(|_| BitVec::random(cols, rng)).collect(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn col_count(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` for a 0x0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut BitVec {
+        &mut self.rows[i]
+    }
+
+    /// Iterates over the rows in order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.rows.iter()
+    }
+
+    /// Element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Sets element (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        self.rows[r].set(c, value);
+    }
+
+    /// Matrix–vector product `self * v` (treating `v` as a column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != col_count()`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        BitVec::from_bits(self.rows.iter().map(|row| row.dot(v)))
+    }
+
+    /// Vector–matrix product `v * self` (treating `v` as a row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != row_count()`.
+    pub fn vec_mul(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.rows.len(), "vector-matrix dimension mismatch");
+        let mut out = BitVec::zeros(self.cols);
+        for i in v.iter_ones() {
+            out.xor_with(&self.rows[i]);
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.col_count() != other.row_count()`.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols,
+            other.rows.len(),
+            "matrix-matrix dimension mismatch"
+        );
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut acc = BitVec::zeros(other.cols);
+                for i in row.iter_ones() {
+                    acc.xor_with(&other.rows[i]);
+                }
+                acc
+            })
+            .collect();
+        BitMatrix {
+            rows,
+            cols: other.cols,
+        }
+    }
+
+    /// Matrix power `self^e` by square-and-multiply.
+    ///
+    /// `self^0` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn pow(&self, mut e: u64) -> BitMatrix {
+        assert_eq!(self.rows.len(), self.cols, "pow requires a square matrix");
+        let mut result = BitMatrix::identity(self.cols);
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base);
+            }
+        }
+        result
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in row.iter_ones() {
+                t.rows[c].set(r, true);
+            }
+        }
+        t
+    }
+
+    /// Rank over GF(2) (by Gaussian elimination on a copy).
+    pub fn rank(&self) -> usize {
+        let mut rows: Vec<BitVec> = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r].get(col)) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_with(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<BitMatrix> {
+        if self.rows.len() != self.cols {
+            return None;
+        }
+        let n = self.cols;
+        let mut a = self.rows.clone();
+        let mut inv = BitMatrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| a[r].get(col))?;
+            a.swap(col, pivot);
+            inv.rows.swap(col, pivot);
+            let a_pivot = a[col].clone();
+            let i_pivot = inv.rows[col].clone();
+            for r in 0..n {
+                if r != col && a[r].get(col) {
+                    a[r].xor_with(&a_pivot);
+                    inv.rows[r].xor_with(&i_pivot);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Total number of set bits; a proxy for the raw (pre-sharing) XOR
+    /// cost of implementing the matrix as combinational logic.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(BitVec::count_ones).sum()
+    }
+
+    /// A basis of the null space `{x : self * x = 0}`.
+    ///
+    /// The returned vectors are linearly independent and there are
+    /// `col_count() - rank()` of them. Used by the phase-shifter
+    /// diagnostics to enumerate structural output dependencies.
+    pub fn kernel(&self) -> Vec<BitVec> {
+        let n = self.cols;
+        // reduce a copy, remembering pivot columns
+        let mut rows: Vec<BitVec> = self.rows.clone();
+        let mut pivots: Vec<usize> = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..n {
+            let Some(p) = (rank..rows.len()).find(|&r| rows[r].get(col)) else {
+                continue;
+            };
+            rows.swap(rank, p);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_with(&pivot_row);
+                }
+            }
+            pivots.push(col);
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::with_capacity(n - rank);
+        for free in (0..n).filter(|c| !pivot_set.contains(c)) {
+            let mut v = BitVec::zeros(n);
+            v.set(free, true);
+            // each pivot variable = sum of the free columns in its row
+            for (i, &pc) in pivots.iter().enumerate() {
+                if rows[i].get(free) {
+                    v.set(pc, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows.len(), self.cols)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn example_matrix() -> BitMatrix {
+        // [1 1 0]
+        // [0 1 1]
+        // [1 0 1]  (singular: rows sum to zero)
+        BitMatrix::from_rows(vec![
+            BitVec::from_bits([true, true, false]),
+            BitVec::from_bits([false, true, true]),
+            BitVec::from_bits([true, false, true]),
+        ])
+    }
+
+    #[test]
+    fn identity_properties() {
+        let i = BitMatrix::identity(5);
+        assert_eq!(i.rank(), 5);
+        assert_eq!(i.mul(&i), i);
+        assert_eq!(i.transpose(), i);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul_agree_with_transpose() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = BitMatrix::random(7, 9, &mut rng);
+        let v = BitVec::random(9, &mut rng);
+        let w = BitVec::random(7, &mut rng);
+        assert_eq!(m.mul_vec(&v), m.transpose().vec_mul(&v));
+        assert_eq!(m.vec_mul(&w), m.transpose().mul_vec(&w));
+    }
+
+    #[test]
+    fn mul_associative() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a = BitMatrix::random(4, 5, &mut rng);
+        let b = BitMatrix::random(5, 6, &mut rng);
+        let c = BitMatrix::random(6, 3, &mut rng);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = BitMatrix::random(6, 6, &mut rng);
+        let mut acc = BitMatrix::identity(6);
+        for e in 0..10u64 {
+            assert_eq!(m.pow(e), acc, "pow({e})");
+            acc = acc.mul(&m);
+        }
+    }
+
+    #[test]
+    fn pow_zero_is_identity() {
+        let m = example_matrix();
+        assert_eq!(m.pow(0), BitMatrix::identity(3));
+    }
+
+    #[test]
+    fn rank_of_singular_matrix() {
+        assert_eq!(example_matrix().rank(), 2);
+        assert!(example_matrix().inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        // Random matrices over GF(2) are invertible with probability ~0.29;
+        // retry until we find one.
+        let (m, inv) = loop {
+            let m = BitMatrix::random(8, 8, &mut rng);
+            if let Some(inv) = m.inverse() {
+                break (m, inv);
+            }
+        };
+        assert_eq!(m.mul(&inv), BitMatrix::identity(8));
+        assert_eq!(inv.mul(&m), BitMatrix::identity(8));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let m = BitMatrix::random(5, 9, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rank_bounded_by_dims() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        for _ in 0..10 {
+            let m = BitMatrix::random(6, 10, &mut rng);
+            assert!(m.rank() <= 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dimension_mismatch_panics() {
+        let a = BitMatrix::zeros(2, 3);
+        let b = BitMatrix::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn count_ones_counts_all() {
+        assert_eq!(example_matrix().count_ones(), 6);
+    }
+
+    #[test]
+    fn kernel_has_complementary_dimension_and_annihilates() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let m = BitMatrix::random(6, 10, &mut rng);
+            let kernel = m.kernel();
+            assert_eq!(kernel.len(), 10 - m.rank());
+            for v in &kernel {
+                assert!(m.mul_vec(v).is_zero(), "kernel vector not annihilated");
+            }
+            // basis vectors are independent
+            if !kernel.is_empty() {
+                assert_eq!(BitMatrix::from_rows(kernel).rank(), 10 - m.rank());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_of_identity_is_empty() {
+        assert!(BitMatrix::identity(5).kernel().is_empty());
+    }
+
+    #[test]
+    fn kernel_of_zero_matrix_is_full() {
+        let z = BitMatrix::zeros(3, 4);
+        assert_eq!(z.kernel().len(), 4);
+    }
+}

@@ -1,0 +1,658 @@
+//! Polynomials over GF(2) and primitive characteristic polynomials.
+//!
+//! LFSRs in this workspace are parameterised by their characteristic
+//! polynomial. A *primitive* polynomial of degree `n` yields a
+//! maximal-length LFSR (period `2^n - 1`), which the DATE 2008 paper
+//! assumes throughout. [`primitive_poly`] returns a known-primitive
+//! polynomial for every degree from 3 to 168 (the XAPP052 table used by
+//! generations of BIST hardware); [`Gf2Poly`] supplies the arithmetic
+//! needed to *verify* irreducibility/primitivity rather than trust the
+//! table blindly.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::BitVec;
+
+/// A polynomial over GF(2); coefficient of `x^i` is bit `i`.
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::Gf2Poly;
+///
+/// // x^3 + x + 1, the classic primitive trinomial
+/// let p = Gf2Poly::from_exponents(&[3, 1, 0]);
+/// assert_eq!(p.degree(), Some(3));
+/// assert!(p.is_irreducible());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Poly {
+    coeffs: BitVec,
+}
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Gf2Poly {
+            coeffs: BitVec::zeros(0),
+        }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Gf2Poly::from_exponents(&[0])
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Gf2Poly::from_exponents(&[1])
+    }
+
+    /// Builds a polynomial from the exponents of its nonzero terms.
+    pub fn from_exponents(exponents: &[usize]) -> Self {
+        let max = exponents.iter().copied().max().map_or(0, |m| m + 1);
+        let mut coeffs = BitVec::zeros(max);
+        for &e in exponents {
+            coeffs.toggle(e); // toggle so duplicated exponents cancel, as in GF(2)
+        }
+        let mut p = Gf2Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Builds a polynomial from a coefficient bit vector (bit `i` =
+    /// coefficient of `x^i`).
+    pub fn from_coeffs(coeffs: BitVec) -> Self {
+        let mut p = Gf2Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.last_one()
+    }
+
+    /// `true` when this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_zero()
+    }
+
+    /// `true` when this is the constant polynomial 1.
+    pub fn is_one(&self) -> bool {
+        self.degree() == Some(0)
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        i < self.coeffs.len() && self.coeffs.get(i)
+    }
+
+    /// Exponents of the nonzero terms, in increasing order.
+    pub fn exponents(&self) -> Vec<usize> {
+        self.coeffs.iter_ones().collect()
+    }
+
+    /// Number of nonzero terms.
+    pub fn weight(&self) -> usize {
+        self.coeffs.count_ones()
+    }
+
+    /// Sum (= difference) of two polynomials.
+    pub fn add(&self, other: &Gf2Poly) -> Gf2Poly {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(len);
+        let mut o = other.coeffs.clone();
+        o.resize(len);
+        coeffs.xor_with(&o);
+        Gf2Poly::from_coeffs(coeffs)
+    }
+
+    /// Product of two polynomials (schoolbook, word-sliced).
+    pub fn mul(&self, other: &Gf2Poly) -> Gf2Poly {
+        let (Some(da), Some(db)) = (self.degree(), other.degree()) else {
+            return Gf2Poly::zero();
+        };
+        let mut coeffs = BitVec::zeros(da + db + 1);
+        for i in self.coeffs.iter_ones() {
+            for j in other.coeffs.iter_ones() {
+                coeffs.toggle(i + j);
+            }
+        }
+        Gf2Poly::from_coeffs(coeffs)
+    }
+
+    /// Remainder of `self` divided by `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(&self, modulus: &Gf2Poly) -> Gf2Poly {
+        let dm = modulus.degree().expect("division by zero polynomial");
+        let mut r = self.clone();
+        while let Some(dr) = r.degree() {
+            if dr < dm {
+                break;
+            }
+            let shift = dr - dm;
+            for e in modulus.coeffs.iter_ones() {
+                r.coeffs.toggle(e + shift);
+            }
+        }
+        r.normalize();
+        r
+    }
+
+    /// Greatest common divisor.
+    pub fn gcd(&self, other: &Gf2Poly) -> Gf2Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// `self * other mod modulus`.
+    pub fn mulmod(&self, other: &Gf2Poly, modulus: &Gf2Poly) -> Gf2Poly {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^e mod modulus` by square-and-multiply.
+    pub fn powmod(&self, mut e: u128, modulus: &Gf2Poly) -> Gf2Poly {
+        let mut result = Gf2Poly::one().rem(modulus);
+        let mut base = self.rem(modulus);
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mulmod(&base, modulus);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mulmod(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Irreducibility over GF(2), by the Ben-Or criterion:
+    /// `x^(2^i) ≡ x` has no common factor with `f` for `i ≤ deg/2`, and
+    /// `x^(2^deg) ≡ x (mod f)`.
+    pub fn is_irreducible(&self) -> bool {
+        let Some(n) = self.degree() else {
+            return false;
+        };
+        if n == 0 {
+            return false;
+        }
+        if !self.coeff(0) {
+            // divisible by x
+            return n == 1 && self.coeff(1);
+        }
+        let x = Gf2Poly::x();
+        let mut xp = x.rem(self); // x^(2^0)
+        for _ in 1..=n / 2 {
+            xp = xp.mulmod(&xp, self); // x^(2^i)
+            let diff = xp.add(&x);
+            if !self.gcd(&diff).is_one() {
+                return false;
+            }
+        }
+        // final check: x^(2^n) == x (mod f)
+        let mut xq = x.rem(self);
+        for _ in 0..n {
+            xq = xq.mulmod(&xq, self);
+        }
+        xq == x.rem(self)
+    }
+
+    /// Primitivity over GF(2): irreducible and the multiplicative order
+    /// of `x` modulo `self` equals `2^n - 1`.
+    ///
+    /// The order test needs the prime factorisation of `2^n - 1`, which
+    /// this method computes by trial division — practical for `n <= 44`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree() > 44` (the factorisation would be too slow;
+    /// use [`Gf2Poly::is_irreducible`] plus the curated table instead).
+    pub fn is_primitive(&self) -> bool {
+        let Some(n) = self.degree() else {
+            return false;
+        };
+        assert!(
+            n <= 44,
+            "is_primitive uses trial-division factorisation, limited to degree 44"
+        );
+        if !self.is_irreducible() {
+            return false;
+        }
+        let order: u64 = (1u64 << n) - 1;
+        let x = Gf2Poly::x();
+        // x^order must be 1 (guaranteed for irreducible f), and
+        // x^(order/p) != 1 for every prime factor p.
+        if !self.is_one_power(&x, order as u128) {
+            return false;
+        }
+        for p in factorize(order) {
+            if self.is_one_power(&x, (order / p) as u128) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn is_one_power(&self, x: &Gf2Poly, e: u128) -> bool {
+        x.powmod(e, self).is_one()
+    }
+
+    /// The reciprocal polynomial `x^n * f(1/x)`; primitive iff `f` is.
+    pub fn reciprocal(&self) -> Gf2Poly {
+        let Some(n) = self.degree() else {
+            return Gf2Poly::zero();
+        };
+        Gf2Poly::from_exponents(&self.exponents().iter().map(|&e| n - e).collect::<Vec<_>>())
+    }
+
+    fn normalize(&mut self) {
+        let len = self.coeffs.last_one().map_or(0, |d| d + 1);
+        self.coeffs.resize(len);
+    }
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Poly({self})")
+    }
+}
+
+impl fmt::Display for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for e in self.exponents().into_iter().rev() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match e {
+                0 => write!(f, "1")?,
+                1 => write!(f, "x")?,
+                _ => write!(f, "x^{e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Error returned by [`primitive_poly`] for unsupported degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimitivePolyError {
+    degree: usize,
+}
+
+impl fmt::Display for PrimitivePolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no primitive polynomial tabulated for degree {} (supported: 3..=168)",
+            self.degree
+        )
+    }
+}
+
+impl Error for PrimitivePolyError {}
+
+/// Feedback-tap table of primitive polynomials for degrees 3..=168.
+///
+/// Entry `i` holds the nonzero exponents besides `x^0` of a primitive
+/// polynomial of degree `TAPS[i][0]` (so the polynomial is
+/// `x^t0 + x^t1 + ... + 1`). This is the classic maximal-length LFSR tap
+/// table (Xilinx XAPP052 and standard BIST references).
+const PRIMITIVE_TAPS: &[&[usize]] = &[
+    &[3, 2],
+    &[4, 3],
+    &[5, 3],
+    &[6, 5],
+    &[7, 6],
+    &[8, 6, 5, 4],
+    &[9, 5],
+    &[10, 7],
+    &[11, 9],
+    &[12, 6, 4, 1],
+    &[13, 4, 3, 1],
+    &[14, 5, 3, 1],
+    &[15, 14],
+    &[16, 15, 13, 4],
+    &[17, 14],
+    &[18, 11],
+    &[19, 6, 2, 1],
+    &[20, 17],
+    &[21, 19],
+    &[22, 21],
+    &[23, 18],
+    &[24, 23, 22, 17],
+    &[25, 22],
+    &[26, 6, 2, 1],
+    &[27, 5, 2, 1],
+    &[28, 25],
+    &[29, 27],
+    &[30, 6, 4, 1],
+    &[31, 28],
+    &[32, 22, 2, 1],
+    &[33, 20],
+    &[34, 27, 2, 1],
+    &[35, 33],
+    &[36, 25],
+    &[37, 5, 4, 3, 2, 1],
+    &[38, 6, 5, 1],
+    &[39, 35],
+    &[40, 38, 21, 19],
+    &[41, 38],
+    &[42, 41, 20, 19],
+    &[43, 42, 38, 37],
+    &[44, 43, 18, 17],
+    &[45, 44, 42, 41],
+    &[46, 45, 26, 25],
+    &[47, 42],
+    &[48, 47, 21, 20],
+    &[49, 40],
+    &[50, 49, 24, 23],
+    &[51, 50, 36, 35],
+    &[52, 49],
+    &[53, 52, 38, 37],
+    &[54, 53, 18, 17],
+    &[55, 31],
+    &[56, 55, 35, 34],
+    &[57, 50],
+    &[58, 39],
+    &[59, 58, 38, 37],
+    &[60, 59],
+    &[61, 60, 46, 45],
+    &[62, 61, 6, 5],
+    &[63, 62],
+    &[64, 63, 61, 60],
+    &[65, 47],
+    &[66, 65, 57, 56],
+    &[67, 66, 58, 57],
+    &[68, 59],
+    &[69, 67, 42, 40],
+    &[70, 69, 55, 54],
+    &[71, 65],
+    &[72, 66, 25, 19],
+    &[73, 48],
+    &[74, 73, 59, 58],
+    &[75, 74, 65, 64],
+    &[76, 75, 41, 40],
+    &[77, 76, 47, 46],
+    &[78, 77, 59, 58],
+    &[79, 70],
+    &[80, 79, 43, 42],
+    &[81, 77],
+    &[82, 79, 47, 44],
+    &[83, 82, 38, 37],
+    &[84, 71],
+    &[85, 84, 58, 57],
+    &[86, 85, 74, 73],
+    &[87, 74],
+    &[88, 87, 17, 16],
+    &[89, 51],
+    &[90, 89, 72, 71],
+    &[91, 90, 8, 7],
+    &[92, 91, 80, 79],
+    &[93, 91],
+    &[94, 73],
+    &[95, 84],
+    &[96, 94, 49, 47],
+    &[97, 91],
+    &[98, 87],
+    &[99, 97, 54, 52],
+    &[100, 63],
+    &[101, 100, 95, 94],
+    &[102, 101, 36, 35],
+    &[103, 94],
+    &[104, 103, 94, 93],
+    &[105, 89],
+    &[106, 91],
+    &[107, 105, 44, 42],
+    &[108, 77],
+    &[109, 108, 103, 102],
+    &[110, 109, 98, 97],
+    &[111, 101],
+    &[112, 110, 69, 67],
+    &[113, 104],
+    &[114, 113, 33, 32],
+    &[115, 114, 101, 100],
+    &[116, 115, 46, 45],
+    &[117, 115, 99, 97],
+    &[118, 85],
+    &[119, 111],
+    &[120, 113, 9, 2],
+    &[121, 103],
+    &[122, 121, 63, 62],
+    &[123, 121],
+    &[124, 87],
+    &[125, 124, 18, 17],
+    &[126, 125, 90, 89],
+    &[127, 126],
+    &[128, 126, 101, 99],
+    &[129, 124],
+    &[130, 127],
+    &[131, 130, 84, 83],
+    &[132, 103],
+    &[133, 132, 82, 81],
+    &[134, 77],
+    &[135, 124],
+    &[136, 135, 11, 10],
+    &[137, 116],
+    &[138, 137, 131, 130],
+    &[139, 136, 134, 131],
+    &[140, 111],
+    &[141, 140, 110, 109],
+    &[142, 121],
+    &[143, 142, 123, 122],
+    &[144, 143, 75, 74],
+    &[145, 93],
+    &[146, 145, 87, 86],
+    &[147, 146, 110, 109],
+    &[148, 121],
+    &[149, 148, 40, 39],
+    &[150, 97],
+    &[151, 148],
+    &[152, 151, 87, 86],
+    &[153, 152],
+    &[154, 152, 27, 25],
+    &[155, 154, 124, 123],
+    &[156, 155, 41, 40],
+    &[157, 156, 131, 130],
+    &[158, 157, 132, 131],
+    &[159, 128],
+    &[160, 159, 142, 141],
+    &[161, 143],
+    &[162, 161, 75, 74],
+    &[163, 162, 104, 103],
+    &[164, 163, 151, 150],
+    &[165, 164, 135, 134],
+    &[166, 165, 128, 127],
+    &[167, 161],
+    &[168, 166, 153, 151],
+];
+
+/// Returns a primitive polynomial of the requested degree.
+///
+/// # Errors
+///
+/// Returns [`PrimitivePolyError`] when `degree` is outside `3..=168`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ss_gf2::PrimitivePolyError> {
+/// let p = ss_gf2::primitive_poly(24)?;
+/// assert_eq!(p.degree(), Some(24));
+/// assert!(p.is_irreducible());
+/// # Ok(())
+/// # }
+/// ```
+pub fn primitive_poly(degree: usize) -> Result<Gf2Poly, PrimitivePolyError> {
+    if !(3..=168).contains(&degree) {
+        return Err(PrimitivePolyError { degree });
+    }
+    let taps = PRIMITIVE_TAPS[degree - 3];
+    debug_assert_eq!(taps[0], degree);
+    let mut exponents = taps.to_vec();
+    exponents.push(0);
+    Ok(Gf2Poly::from_exponents(&exponents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Gf2Poly::from_exponents(&[3, 1, 0]); // x^3+x+1
+        let b = Gf2Poly::from_exponents(&[1, 0]); // x+1
+        let sum = a.add(&b);
+        assert_eq!(sum.exponents(), vec![3]); // x^3
+        let prod = a.mul(&b);
+        // (x^3+x+1)(x+1) = x^4+x^3+x^2+1
+        assert_eq!(prod.exponents(), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_exponents_cancel() {
+        let p = Gf2Poly::from_exponents(&[2, 2, 1]);
+        assert_eq!(p.exponents(), vec![1]);
+    }
+
+    #[test]
+    fn rem_and_gcd() {
+        let a = Gf2Poly::from_exponents(&[4, 3, 2, 0]);
+        let b = Gf2Poly::from_exponents(&[2, 1]);
+        let r = a.rem(&b);
+        assert!(r.degree().unwrap_or(0) < 2);
+        // gcd of f and f is f (up to units; GF(2) has only unit 1)
+        assert_eq!(a.gcd(&a), a);
+        // gcd with 1 is 1
+        assert!(a.gcd(&Gf2Poly::one()).is_one());
+    }
+
+    #[test]
+    fn powmod_matches_repeated_mulmod() {
+        let m = Gf2Poly::from_exponents(&[5, 2, 0]);
+        let x = Gf2Poly::x();
+        let mut acc = Gf2Poly::one();
+        for e in 0..40u128 {
+            assert_eq!(x.powmod(e, &m), acc, "x^{e}");
+            acc = acc.mulmod(&x, &m);
+        }
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        assert!(Gf2Poly::from_exponents(&[3, 1, 0]).is_irreducible());
+        assert!(Gf2Poly::from_exponents(&[4, 1, 0]).is_irreducible());
+        // x^4 + x^2 + 1 = (x^2+x+1)^2 is reducible
+        assert!(!Gf2Poly::from_exponents(&[4, 2, 0]).is_irreducible());
+        // x^2 is reducible
+        assert!(!Gf2Poly::from_exponents(&[2]).is_irreducible());
+    }
+
+    #[test]
+    fn known_primitives_and_nonprimitives() {
+        assert!(Gf2Poly::from_exponents(&[3, 1, 0]).is_primitive());
+        assert!(Gf2Poly::from_exponents(&[4, 1, 0]).is_primitive());
+        // x^4+x^3+x^2+x+1 is irreducible but has order 5, not 15
+        let p = Gf2Poly::from_exponents(&[4, 3, 2, 1, 0]);
+        assert!(p.is_irreducible());
+        assert!(!p.is_primitive());
+    }
+
+    #[test]
+    fn table_covers_all_supported_degrees() {
+        for n in 3..=168 {
+            let p = primitive_poly(n).unwrap();
+            assert_eq!(p.degree(), Some(n), "degree {n}");
+            assert!(p.coeff(0), "constant term required, degree {n}");
+            assert!(p.weight() % 2 == 1, "even-weight poly is divisible by x+1, degree {n}");
+        }
+        assert!(primitive_poly(2).is_err());
+        assert!(primitive_poly(169).is_err());
+        let err = primitive_poly(1).unwrap_err();
+        assert!(err.to_string().contains("degree 1"));
+    }
+
+    #[test]
+    fn table_entries_are_irreducible_small() {
+        // Full irreducibility sweep for the degrees the paper's circuits
+        // use (LFSR sizes 24..85) plus the small ones used in tests.
+        for n in 3..=96 {
+            let p = primitive_poly(n).unwrap();
+            assert!(p.is_irreducible(), "table entry for degree {n} not irreducible: {p}");
+        }
+    }
+
+    #[test]
+    #[ignore = "slow: full irreducibility sweep of the entire table"]
+    fn table_entries_are_irreducible_all() {
+        for n in 3..=168 {
+            let p = primitive_poly(n).unwrap();
+            assert!(p.is_irreducible(), "table entry for degree {n} not irreducible: {p}");
+        }
+    }
+
+    #[test]
+    fn table_entries_are_primitive_small() {
+        for n in 3..=28 {
+            let p = primitive_poly(n).unwrap();
+            assert!(p.is_primitive(), "table entry for degree {n} not primitive: {p}");
+        }
+    }
+
+    #[test]
+    fn reciprocal_preserves_primitivity() {
+        for n in [5usize, 9, 17, 23] {
+            let p = primitive_poly(n).unwrap();
+            let r = p.reciprocal();
+            assert_eq!(r.degree(), Some(n));
+            assert!(r.is_primitive(), "reciprocal of degree {n} entry not primitive");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Gf2Poly::from_exponents(&[3, 1, 0]);
+        assert_eq!(format!("{p}"), "x^3 + x + 1");
+        assert_eq!(format!("{}", Gf2Poly::zero()), "0");
+    }
+
+    #[test]
+    fn factorize_works() {
+        assert_eq!(factorize(1), Vec::<u64>::new());
+        assert_eq!(factorize(2u64.pow(24) - 1), vec![3, 5, 7, 13, 17, 241]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Incremental GF(2) linear-system solver with checkpoint/rollback.
+//!
+//! Seed computation for LFSR reseeding (Koenemann's scheme, used
+//! throughout the DATE 2008 paper) forms one linear equation per
+//! specified test-cube bit: *expression over the seed variables =
+//! cube bit*. The window-based encoding algorithm of the paper tries a
+//! cube at many window positions before committing to one, so the solver
+//! must support cheap speculative insertion. [`IncrementalSolver`] keeps
+//! a forward-reduced row-echelon basis to which rows are only ever
+//! appended; a checkpoint is just the basis length and rollback is a
+//! truncation.
+
+use rand::Rng;
+
+use crate::BitVec;
+
+/// Result of inserting one equation into an [`IncrementalSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The equation was independent and has been added to the basis
+    /// (one more seed variable becomes determined — the paper's
+    /// "variable replacement").
+    Added,
+    /// The equation was already implied by the basis; nothing changed.
+    Redundant,
+    /// The equation contradicts the basis; the system is unsolvable.
+    /// The solver state is unchanged.
+    Conflict,
+}
+
+/// Opaque snapshot of an [`IncrementalSolver`], created by
+/// [`IncrementalSolver::checkpoint`] and consumed by
+/// [`IncrementalSolver::rollback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCheckpoint {
+    basis_len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BasisRow {
+    coeffs: BitVec,
+    rhs: bool,
+    pivot: usize,
+}
+
+/// An incremental solver for systems of linear equations over GF(2).
+///
+/// Equations are inserted one at a time; the solver maintains a
+/// forward-reduced basis (each row has a unique pivot column, rows are
+/// *not* back-substituted against each other until [`solve_with`] is
+/// called). Because insertion never mutates existing rows, rolling back
+/// to a [`checkpoint`] is O(1) amortised.
+///
+/// [`solve_with`]: IncrementalSolver::solve_with
+/// [`checkpoint`]: IncrementalSolver::checkpoint
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::{BitVec, IncrementalSolver, SolveOutcome};
+///
+/// let mut s = IncrementalSolver::new(2);
+/// let a0 = BitVec::unit(2, 0);
+/// assert_eq!(s.insert(&a0, true), SolveOutcome::Added);
+/// // speculative attempt that conflicts
+/// let cp = s.checkpoint();
+/// assert_eq!(s.insert(&a0, false), SolveOutcome::Conflict);
+/// s.rollback(cp);
+/// assert_eq!(s.rank(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalSolver {
+    vars: usize,
+    basis: Vec<BasisRow>,
+}
+
+impl IncrementalSolver {
+    /// Creates a solver over `vars` GF(2) variables.
+    pub fn new(vars: usize) -> Self {
+        IncrementalSolver {
+            vars,
+            basis: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of independent equations inserted so far (the dimension of
+    /// the constrained subspace).
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Number of still-free variables.
+    pub fn free_vars(&self) -> usize {
+        self.vars - self.basis.len()
+    }
+
+    /// Inserts the equation `coeffs · a = rhs`.
+    ///
+    /// Returns [`SolveOutcome::Conflict`] without modifying the solver if
+    /// the equation is inconsistent with the ones already inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the solver's variable count.
+    pub fn insert(&mut self, coeffs: &BitVec, rhs: bool) -> SolveOutcome {
+        assert_eq!(coeffs.len(), self.vars, "equation width mismatch");
+        let mut row = coeffs.clone();
+        let mut r = rhs;
+        // Forward-reduce against the existing basis. Basis rows are in
+        // insertion order; each has a distinct pivot.
+        for b in &self.basis {
+            if row.get(b.pivot) {
+                row.xor_with(&b.coeffs);
+                r ^= b.rhs;
+            }
+        }
+        match row.first_one() {
+            None => {
+                if r {
+                    SolveOutcome::Conflict
+                } else {
+                    SolveOutcome::Redundant
+                }
+            }
+            Some(pivot) => {
+                self.basis.push(BasisRow {
+                    coeffs: row,
+                    rhs: r,
+                    pivot,
+                });
+                SolveOutcome::Added
+            }
+        }
+    }
+
+    /// Tests whether the equation would be insertable without a
+    /// conflict, and what the outcome would be, without modifying the
+    /// solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the solver's variable count.
+    pub fn probe(&self, coeffs: &BitVec, rhs: bool) -> SolveOutcome {
+        assert_eq!(coeffs.len(), self.vars, "equation width mismatch");
+        let mut row = coeffs.clone();
+        let mut r = rhs;
+        for b in &self.basis {
+            if row.get(b.pivot) {
+                row.xor_with(&b.coeffs);
+                r ^= b.rhs;
+            }
+        }
+        match row.first_one() {
+            None if r => SolveOutcome::Conflict,
+            None => SolveOutcome::Redundant,
+            Some(_) => SolveOutcome::Added,
+        }
+    }
+
+    /// Takes a snapshot that [`rollback`](Self::rollback) can restore.
+    pub fn checkpoint(&self) -> SolverCheckpoint {
+        SolverCheckpoint {
+            basis_len: self.basis.len(),
+        }
+    }
+
+    /// Restores the solver to a previous [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is newer than the current state (i.e.
+    /// was taken from a different or longer-lived solver).
+    pub fn rollback(&mut self, cp: SolverCheckpoint) {
+        assert!(
+            cp.basis_len <= self.basis.len(),
+            "rollback to a checkpoint from the future"
+        );
+        self.basis.truncate(cp.basis_len);
+    }
+
+    /// Solves the system, assigning every free variable with `fill`
+    /// (called with the variable index) and back-substituting the pivot
+    /// variables. Returns the full assignment.
+    ///
+    /// The DATE 2008 flow calls this with a pseudorandom fill: the free
+    /// variables become the "pseudorandom data" that pad the seed.
+    pub fn solve_with<F: FnMut(usize) -> bool>(&self, mut fill: F) -> BitVec {
+        let mut solution = BitVec::zeros(self.vars);
+        let mut pinned = BitVec::zeros(self.vars);
+        for b in &self.basis {
+            pinned.set(b.pivot, true);
+        }
+        for i in 0..self.vars {
+            if !pinned.get(i) {
+                solution.set(i, fill(i));
+            }
+        }
+        // The basis is only forward-reduced (early rows may still carry
+        // later pivots), so complete the elimination Gauss-Jordan style
+        // on a copy before reading the pivot values off.
+        let mut rows: Vec<(BitVec, bool)> = self
+            .basis
+            .iter()
+            .map(|b| (b.coeffs.clone(), b.rhs))
+            .collect();
+        let pivots: Vec<usize> = self.basis.iter().map(|b| b.pivot).collect();
+        // Eliminate every pivot from every other row (Jordan step).
+        for i in 0..rows.len() {
+            let (row_i, rhs_i) = rows[i].clone();
+            for (j, (row_j, rhs_j)) in rows.iter_mut().enumerate() {
+                if j != i && row_j.get(pivots[i]) {
+                    row_j.xor_with(&row_i);
+                    *rhs_j ^= rhs_i;
+                }
+            }
+        }
+        for (i, (row, rhs)) in rows.iter().enumerate() {
+            // row now touches only its own pivot and free variables
+            let mut value = *rhs;
+            for v in row.iter_ones() {
+                if v != pivots[i] {
+                    value ^= solution.get(v);
+                }
+            }
+            solution.set(pivots[i], value);
+        }
+        solution
+    }
+
+    /// Solves with a pseudorandom fill from `rng`.
+    pub fn solve_random<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        self.solve_with(|_| rng.gen())
+    }
+
+    /// Verifies that `assignment` satisfies every inserted equation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the variable count.
+    pub fn check(&self, assignment: &BitVec) -> bool {
+        assert_eq!(assignment.len(), self.vars, "assignment width mismatch");
+        self.basis
+            .iter()
+            .all(|b| b.coeffs.dot(assignment) == b.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn row(bits: &[usize], vars: usize) -> BitVec {
+        let mut v = BitVec::zeros(vars);
+        for &b in bits {
+            v.set(b, true);
+        }
+        v
+    }
+
+    #[test]
+    fn simple_system() {
+        let mut s = IncrementalSolver::new(3);
+        assert_eq!(s.insert(&row(&[0, 1], 3), true), SolveOutcome::Added);
+        assert_eq!(s.insert(&row(&[1, 2], 3), false), SolveOutcome::Added);
+        assert_eq!(s.insert(&row(&[0, 2], 3), true), SolveOutcome::Redundant);
+        assert_eq!(s.insert(&row(&[0, 2], 3), false), SolveOutcome::Conflict);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.free_vars(), 1);
+        let sol = s.solve_with(|_| true);
+        assert!(s.check(&sol));
+        assert!(sol.get(0) ^ sol.get(1));
+        assert_eq!(sol.get(1), sol.get(2));
+    }
+
+    #[test]
+    fn conflict_leaves_state_untouched() {
+        let mut s = IncrementalSolver::new(2);
+        s.insert(&row(&[0], 2), true);
+        let rank_before = s.rank();
+        assert_eq!(s.insert(&row(&[0], 2), false), SolveOutcome::Conflict);
+        assert_eq!(s.rank(), rank_before);
+        let sol = s.solve_with(|_| false);
+        assert!(sol.get(0));
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut s = IncrementalSolver::new(3);
+        s.insert(&row(&[0], 3), true);
+        assert_eq!(s.probe(&row(&[1], 3), true), SolveOutcome::Added);
+        assert_eq!(s.rank(), 1, "probe must not insert");
+        assert_eq!(s.probe(&row(&[0], 3), true), SolveOutcome::Redundant);
+        assert_eq!(s.probe(&row(&[0], 3), false), SolveOutcome::Conflict);
+    }
+
+    #[test]
+    fn checkpoint_rollback() {
+        let mut s = IncrementalSolver::new(4);
+        s.insert(&row(&[0], 4), true);
+        let cp = s.checkpoint();
+        s.insert(&row(&[1], 4), false);
+        s.insert(&row(&[2], 4), true);
+        assert_eq!(s.rank(), 3);
+        s.rollback(cp);
+        assert_eq!(s.rank(), 1);
+        // after rollback the dropped constraints are really gone
+        assert_eq!(s.insert(&row(&[1], 4), true), SolveOutcome::Added);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn rollback_forward_panics() {
+        let mut s = IncrementalSolver::new(2);
+        s.insert(&row(&[0], 2), true);
+        let cp = s.checkpoint();
+        let mut s2 = IncrementalSolver::new(2);
+        s2.rollback(cp);
+    }
+
+    #[test]
+    fn full_rank_system_has_unique_solution() {
+        let mut s = IncrementalSolver::new(4);
+        for i in 0..4 {
+            s.insert(&row(&[i], 4), i % 2 == 0);
+        }
+        assert_eq!(s.free_vars(), 0);
+        let a = s.solve_with(|_| false);
+        let b = s.solve_with(|_| true);
+        assert_eq!(a, b, "no free variables => fill is irrelevant");
+        assert!(a.get(0) && !a.get(1) && a.get(2) && !a.get(3));
+    }
+
+    #[test]
+    fn random_systems_solutions_check_out() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for trial in 0..50 {
+            let vars = 20;
+            let mut s = IncrementalSolver::new(vars);
+            // Build a consistent system from a hidden ground truth.
+            let truth = BitVec::random(vars, &mut rng);
+            for _ in 0..15 {
+                let coeffs = BitVec::random(vars, &mut rng);
+                let rhs = coeffs.dot(&truth);
+                assert_ne!(
+                    s.insert(&coeffs, rhs),
+                    SolveOutcome::Conflict,
+                    "consistent system must not conflict (trial {trial})"
+                );
+            }
+            let sol = s.solve_random(&mut rng);
+            assert!(s.check(&sol), "solve_with must satisfy all equations");
+        }
+    }
+
+    #[test]
+    fn interleaved_speculation_matches_direct_insertion() {
+        // Simulates the encoder's pattern: try a batch, roll back, try
+        // another batch, commit.
+        let mut rng = SmallRng::seed_from_u64(123);
+        let vars = 16;
+        let truth = BitVec::random(vars, &mut rng);
+        let eqs: Vec<(BitVec, bool)> = (0..12)
+            .map(|_| {
+                let c = BitVec::random(vars, &mut rng);
+                let r = c.dot(&truth);
+                (c, r)
+            })
+            .collect();
+
+        let mut spec = IncrementalSolver::new(vars);
+        for (c, r) in &eqs[..4] {
+            spec.insert(c, *r);
+        }
+        let cp = spec.checkpoint();
+        for (c, r) in &eqs[4..8] {
+            spec.insert(c, *r);
+        }
+        spec.rollback(cp);
+        for (c, r) in &eqs[8..] {
+            spec.insert(c, *r);
+        }
+
+        let mut direct = IncrementalSolver::new(vars);
+        for (c, r) in eqs[..4].iter().chain(&eqs[8..]) {
+            direct.insert(c, *r);
+        }
+        assert_eq!(spec.rank(), direct.rank());
+        let sol = spec.solve_with(|_| false);
+        assert!(direct.check(&sol));
+    }
+
+    #[test]
+    fn zero_vars_edge_case() {
+        let mut s = IncrementalSolver::new(0);
+        assert_eq!(s.insert(&BitVec::zeros(0), false), SolveOutcome::Redundant);
+        assert_eq!(s.insert(&BitVec::zeros(0), true), SolveOutcome::Conflict);
+        assert!(s.solve_with(|_| false).is_empty());
+    }
+}

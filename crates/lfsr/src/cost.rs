@@ -1,0 +1,223 @@
+//! Gate-equivalent cost model.
+//!
+//! The paper reports hardware overhead in *gate equivalents* (GE),
+//! where one GE is the area of a 2-input NAND. [`CostModel`] holds the
+//! per-primitive GE weights (defaults follow common standard-cell area
+//! ratios) and [`GateCount`] aggregates a block's primitive counts so
+//! different decompressor pieces can be summed and compared.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Gate-equivalent weights per primitive (1 GE = one 2-input NAND).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// 2-input NAND/NOR.
+    pub nand2: f64,
+    /// 2-input AND/OR.
+    pub and2: f64,
+    /// 2-input XOR/XNOR.
+    pub xor2: f64,
+    /// 2:1 multiplexer.
+    pub mux2: f64,
+    /// Inverter.
+    pub inv: f64,
+    /// D flip-flop (with clock enable).
+    pub dff: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            nand2: 1.0,
+            and2: 1.5,
+            xor2: 2.5,
+            mux2: 2.5,
+            inv: 0.5,
+            dff: 6.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with every primitive costing one GE — useful to compare
+    /// raw gate counts rather than areas.
+    pub fn unit() -> Self {
+        CostModel {
+            nand2: 1.0,
+            and2: 1.0,
+            xor2: 1.0,
+            mux2: 1.0,
+            inv: 1.0,
+            dff: 1.0,
+        }
+    }
+
+    /// GE of a [`GateCount`] under this model.
+    pub fn ge(&self, count: &GateCount) -> f64 {
+        count.nand2 as f64 * self.nand2
+            + count.and2 as f64 * self.and2
+            + count.xor2 as f64 * self.xor2
+            + count.mux2 as f64 * self.mux2
+            + count.inv as f64 * self.inv
+            + count.dff as f64 * self.dff
+    }
+}
+
+/// Primitive-gate inventory of a hardware block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCount {
+    /// 2-input NAND/NOR gates.
+    pub nand2: usize,
+    /// 2-input AND/OR gates.
+    pub and2: usize,
+    /// 2-input XOR/XNOR gates.
+    pub xor2: usize,
+    /// 2:1 multiplexers.
+    pub mux2: usize,
+    /// Inverters.
+    pub inv: usize,
+    /// D flip-flops.
+    pub dff: usize,
+}
+
+impl GateCount {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        GateCount::default()
+    }
+
+    /// Inventory of an `n`-cell LFSR with `w`-term characteristic
+    /// polynomial: `n` flip-flops plus the feedback XOR cone
+    /// (`w - 2` XORs: the polynomial has `w` terms, two of which —
+    /// `x^n` and the recirculation — are wires).
+    pub fn lfsr(n: usize, poly_weight: usize) -> Self {
+        GateCount {
+            dff: n,
+            xor2: poly_weight.saturating_sub(2),
+            ..GateCount::default()
+        }
+    }
+
+    /// Inventory of a State Skip front-end: the mode multiplexers
+    /// (one 2:1 mux per cell) plus `xor2` shared XOR gates from the
+    /// synthesised skip network.
+    pub fn skip_frontend(n: usize, xor2: usize) -> Self {
+        GateCount {
+            mux2: n,
+            xor2,
+            ..GateCount::default()
+        }
+    }
+
+    /// Inventory of a `bits`-bit binary counter: DFF + half-adder
+    /// (XOR + AND) per bit.
+    pub fn counter(bits: usize) -> Self {
+        GateCount {
+            dff: bits,
+            xor2: bits,
+            and2: bits,
+            ..GateCount::default()
+        }
+    }
+
+    /// Inventory of an XOR phase shifter with the given 2-input XOR
+    /// count.
+    pub fn xor_block(xor2: usize) -> Self {
+        GateCount {
+            xor2,
+            ..GateCount::default()
+        }
+    }
+
+    /// Total primitive count, ignoring weights.
+    pub fn total_primitives(&self) -> usize {
+        self.nand2 + self.and2 + self.xor2 + self.mux2 + self.inv + self.dff
+    }
+}
+
+impl Add for GateCount {
+    type Output = GateCount;
+
+    fn add(self, rhs: GateCount) -> GateCount {
+        GateCount {
+            nand2: self.nand2 + rhs.nand2,
+            and2: self.and2 + rhs.and2,
+            xor2: self.xor2 + rhs.xor2,
+            mux2: self.mux2 + rhs.mux2,
+            inv: self.inv + rhs.inv,
+            dff: self.dff + rhs.dff,
+        }
+    }
+}
+
+impl AddAssign for GateCount {
+    fn add_assign(&mut self, rhs: GateCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nand2={} and2={} xor2={} mux2={} inv={} dff={}",
+            self.nand2, self.and2, self.xor2, self.mux2, self.inv, self.dff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_weights() {
+        let m = CostModel::default();
+        assert_eq!(m.nand2, 1.0);
+        assert!(m.xor2 > m.and2, "XOR must cost more than AND");
+        assert!(m.dff > m.xor2, "FF must cost more than XOR");
+    }
+
+    #[test]
+    fn ge_of_simple_blocks() {
+        let m = CostModel::default();
+        let lfsr = GateCount::lfsr(24, 5);
+        assert_eq!(lfsr.dff, 24);
+        assert_eq!(lfsr.xor2, 3);
+        let ge = m.ge(&lfsr);
+        assert!((ge - (24.0 * 6.0 + 3.0 * 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_and_add() {
+        let a = GateCount::counter(4);
+        let b = GateCount::xor_block(10);
+        let sum = a + b;
+        assert_eq!(sum.xor2, 14);
+        assert_eq!(sum.dff, 4);
+        let mut acc = GateCount::new();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn unit_model_counts_primitives() {
+        let m = CostModel::unit();
+        let c = GateCount {
+            nand2: 1,
+            and2: 2,
+            xor2: 3,
+            mux2: 4,
+            inv: 5,
+            dff: 6,
+        };
+        assert_eq!(m.ge(&c), c.total_primitives() as f64);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", GateCount::counter(3)).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the LFSR/hardware layer.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use ss_gf2::{primitive_poly, BitMatrix, BitVec};
+
+use crate::{ExpressionStream, Lfsr, LfsrKind, Misr, PhaseShifter, SkipCircuit, XorNetwork};
+
+fn seed_for(n: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(BitVec::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural stepping and the transition matrix can never drift.
+    #[test]
+    fn step_matches_transition_matrix(
+        n in 3usize..20,
+        galois in any::<bool>(),
+        steps in 1usize..40,
+        raw in any::<u64>(),
+    ) {
+        let kind = if galois { LfsrKind::Galois } else { LfsrKind::Fibonacci };
+        let mut lfsr = Lfsr::try_new(primitive_poly(n).unwrap(), kind).unwrap();
+        let t = lfsr.transition_matrix();
+        let seed = BitVec::from_u128(n, (raw as u128) & ((1u128 << n) - 1));
+        lfsr.load(&seed);
+        let mut state = seed;
+        for _ in 0..steps {
+            state = t.mul_vec(&state);
+            lfsr.step();
+        }
+        prop_assert_eq!(lfsr.state(), &state);
+    }
+
+    /// The skip matrix composes: T^a * T^b = T^(a+b).
+    #[test]
+    fn skip_matrices_compose(n in 3usize..14, a in 1u64..40, b in 1u64..40) {
+        let lfsr = Lfsr::fibonacci(primitive_poly(n).unwrap());
+        let sa = SkipCircuit::new(&lfsr, a).unwrap();
+        let sb = SkipCircuit::new(&lfsr, b).unwrap();
+        let sab = SkipCircuit::new(&lfsr, a + b).unwrap();
+        prop_assert_eq!(sa.matrix().mul(sb.matrix()), sab.matrix().clone());
+    }
+
+    /// Jumping backward: T^k is invertible, so skip circuits are
+    /// lossless (distinct states stay distinct).
+    #[test]
+    fn skip_is_injective(n in 3usize..12, k in 1u64..64) {
+        let lfsr = Lfsr::fibonacci(primitive_poly(n).unwrap());
+        let skip = SkipCircuit::new(&lfsr, k).unwrap();
+        prop_assert!(skip.matrix().inverse().is_some());
+    }
+
+    /// Expression streaming against concrete simulation, any seed.
+    #[test]
+    fn stream_predicts_cells(n in 3usize..14, raw in any::<u64>(), cycles in 1usize..30) {
+        let mut lfsr = Lfsr::fibonacci(primitive_poly(n).unwrap());
+        let seed = BitVec::from_u128(n, (raw as u128) & ((1u128 << n) - 1));
+        lfsr.load(&seed);
+        let mut stream = ExpressionStream::new(&lfsr);
+        for _ in 0..cycles {
+            lfsr.step();
+            stream.step();
+        }
+        for i in 0..n {
+            prop_assert_eq!(stream.cell_expr(i).dot(&seed), lfsr.state().get(i));
+        }
+    }
+
+    /// Phase shifter evaluation is linear in the state.
+    #[test]
+    fn phase_shifter_is_linear(
+        hw_seed in any::<u64>(),
+        a in seed_for(16),
+        b in seed_for(16),
+    ) {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(hw_seed);
+        let ps = PhaseShifter::synthesize(16, 8, 3, &mut rng).unwrap();
+        let mut ab = a.clone();
+        ab.xor_with(&b);
+        let mut sum = ps.outputs(&a);
+        sum.xor_with(&ps.outputs(&b));
+        prop_assert_eq!(ps.outputs(&ab), sum);
+    }
+
+    /// XOR network synthesis is exact for arbitrary matrices and never
+    /// worse than the naive chain implementation.
+    #[test]
+    fn xor_network_exact_and_no_worse(
+        rows in proptest::collection::vec(seed_for(14), 1..12),
+        input in seed_for(14),
+    ) {
+        let m = BitMatrix::from_rows(rows);
+        let net = XorNetwork::synthesize(&m);
+        prop_assert_eq!(net.eval(&input), m.mul_vec(&input));
+        let naive: usize = (0..m.row_count())
+            .map(|r| m.row(r).count_ones().saturating_sub(1))
+            .sum();
+        prop_assert!(net.gate_count() <= naive.max(1));
+    }
+
+    /// MISR linearity: signature(a ^ b) = signature(a) ^ signature(b)
+    /// from the zero state, for arbitrary streams.
+    #[test]
+    fn misr_linearity(
+        a in proptest::collection::vec(seed_for(8), 1..20),
+        raw in any::<u64>(),
+    ) {
+        let b: Vec<BitVec> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| BitVec::from_u128(8, ((raw.rotate_left(i as u32)) as u128) & 0xFF))
+            .collect();
+        let lfsr = Lfsr::fibonacci(primitive_poly(16).unwrap());
+        let mut ma = Misr::new(lfsr.clone(), 8).unwrap();
+        ma.compact_all(&a);
+        let mut mb = Misr::new(lfsr.clone(), 8).unwrap();
+        mb.compact_all(&b);
+        let ab: Vec<BitVec> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| {
+                let mut z = x.clone();
+                z.xor_with(y);
+                z
+            })
+            .collect();
+        let mut mab = Misr::new(lfsr, 8).unwrap();
+        mab.compact_all(&ab);
+        let mut expect = ma.signature().clone();
+        expect.xor_with(mb.signature());
+        prop_assert_eq!(mab.signature(), &expect);
+    }
+
+    /// Every tabulated primitive polynomial yields a maximal-period
+    /// LFSR for small degrees (exhaustive period walk).
+    #[test]
+    fn small_lfsrs_are_maximal(n in 3usize..12, galois in any::<bool>()) {
+        let kind = if galois { LfsrKind::Galois } else { LfsrKind::Fibonacci };
+        let mut lfsr = Lfsr::try_new(primitive_poly(n).unwrap(), kind).unwrap();
+        lfsr.load(&BitVec::unit(n, 0));
+        let seed = lfsr.state().clone();
+        let mut period = 0u64;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == &seed {
+                break;
+            }
+            prop_assert!(period <= 1 << n, "runaway");
+        }
+        prop_assert_eq!(period, (1u64 << n) - 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! State Skip circuits and State Skip LFSRs — the paper's contribution
+//! at the hardware level.
+//!
+//! For an LFSR with transition matrix `T`, the expressions
+//! `F_0^k .. F_{n-1}^k` of the paper's equation (1) are exactly the rows
+//! of `T^k`: the state `k` cycles ahead is a fixed linear function of
+//! the current state, independent of what the state is. The *State Skip
+//! circuit* materialises that function as an XOR network behind a 2:1
+//! multiplexer per cell (Fig. 2), so the LFSR advances by `k` states per
+//! clock when Mode = State Skip.
+
+use std::error::Error;
+use std::fmt;
+
+use ss_gf2::{BitMatrix, BitVec};
+
+use crate::xor_network::XorNetwork;
+use crate::Lfsr;
+
+/// Error constructing a [`SkipCircuit`] or [`StateSkipLfsr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipError {
+    /// The speedup factor `k` must be at least 1.
+    ZeroSpeedup,
+}
+
+impl fmt::Display for SkipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipError::ZeroSpeedup => write!(f, "speedup factor k must be >= 1"),
+        }
+    }
+}
+
+impl Error for SkipError {}
+
+/// The linear map `T^k` of an LFSR, packaged as hardware-aware data.
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::{primitive_poly, BitVec};
+/// use ss_lfsr::{Lfsr, SkipCircuit};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut lfsr = Lfsr::fibonacci(primitive_poly(8)?);
+/// let skip = SkipCircuit::new(&lfsr, 5)?;
+/// lfsr.load(&BitVec::from_u128(8, 0xA5));
+/// let jumped = skip.jump(lfsr.state());
+/// lfsr.step_by(5);
+/// assert_eq!(jumped, *lfsr.state());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipCircuit {
+    k: u64,
+    matrix: BitMatrix,
+}
+
+impl SkipCircuit {
+    /// Builds the State Skip circuit for speedup factor `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipError::ZeroSpeedup`] if `k == 0`.
+    pub fn new(lfsr: &Lfsr, k: u64) -> Result<Self, SkipError> {
+        if k == 0 {
+            return Err(SkipError::ZeroSpeedup);
+        }
+        Ok(SkipCircuit {
+            k,
+            matrix: lfsr.transition_matrix().pow(k),
+        })
+    }
+
+    /// The speedup factor `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The matrix `T^k` (row `i` = expression `F_i^k`).
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// Computes the state `k` cycles ahead of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the LFSR size.
+    pub fn jump(&self, state: &BitVec) -> BitVec {
+        self.matrix.mul_vec(state)
+    }
+
+    /// 2-input XOR count of the naive (no-sharing) implementation:
+    /// each cell with `w` terms needs `w - 1` XORs.
+    pub fn raw_xor2_count(&self) -> usize {
+        self.matrix
+            .iter_rows()
+            .map(|r| r.count_ones().saturating_sub(1))
+            .sum()
+    }
+
+    /// Synthesises the circuit as a shared XOR network (greedy common
+    /// subexpression extraction). This is what the paper's
+    /// gate-equivalent numbers are based on.
+    pub fn synthesize(&self) -> XorNetwork {
+        XorNetwork::synthesize(&self.matrix)
+    }
+}
+
+/// An LFSR extended with a State Skip circuit and the per-cell 2:1
+/// multiplexers of the paper's Fig. 2.
+///
+/// `step()` advances one state (Normal mode); `jump()` advances `k`
+/// states in one clock (State Skip mode). Use
+/// [`advance_states`](StateSkipLfsr::advance_states) to traverse an
+/// arbitrary gap with the minimum number of clocks (skips first, then
+/// normal steps for the remainder).
+#[derive(Debug, Clone)]
+pub struct StateSkipLfsr {
+    lfsr: Lfsr,
+    skip: SkipCircuit,
+}
+
+impl StateSkipLfsr {
+    /// Wraps `lfsr` with a State Skip circuit of speedup `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkipError::ZeroSpeedup`] if `k == 0`.
+    pub fn new(lfsr: Lfsr, k: u64) -> Result<Self, SkipError> {
+        let skip = SkipCircuit::new(&lfsr, k)?;
+        Ok(StateSkipLfsr { lfsr, skip })
+    }
+
+    /// Number of cells.
+    pub fn size(&self) -> usize {
+        self.lfsr.size()
+    }
+
+    /// The speedup factor `k`.
+    pub fn k(&self) -> u64 {
+        self.skip.k()
+    }
+
+    /// The wrapped LFSR.
+    pub fn lfsr(&self) -> &Lfsr {
+        &self.lfsr
+    }
+
+    /// The skip circuit.
+    pub fn skip_circuit(&self) -> &SkipCircuit {
+        &self.skip
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &BitVec {
+        self.lfsr.state()
+    }
+
+    /// Loads a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed width differs from the LFSR size.
+    pub fn load(&mut self, seed: &BitVec) {
+        self.lfsr.load(seed);
+    }
+
+    /// One clock in Normal mode: advance 1 state.
+    pub fn step(&mut self) {
+        self.lfsr.step();
+    }
+
+    /// One clock in State Skip mode: advance `k` states.
+    pub fn jump(&mut self) {
+        let next = self.skip.jump(self.lfsr.state());
+        self.lfsr.load(&next);
+    }
+
+    /// Advances exactly `states` states using as few clocks as
+    /// possible: `states / k` skip clocks then `states % k` normal
+    /// clocks. Returns the number of clocks spent.
+    pub fn advance_states(&mut self, states: u64) -> u64 {
+        let k = self.skip.k();
+        let skips = states / k;
+        let remainder = states % k;
+        for _ in 0..skips {
+            self.jump();
+        }
+        for _ in 0..remainder {
+            self.step();
+        }
+        skips + remainder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LfsrKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ss_gf2::primitive_poly;
+
+    #[test]
+    fn zero_speedup_rejected() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(5).unwrap());
+        assert!(matches!(SkipCircuit::new(&lfsr, 0), Err(SkipError::ZeroSpeedup)));
+        assert!(matches!(
+            StateSkipLfsr::new(lfsr, 0),
+            Err(SkipError::ZeroSpeedup)
+        ));
+    }
+
+    #[test]
+    fn k_equals_one_is_normal_step() {
+        let mut lfsr = Lfsr::fibonacci(primitive_poly(7).unwrap());
+        lfsr.load(&BitVec::from_u128(7, 0x55));
+        let skip = SkipCircuit::new(&lfsr, 1).unwrap();
+        let jumped = skip.jump(lfsr.state());
+        lfsr.step();
+        assert_eq!(jumped, *lfsr.state());
+    }
+
+    #[test]
+    fn jump_equals_k_steps_for_many_k() {
+        let mut rng = SmallRng::seed_from_u64(314);
+        for kind in [LfsrKind::Fibonacci, LfsrKind::Galois] {
+            for k in [2u64, 3, 8, 24, 100] {
+                let mut lfsr = Lfsr::try_new(primitive_poly(16).unwrap(), kind).unwrap();
+                lfsr.load(&BitVec::random(16, &mut rng));
+                let skip = SkipCircuit::new(&lfsr, k).unwrap();
+                let jumped = skip.jump(lfsr.state());
+                lfsr.step_by(k);
+                assert_eq!(jumped, *lfsr.state(), "{kind} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_relation_holds_from_any_state() {
+        // The paper's key point: F^k depends only on the polynomial and
+        // k, not on the state. Verify for several states.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let lfsr0 = Lfsr::fibonacci(primitive_poly(12).unwrap());
+        let skip = SkipCircuit::new(&lfsr0, 7).unwrap();
+        for _ in 0..20 {
+            let mut lfsr = lfsr0.clone();
+            lfsr.load(&BitVec::random(12, &mut rng));
+            let jumped = skip.jump(lfsr.state());
+            lfsr.step_by(7);
+            assert_eq!(jumped, *lfsr.state());
+        }
+    }
+
+    #[test]
+    fn state_skip_lfsr_interleaves_modes() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let lfsr = Lfsr::fibonacci(primitive_poly(10).unwrap());
+        let mut ss = StateSkipLfsr::new(lfsr.clone(), 6).unwrap();
+        let seed = BitVec::random(10, &mut rng);
+        ss.load(&seed);
+        // normal, skip, normal, skip => 1 + 6 + 1 + 6 = 14 states
+        ss.step();
+        ss.jump();
+        ss.step();
+        ss.jump();
+        let mut reference = lfsr;
+        reference.load(&seed);
+        reference.step_by(14);
+        assert_eq!(ss.state(), reference.state());
+    }
+
+    #[test]
+    fn advance_states_exact_landing() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        for gap in [0u64, 1, 5, 6, 7, 23, 24, 25, 100] {
+            let lfsr = Lfsr::fibonacci(primitive_poly(9).unwrap());
+            let mut ss = StateSkipLfsr::new(lfsr.clone(), 6).unwrap();
+            let seed = BitVec::random(9, &mut rng);
+            ss.load(&seed);
+            let clocks = ss.advance_states(gap);
+            assert_eq!(clocks, gap / 6 + gap % 6, "clock count for gap {gap}");
+            let mut reference = lfsr;
+            reference.load(&seed);
+            reference.step_by(gap);
+            assert_eq!(ss.state(), reference.state(), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn skip_matrix_is_invertible() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(8).unwrap());
+        let skip = SkipCircuit::new(&lfsr, 13).unwrap();
+        assert!(skip.matrix().inverse().is_some());
+    }
+
+    #[test]
+    fn raw_xor_count_definition() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(8).unwrap());
+        let skip = SkipCircuit::new(&lfsr, 9).unwrap();
+        let expected: usize = skip
+            .matrix()
+            .iter_rows()
+            .map(|r| r.count_ones().saturating_sub(1))
+            .sum();
+        assert_eq!(skip.raw_xor2_count(), expected);
+        assert!(skip.raw_xor2_count() > 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Multi-output XOR network synthesis with common-subexpression
+//! extraction.
+//!
+//! A State Skip circuit is a dense linear map: for an n-bit LFSR and a
+//! moderate `k`, each of the n outputs is the XOR of ~n/2 cells.
+//! Implemented naively that costs O(n²/2) XOR gates — far more than the
+//! 52–119 gate equivalents the paper reports for s13207. Synthesis
+//! tools close that gap by sharing sub-XORs between outputs; this
+//! module reproduces the effect with the classic greedy pair-extraction
+//! heuristic (Paar's algorithm): repeatedly materialise the pair of
+//! signals that co-occurs in the most outputs as a new gate.
+
+use std::collections::HashMap;
+
+use ss_gf2::BitMatrix;
+
+/// One 2-input XOR gate in a synthesised [`XorNetwork`].
+///
+/// Signal numbering: `0..inputs` are the network inputs; gate `g`
+/// produces signal `inputs + g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorGate {
+    /// First input signal.
+    pub a: usize,
+    /// Second input signal.
+    pub b: usize,
+}
+
+/// A synthesised multi-output XOR network.
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::{BitMatrix, BitVec};
+/// use ss_lfsr::XorNetwork;
+///
+/// // two outputs sharing the pair (0,1):
+/// let m = BitMatrix::from_rows(vec![
+///     BitVec::from_bits([true, true, true, false]),
+///     BitVec::from_bits([true, true, false, true]),
+/// ]);
+/// let net = XorNetwork::synthesize(&m);
+/// assert_eq!(net.gate_count(), 3); // t=0^1, o0=t^2, o1=t^3 (naive: 4)
+/// let out = net.eval(&BitVec::from_bits([true, false, true, true]));
+/// assert_eq!(out, m.mul_vec(&BitVec::from_bits([true, false, true, true])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorNetwork {
+    inputs: usize,
+    gates: Vec<XorGate>,
+    /// For each output: `None` = constant 0, `Some(sig)` = that signal.
+    outputs: Vec<Option<usize>>,
+}
+
+impl XorNetwork {
+    /// Synthesises a network computing `matrix * input` (each row is
+    /// one output's support set) using greedy pair sharing.
+    pub fn synthesize(matrix: &BitMatrix) -> Self {
+        let inputs = matrix.col_count();
+        let mut rows: Vec<Vec<usize>> = matrix
+            .iter_rows()
+            .map(|r| r.iter_ones().collect())
+            .collect();
+        let mut gates: Vec<XorGate> = Vec::new();
+
+        // Greedy CSE: extract the most frequent co-occurring pair.
+        loop {
+            let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+            for row in &rows {
+                for i in 0..row.len() {
+                    for j in i + 1..row.len() {
+                        *counts.entry((row[i], row[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+            let best = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                // deterministic tie-break: highest count, then smallest pair
+                .min_by_key(|&((a, b), c)| (usize::MAX - c, a, b));
+            let Some(((a, b), _)) = best else { break };
+            let new_sig = inputs + gates.len();
+            gates.push(XorGate { a, b });
+            for row in &mut rows {
+                let has_a = row.binary_search(&a).is_ok();
+                let has_b = row.binary_search(&b).is_ok();
+                if has_a && has_b {
+                    row.retain(|&s| s != a && s != b);
+                    let pos = row.partition_point(|&s| s < new_sig);
+                    row.insert(pos, new_sig);
+                }
+            }
+        }
+
+        // Reduce each remaining row with a balanced XOR tree.
+        let mut outputs = Vec::with_capacity(rows.len());
+        for row in rows {
+            outputs.push(reduce_balanced(&row, inputs, &mut gates));
+        }
+
+        XorNetwork {
+            inputs,
+            gates,
+            outputs,
+        }
+    }
+
+    /// Number of network inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of 2-input XOR gates after sharing.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates, in topological order (a gate only references inputs
+    /// or earlier gates).
+    pub fn gates(&self) -> &[XorGate] {
+        &self.gates
+    }
+
+    /// The signal driving output `j` (`None` = constant 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn output_signal(&self, j: usize) -> Option<usize> {
+        self.outputs[j]
+    }
+
+    /// Logic depth in XOR levels (0 for a pure-wire network).
+    pub fn depth(&self) -> usize {
+        let mut depths = vec![0usize; self.inputs + self.gates.len()];
+        for (g, gate) in self.gates.iter().enumerate() {
+            depths[self.inputs + g] = depths[gate.a].max(depths[gate.b]) + 1;
+        }
+        self.outputs
+            .iter()
+            .flatten()
+            .map(|&sig| depths[sig])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the network on a concrete input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_count()`.
+    pub fn eval(&self, input: &ss_gf2::BitVec) -> ss_gf2::BitVec {
+        assert_eq!(input.len(), self.inputs, "input width mismatch");
+        let mut values = Vec::with_capacity(self.inputs + self.gates.len());
+        values.extend(input.iter());
+        for gate in &self.gates {
+            let v = values[gate.a] ^ values[gate.b];
+            values.push(v);
+        }
+        self.outputs
+            .iter()
+            .map(|o| o.map(|sig| values[sig]).unwrap_or(false))
+            .collect()
+    }
+}
+
+/// Reduces a support set to one signal with a balanced tree of XORs
+/// (signal ids follow the `inputs + gate_index` convention). Returns
+/// `None` for an empty set.
+fn reduce_balanced(row: &[usize], inputs: usize, gates: &mut Vec<XorGate>) -> Option<usize> {
+    match row.len() {
+        0 => None,
+        1 => Some(row[0]),
+        _ => {
+            let mut level: Vec<usize> = row.to_vec();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for chunk in level.chunks(2) {
+                    if let [a, b] = *chunk {
+                        gates.push(XorGate { a, b });
+                        next.push(inputs + gates.len() - 1);
+                    } else {
+                        next.push(chunk[0]);
+                    }
+                }
+                level = next;
+            }
+            Some(level[0])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ss_gf2::{BitMatrix, BitVec};
+
+    #[test]
+    fn empty_and_wire_outputs() {
+        let m = BitMatrix::from_rows(vec![
+            BitVec::zeros(3),
+            BitVec::from_bits([false, true, false]),
+        ]);
+        let net = XorNetwork::synthesize(&m);
+        assert_eq!(net.gate_count(), 0);
+        assert_eq!(net.depth(), 0);
+        assert_eq!(net.output_signal(0), None);
+        assert_eq!(net.output_signal(1), Some(1));
+        let out = net.eval(&BitVec::from_bits([true, true, true]));
+        assert!(!out.get(0));
+        assert!(out.get(1));
+    }
+
+    #[test]
+    fn single_dense_row_uses_w_minus_1_gates() {
+        let m = BitMatrix::from_rows(vec![BitVec::ones(7)]);
+        let net = XorNetwork::synthesize(&m);
+        assert_eq!(net.gate_count(), 6);
+        // balanced tree of 7 leaves has depth 3
+        assert_eq!(net.depth(), 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let v = BitVec::random(7, &mut rng);
+            assert_eq!(net.eval(&v), m.mul_vec(&v));
+        }
+    }
+
+    #[test]
+    fn sharing_beats_naive_on_structured_rows() {
+        // 4 outputs all containing {0,1,2}: naive = 4*3-? = 4 rows of
+        // weight 4 -> 12 gates; with sharing the common triple costs 2
+        // gates once plus 1 gate per row = 6.
+        let rows = (0..4)
+            .map(|i| {
+                let mut r = BitVec::zeros(8);
+                r.set(0, true);
+                r.set(1, true);
+                r.set(2, true);
+                r.set(4 + i, true);
+                r
+            })
+            .collect();
+        let m = BitMatrix::from_rows(rows);
+        let naive: usize = m.iter_rows().map(|r| r.count_ones() - 1).sum();
+        let net = XorNetwork::synthesize(&m);
+        assert!(net.gate_count() < naive, "{} !< {naive}", net.gate_count());
+        assert!(net.gate_count() <= 6);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let v = BitVec::random(8, &mut rng);
+            assert_eq!(net.eval(&v), m.mul_vec(&v));
+        }
+    }
+
+    #[test]
+    fn random_matrices_evaluate_correctly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for trial in 0..10 {
+            let m = BitMatrix::random(12, 16, &mut rng);
+            let net = XorNetwork::synthesize(&m);
+            assert_eq!(net.input_count(), 16);
+            assert_eq!(net.output_count(), 12);
+            for _ in 0..5 {
+                let v = BitVec::random(16, &mut rng);
+                assert_eq!(net.eval(&v), m.mul_vec(&v), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn gates_are_topologically_ordered() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = BitMatrix::random(10, 10, &mut rng);
+        let net = XorNetwork::synthesize(&m);
+        for (g, gate) in net.gates().iter().enumerate() {
+            let sig = net.input_count() + g;
+            assert!(gate.a < sig && gate.b < sig, "gate {g} references later signal");
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = BitMatrix::random(9, 9, &mut rng);
+        let a = XorNetwork::synthesize(&m);
+        let b = XorNetwork::synthesize(&m);
+        assert_eq!(a.gate_count(), b.gate_count());
+        assert_eq!(a.gates(), b.gates());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for cubes, scan geometry and test sets.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use ss_gf2::BitVec;
+
+use crate::{weighted_transitions, ScanConfig, TestCube, TestSet};
+
+/// A random cube as a `01X` string.
+fn cube_string(len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('X')], len)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parse/display round-trip for arbitrary cubes.
+    #[test]
+    fn cube_text_roundtrip(text in cube_string(40)) {
+        let cube: TestCube = text.parse().unwrap();
+        prop_assert_eq!(cube.to_string(), text);
+    }
+
+    /// A cube always matches its own random fills, and a cube with at
+    /// least one specified bit never matches the fill's complement.
+    #[test]
+    fn fills_match_their_cube(text in cube_string(32), fill_seed in any::<u64>()) {
+        let cube: TestCube = text.parse().unwrap();
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(fill_seed);
+        let fill = cube.random_fill(&mut rng);
+        prop_assert!(cube.matches(&fill));
+        if cube.specified_count() > 0 {
+            let mut complement = fill.clone();
+            complement.xor_with(&BitVec::ones(32));
+            prop_assert!(!cube.matches(&complement));
+        }
+    }
+
+    /// Merge is commutative, and the merged cube's matches are exactly
+    /// the intersection of the parents' match sets.
+    #[test]
+    fn merge_is_match_intersection(
+        a_text in cube_string(12),
+        b_text in cube_string(12),
+        probe_raw in any::<u16>(),
+    ) {
+        let a: TestCube = a_text.parse().unwrap();
+        let b: TestCube = b_text.parse().unwrap();
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        let probe = BitVec::from_u128(12, (probe_raw as u128) & 0xFFF);
+        match a.merge(&b) {
+            Some(m) => {
+                prop_assert_eq!(m.matches(&probe), a.matches(&probe) && b.matches(&probe));
+            }
+            None => {
+                // incompatible: no vector matches both
+                prop_assert!(!(a.matches(&probe) && b.matches(&probe)));
+            }
+        }
+    }
+
+    /// Scan geometry mappings are mutually inverse bijections.
+    #[test]
+    fn scan_mappings_are_bijective(chains in 1usize..10, depth in 1usize..20) {
+        let cfg = ScanConfig::new(chains, depth).unwrap();
+        let mut seen = vec![false; cfg.cells()];
+        for chain in 0..chains {
+            for pos in 0..depth {
+                let cell = cfg.cell_index(chain, pos);
+                prop_assert!(!seen[cell], "duplicate cell {}", cell);
+                seen[cell] = true;
+                prop_assert_eq!(cfg.chain_of(cell), (chain, pos));
+            }
+        }
+        for cycle in 0..depth {
+            prop_assert_eq!(cfg.load_cycle(cfg.position_loaded_at(cycle)), cycle);
+        }
+    }
+
+    /// Test-set text serialisation round-trips arbitrary sets.
+    #[test]
+    fn test_set_text_roundtrip(
+        cubes in proptest::collection::vec(cube_string(12), 0..12),
+    ) {
+        let mut set = TestSet::new(ScanConfig::new(3, 4).unwrap());
+        for text in &cubes {
+            set.push(text.parse().unwrap()).unwrap();
+        }
+        let parsed = TestSet::from_text(&set.to_text()).unwrap();
+        prop_assert_eq!(parsed, set);
+    }
+
+    /// drop_covered never removes coverage: every vector matching some
+    /// original cube still matches a surviving cube that implies it...
+    /// precisely: for every removed cube there is a surviving cube
+    /// whose matches are a subset of the removed one's.
+    #[test]
+    fn drop_covered_preserves_semantics(
+        cubes in proptest::collection::vec(cube_string(8), 1..10),
+        probe_raw in any::<u8>(),
+    ) {
+        let mut set = TestSet::new(ScanConfig::new(2, 4).unwrap());
+        for text in &cubes {
+            set.push(text.parse().unwrap()).unwrap();
+        }
+        let original: Vec<TestCube> = set.cubes().to_vec();
+        set.drop_covered();
+        let probe = BitVec::from_u128(8, probe_raw as u128);
+        // if the probe satisfies every surviving cube, it satisfies
+        // every original cube too (the survivors are the strongest)
+        let survives = set.iter().all(|c| c.matches(&probe));
+        if survives {
+            for cube in &original {
+                prop_assert!(
+                    cube.matches(&probe),
+                    "dropped cube {} lost coverage",
+                    cube
+                );
+            }
+        }
+    }
+
+    /// WTM is invariant under complementing the whole vector and
+    /// bounded by the analytic maximum.
+    #[test]
+    fn wtm_bounds_and_symmetry(raw in proptest::collection::vec(any::<bool>(), 24)) {
+        let cfg = ScanConfig::new(4, 6).unwrap();
+        let v = BitVec::from_bits(raw);
+        let mut complement = v.clone();
+        complement.xor_with(&BitVec::ones(24));
+        let w = weighted_transitions(&v, cfg);
+        prop_assert_eq!(w, weighted_transitions(&complement, cfg));
+        prop_assert!(w <= crate::max_wtm(cfg));
+    }
+}

@@ -1,0 +1,210 @@
+//! Scan-chain geometry and the cube-bit ↔ clock-cycle mapping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`ScanConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanConfigError {
+    /// Zero scan chains requested.
+    ZeroChains,
+    /// Zero-depth scan chains requested.
+    ZeroDepth,
+}
+
+impl fmt::Display for ScanConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanConfigError::ZeroChains => write!(f, "scan configuration needs >= 1 chain"),
+            ScanConfigError::ZeroDepth => write!(f, "scan chains need depth >= 1"),
+        }
+    }
+}
+
+impl Error for ScanConfigError {}
+
+/// Scan-chain geometry: `chains` (the paper's `m`) balanced chains of
+/// `depth` cells each (the paper's `r`).
+///
+/// Cube positions are flattened as `cell = chain * depth + position`
+/// with `position` counted from the scan input (position 0 is loaded
+/// *last*). During decompression the phase shifter output for chain
+/// `c` at in-vector clock `t` supplies the bit that ends the load at
+/// depth `depth - 1 - t`; [`ScanConfig::load_cycle`] encodes that
+/// relation and is used identically by the seed-solver and the
+/// cycle-accurate decompressor, so the two can never disagree.
+///
+/// # Example
+///
+/// ```
+/// use ss_testdata::ScanConfig;
+///
+/// # fn main() -> Result<(), ss_testdata::ScanConfigError> {
+/// let cfg = ScanConfig::new(32, 22)?;
+/// assert_eq!(cfg.cells(), 704);
+/// let (chain, pos) = cfg.chain_of(700);
+/// assert_eq!(cfg.cell_index(chain, pos), 700);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScanConfig {
+    chains: usize,
+    depth: usize,
+}
+
+impl ScanConfig {
+    /// Creates a configuration of `chains` chains, each `depth` deep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanConfigError`] if either dimension is zero.
+    pub fn new(chains: usize, depth: usize) -> Result<Self, ScanConfigError> {
+        if chains == 0 {
+            return Err(ScanConfigError::ZeroChains);
+        }
+        if depth == 0 {
+            return Err(ScanConfigError::ZeroDepth);
+        }
+        Ok(ScanConfig { chains, depth })
+    }
+
+    /// Builds the smallest balanced configuration with `chains` chains
+    /// covering at least `cells` scan cells (`depth = ceil(cells /
+    /// chains)`), padding the remainder — how the paper maps the
+    /// ISCAS'89 cores onto 32 chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanConfigError`] if `chains == 0` or `cells == 0`.
+    pub fn for_cells(chains: usize, cells: usize) -> Result<Self, ScanConfigError> {
+        if cells == 0 {
+            return Err(ScanConfigError::ZeroDepth);
+        }
+        ScanConfig::new(chains, cells.div_ceil(chains.max(1)))
+    }
+
+    /// Number of scan chains `m`.
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Chain depth `r` (cells per chain; also clocks per vector load).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total scan cells `m * r` (the test vector width).
+    pub fn cells(&self) -> usize {
+        self.chains * self.depth
+    }
+
+    /// Flattened cell index of `(chain, position)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain >= chains()` or `position >= depth()`.
+    pub fn cell_index(&self, chain: usize, position: usize) -> usize {
+        assert!(chain < self.chains, "chain {chain} out of range");
+        assert!(position < self.depth, "position {position} out of range");
+        chain * self.depth + position
+    }
+
+    /// Inverse of [`cell_index`](ScanConfig::cell_index):
+    /// `(chain, position)` of a flattened cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cells()`.
+    pub fn chain_of(&self, cell: usize) -> (usize, usize) {
+        assert!(cell < self.cells(), "cell {cell} out of range");
+        (cell / self.depth, cell % self.depth)
+    }
+
+    /// The in-vector clock cycle (0-based) at which the bit destined
+    /// for `position` must appear at the chain input: position 0 (the
+    /// cell nearest the scan input) is loaded last, at cycle
+    /// `depth - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= depth()`.
+    pub fn load_cycle(&self, position: usize) -> usize {
+        assert!(position < self.depth, "position {position} out of range");
+        self.depth - 1 - position
+    }
+
+    /// The scan position that the bit appearing at in-vector clock
+    /// `cycle` ends up in. Inverse of [`load_cycle`](ScanConfig::load_cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle >= depth()`.
+    pub fn position_loaded_at(&self, cycle: usize) -> usize {
+        assert!(cycle < self.depth, "cycle {cycle} out of range");
+        self.depth - 1 - cycle
+    }
+}
+
+impl fmt::Display for ScanConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} chains x {} cells", self.chains, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(ScanConfig::new(0, 5), Err(ScanConfigError::ZeroChains));
+        assert_eq!(ScanConfig::new(5, 0), Err(ScanConfigError::ZeroDepth));
+        assert!(ScanConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn for_cells_rounds_up() {
+        let cfg = ScanConfig::for_cells(32, 247).unwrap();
+        assert_eq!(cfg.chains(), 32);
+        assert_eq!(cfg.depth(), 8);
+        assert!(cfg.cells() >= 247);
+        // exact division
+        let cfg = ScanConfig::for_cells(32, 704).unwrap();
+        assert_eq!(cfg.depth(), 22);
+        assert!(ScanConfig::for_cells(32, 0).is_err());
+    }
+
+    #[test]
+    fn cell_index_roundtrip() {
+        let cfg = ScanConfig::new(7, 13).unwrap();
+        for cell in 0..cfg.cells() {
+            let (chain, pos) = cfg.chain_of(cell);
+            assert_eq!(cfg.cell_index(chain, pos), cell);
+        }
+    }
+
+    #[test]
+    fn load_cycle_is_involution_partner() {
+        let cfg = ScanConfig::new(3, 9).unwrap();
+        for pos in 0..9 {
+            assert_eq!(cfg.position_loaded_at(cfg.load_cycle(pos)), pos);
+        }
+        // first-loaded bit ends deepest
+        assert_eq!(cfg.load_cycle(cfg.depth() - 1), 0);
+        assert_eq!(cfg.load_cycle(0), cfg.depth() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_index_bounds() {
+        let cfg = ScanConfig::new(2, 3).unwrap();
+        cfg.cell_index(2, 0);
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let cfg = ScanConfig::new(32, 22).unwrap();
+        assert_eq!(cfg.to_string(), "32 chains x 22 cells");
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: compress a synthetic test set with State Skip LFSRs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small statistical test set, runs the full pipeline
+//! (window-based reseeding -> embedding detection -> segment selection
+//! -> State Skip traversal), then proves with the cycle-accurate
+//! decompressor that the shortened sequence still applies every cube.
+
+use ss_core::{Decompressor, Pipeline, PipelineConfig};
+use ss_testdata::{generate_test_set, CubeProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = CubeProfile::mini();
+    let set = generate_test_set(&profile, 2026);
+    let stats = set.stats();
+    println!(
+        "test set `{}`: {} cubes over {} cells, smax = {}, mean specified = {:.1}",
+        profile.name,
+        stats.cube_count,
+        set.config().cells(),
+        stats.smax,
+        stats.mean_specified
+    );
+
+    let config = PipelineConfig {
+        window: 50,
+        segment: 5,
+        speedup: 10,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(&set, config)?;
+    let report = pipeline.run()?;
+    println!("{}", report.summary());
+    println!(
+        "  useful segments: {} over {} seeds (mode-select terms: {})",
+        report.plan.total_useful(),
+        report.seeds,
+        report.mode_select.term_count()
+    );
+    println!(
+        "  hardware: skip circuit {:.0} GE, mode select {:.0} GE, shared blocks {:.0} GE",
+        report.cost.skip_ge(),
+        report.cost.mode_select_ge(),
+        report.cost.shared_ge()
+    );
+
+    // prove it: run the decompressor and check coverage
+    let mut decompressor = Decompressor::new(
+        pipeline.lfsr().clone(),
+        config.speedup,
+        pipeline.shifter().clone(),
+        set.config(),
+        report.mode_select.clone(),
+    );
+    let trace = decompressor.run(&report.encoding, &report.plan);
+    println!(
+        "decompressor: {} clocks, {} vectors applied ({} garbage), coverage: {}",
+        trace.clocks,
+        trace.tsl(),
+        trace.garbage_vectors,
+        if trace.covers(&set) { "all cubes applied" } else { "MISSING CUBES" }
+    );
+    assert!(trace.covers(&set));
+    Ok(())
+}

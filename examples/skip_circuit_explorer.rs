@@ -1,0 +1,48 @@
+//! Explore State Skip circuit hardware cost across speedup factors.
+//!
+//! ```text
+//! cargo run --release --example skip_circuit_explorer
+//! ```
+//!
+//! Sweeps `k` for the s13207-sized LFSR (n = 24) and prints the raw
+//! (unshared) XOR count, the shared-network gate count after common
+//! subexpression extraction, logic depth and gate equivalents — the
+//! quantities behind the paper's "52 to 119 GE for k = 12..32" remark.
+//! Also emits the RTL of one configuration.
+
+use ss_core::{emit_decompressor_rtl, Table};
+use ss_gf2::primitive_poly;
+use ss_lfsr::{CostModel, GateCount, Lfsr, PhaseShifter, SkipCircuit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24; // the paper's s13207 LFSR size
+    let lfsr = Lfsr::fibonacci(primitive_poly(n)?);
+    let model = CostModel::default();
+
+    let mut table = Table::new(["k", "raw XOR2", "shared XOR2", "depth", "skip GE (w/ muxes)"]);
+    for k in [2u64, 4, 8, 12, 16, 20, 24, 28, 32] {
+        let skip = SkipCircuit::new(&lfsr, k)?;
+        let net = skip.synthesize();
+        let ge = model.ge(&GateCount::skip_frontend(n, net.gate_count()));
+        table.add_row([
+            k.to_string(),
+            skip.raw_xor2_count().to_string(),
+            net.gate_count().to_string(),
+            net.depth().to_string(),
+            format!("{ge:.0}"),
+        ]);
+    }
+    println!("State Skip circuit cost for a {n}-bit LFSR ({}):", lfsr.poly());
+    println!("{table}");
+
+    let skip = SkipCircuit::new(&lfsr, 10)?;
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+    let shifter = PhaseShifter::synthesize(n, 8, 3, &mut rng)?;
+    let rtl = emit_decompressor_rtl(&lfsr, &skip, &shifter);
+    println!("--- RTL for k = 10 ({} lines) ---", rtl.lines().count());
+    for line in rtl.lines().take(24) {
+        println!("{line}");
+    }
+    println!("...");
+    Ok(())
+}

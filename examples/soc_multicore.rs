@@ -1,0 +1,78 @@
+//! Multi-core SoC decompressor sharing — the paper's Section 4 case
+//! study.
+//!
+//! ```text
+//! cargo run --release --example soc_multicore
+//! ```
+//!
+//! The paper synthesises one decompressor for a hypothetical SoC
+//! containing all five ISCAS'89 cores (L=200, S=10, k=10): the LFSR,
+//! State Skip circuit, phase shifter and counters are shared; only the
+//! Mode Select unit is per-core. This example reproduces that area
+//! accounting with scaled-down core profiles.
+
+use ss_core::{estimated_core_area_ge, Pipeline, PipelineConfig, SocPlan, Table};
+use ss_testdata::{generate_test_set, CubeProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // scaled profiles keep this example snappy; the bench harness runs
+    // the bigger versions
+    let cores: Vec<CubeProfile> = CubeProfile::paper_circuits()
+        .into_iter()
+        .map(|p| p.scaled(0.12))
+        .collect();
+    let config = PipelineConfig {
+        window: 200,
+        segment: 10,
+        speedup: 10,
+        ..PipelineConfig::default()
+    };
+
+    let mut plan = SocPlan::new();
+    let mut table = Table::new(["core", "seeds", "TDV (bits)", "TSL", "ModeSelect GE"]);
+    let mut soc_core_area = 0.0;
+    for profile in &cores {
+        let set = generate_test_set(profile, 1);
+        let pipeline = Pipeline::new(&set, config)?;
+        let (encodable, dropped) = pipeline.encodable_subset();
+        if !dropped.is_empty() {
+            eprintln!("note: {}: {} unencodable cube(s) dropped", profile.name, dropped.len());
+        }
+        let report = Pipeline::new(&encodable, config)?.run()?;
+        plan.add_core(profile.name, &report);
+        soc_core_area += estimated_core_area_ge(profile.scan_cells);
+        table.add_row([
+            profile.name.to_string(),
+            report.seeds.to_string(),
+            report.tdv.to_string(),
+            report.tsl_proposed.to_string(),
+            format!("{:.0}", report.cost.mode_select_ge()),
+        ]);
+    }
+    println!("{table}");
+    let (ms_lo, ms_hi) = plan.mode_select_range();
+    println!(
+        "shared blocks (sized for the largest core): {:.0} GE + State Skip {:.0} GE",
+        plan.shared_ge(),
+        plan.skip_ge()
+    );
+    println!(
+        "per-core Mode Select: {ms_lo:.0}-{ms_hi:.0} GE, total {:.0} GE",
+        plan.mode_select_total_ge()
+    );
+    println!(
+        "SoC decompressor: {:.0} GE shared vs {:.0} GE if replicated per core",
+        plan.total_ge(),
+        plan.unshared_ge()
+    );
+    println!(
+        "decompressor area fraction: {:.1}% of the SoC (paper: 6.6%)",
+        100.0 * plan.area_fraction(soc_core_area)
+    );
+    println!(
+        "SoC totals: TDV {} bits, TSL {} vectors",
+        plan.total_tdv(),
+        plan.total_tsl()
+    );
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: circuit -> ATPG -> encoding -> State Skip
+//! traversal -> decompressor -> fault coverage.
+//!
+//! This is the strongest correctness statement in the workspace: the
+//! *shortened* test sequence produced by the State Skip architecture
+//! detects the same faults as the uncompacted test set it encodes.
+
+use ss_circuit::{
+    generate_uncompacted_test_set, random_circuit, AtpgConfig, CircuitSpec, FaultList,
+    FaultSimulator,
+};
+use ss_core::{Decompressor, Pipeline, PipelineConfig};
+use ss_testdata::{ScanConfig, TestCube, TestSet};
+
+fn build_test_set(circuit: &ss_circuit::Netlist, chains: usize, seed: u64) -> TestSet {
+    let outcome = generate_uncompacted_test_set(circuit, &AtpgConfig::default(), seed);
+    let scan = ScanConfig::for_cells(chains, circuit.input_count()).unwrap();
+    let mut set = TestSet::new(scan);
+    for cube in &outcome.cubes {
+        let mut padded = TestCube::all_x(scan.cells());
+        for (i, bit) in cube.iter_specified() {
+            padded.set(i, bit);
+        }
+        set.push(padded).unwrap();
+    }
+    set.drop_covered();
+    set
+}
+
+#[test]
+fn shortened_sequence_preserves_fault_coverage() {
+    let circuit = random_circuit(&CircuitSpec::tiny(), 21);
+    let set = build_test_set(&circuit, 4, 21);
+    assert!(!set.is_empty());
+
+    let config = PipelineConfig {
+        window: 30,
+        segment: 5,
+        speedup: 6,
+        ..PipelineConfig::default()
+    };
+    let pipeline = Pipeline::new(&set, config).unwrap();
+    let report = pipeline.run().unwrap();
+    let mut decompressor = Decompressor::new(
+        pipeline.lfsr().clone(),
+        config.speedup,
+        pipeline.shifter().clone(),
+        set.config(),
+        report.mode_select.clone(),
+    );
+    let trace = decompressor.run(&report.encoding, &report.plan);
+    assert!(trace.covers(&set), "every cube must be applied");
+
+    // fault coverage of the applied sequence vs the raw cube set
+    let faults = FaultList::collapsed(&circuit);
+    let fsim = FaultSimulator::new(&circuit);
+    let applied: Vec<Vec<bool>> = trace
+        .vectors
+        .iter()
+        .map(|v| (0..circuit.input_count()).map(|i| v.get(i)).collect())
+        .collect();
+    let coverage_applied = fsim.coverage(&faults, &applied);
+
+    // reference: the cubes random-filled (what the test set guarantees)
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+    let reference: Vec<Vec<bool>> = set
+        .iter()
+        .map(|c| {
+            let full = c.random_fill(&mut rng);
+            (0..circuit.input_count()).map(|i| full.get(i)).collect()
+        })
+        .collect();
+    let coverage_reference = fsim.coverage(&faults, &reference);
+
+    assert!(
+        coverage_applied >= coverage_reference - 0.02,
+        "applied sequence coverage {coverage_applied} fell below reference {coverage_reference}"
+    );
+}
+
+#[test]
+fn tsl_improves_with_speedup() {
+    // Exact-landing traversal spends floor(G/k) skips + G mod k normal
+    // clocks, so TSL is not strictly monotone in k (the remainder can
+    // grow); the guaranteed property is TSL(k) <= TSL(1) and a large k
+    // being strictly better than none.
+    let circuit = random_circuit(&CircuitSpec::tiny(), 5);
+    let set = build_test_set(&circuit, 4, 5);
+    let run = |k: u64| {
+        let config = PipelineConfig {
+            window: 24,
+            segment: 4,
+            speedup: k,
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(&set, config).unwrap().run().unwrap().tsl_proposed
+    };
+    let baseline = run(1);
+    for k in [2u64, 4, 8, 16] {
+        assert!(
+            run(k) <= baseline,
+            "k={k}: TSL {} exceeds the k=1 baseline {baseline}",
+            run(k)
+        );
+    }
+    if baseline > 8 {
+        assert!(run(16) < baseline, "a 16x skip should strictly shorten {baseline}");
+    }
+}
+
+#[test]
+fn tdv_is_invariant_under_segment_and_speedup() {
+    // the reduction step never touches the seeds: TDV must be identical
+    // for every (S, k) at fixed L
+    let circuit = random_circuit(&CircuitSpec::tiny(), 9);
+    let set = build_test_set(&circuit, 4, 9);
+    let mut tdv = None;
+    for (s, k) in [(2usize, 3u64), (4, 6), (8, 12)] {
+        let config = PipelineConfig {
+            window: 24,
+            segment: s,
+            speedup: k,
+            ..PipelineConfig::default()
+        };
+        let report = Pipeline::new(&set, config).unwrap().run().unwrap();
+        match tdv {
+            None => tdv = Some(report.tdv),
+            Some(t) => assert_eq!(t, report.tdv, "TDV changed at S={s} k={k}"),
+        }
+    }
+}
