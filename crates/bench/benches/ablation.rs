@@ -34,7 +34,10 @@ fn main() {
             k.to_string(),
             naive.to_string(),
             shared.to_string(),
-            format!("{:.0}%", 100.0 * (1.0 - shared as f64 / naive.max(1) as f64)),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - shared as f64 / naive.max(1) as f64)
+            ),
         ]);
     }
     println!("{cse}");
@@ -61,8 +64,14 @@ fn main() {
         })
         .sum();
     let mut sel = Table::new(["policy", "useful segments"]);
-    sel.add_row(["paper (set A + greedy cover)".to_string(), plan.total_useful().to_string()]);
-    sel.add_row(["naive (intentional placements)".to_string(), naive_useful.to_string()]);
+    sel.add_row([
+        "paper (set A + greedy cover)".to_string(),
+        plan.total_useful().to_string(),
+    ]);
+    sel.add_row([
+        "naive (intentional placements)".to_string(),
+        naive_useful.to_string(),
+    ]);
     println!("{sel}");
     println!("expected: the cover exploits fortuitous embeddings and needs fewer segments.\n");
 
@@ -70,7 +79,11 @@ fn main() {
     let orig = report.tsl_original;
     let trunc = plan.tsl_truncated_only(r).vectors;
     let skip = plan.tsl(20, r).vectors;
-    cut.add_row(["full windows (orig)".to_string(), orig.to_string(), "-".to_string()]);
+    cut.add_row([
+        "full windows (orig)".to_string(),
+        orig.to_string(),
+        "-".to_string(),
+    ]);
     cut.add_row([
         "truncation only ([11]-style)".to_string(),
         trunc.to_string(),

@@ -17,7 +17,13 @@ fn main() {
     banner("Table 1: classical vs window-based LFSR reseeding");
     let windows = [1usize, 50, 200, 500];
     let mut table = Table::new([
-        "circuit", "LFSR", "L", "TDV meas", "TDV paper", "TSL meas", "TSL paper",
+        "circuit",
+        "LFSR",
+        "L",
+        "TDV meas",
+        "TDV paper",
+        "TSL meas",
+        "TSL paper",
     ]);
     let mut total_secs = 0.0;
     for (profile, &(paper_name, paper_n, paper_entries)) in

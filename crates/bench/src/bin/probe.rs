@@ -12,7 +12,9 @@ use ss_testdata::CubeProfile;
 
 fn main() {
     banner("timing probe");
-    let mut table = Table::new(["circuit", "cubes", "L", "seeds", "TDV", "TSL prop", "seconds"]);
+    let mut table = Table::new([
+        "circuit", "cubes", "L", "seeds", "TDV", "TSL prop", "seconds",
+    ]);
     let circuits: Vec<CubeProfile> = std::env::args()
         .nth(1)
         .map(|name| {

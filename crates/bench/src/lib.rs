@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use ss_core::{Pipeline, PipelineConfig, PipelineReport};
+use ss_core::{Engine, PipelineReport};
 use ss_testdata::{generate_test_set, CubeProfile, TestSet};
 
 /// Workload scale factor from `SS_SCALE` (default 0.25, clamped to
@@ -46,15 +46,16 @@ pub fn workload(profile: &CubeProfile) -> TestSet {
     generate_test_set(profile, WORKLOAD_SEED)
 }
 
-/// Runs the full pipeline for a profile at `(L, S, k)`, using the
-/// paper's LFSR size for that circuit. Intrinsically unencodable cubes
-/// (see [`Pipeline::encodable_subset`]) are dropped first and their
-/// count reported on stderr — the paper's real test sets contained
-/// none at these LFSR sizes.
+/// Runs the full State Skip flow for a profile at `(L, S, k)` through
+/// the staged [`Engine`], using the paper's LFSR size for that
+/// circuit. Intrinsically unencodable cubes (see
+/// [`ss_core::HardwareCtx::encodable_subset`]) are dropped first and
+/// their count reported on stderr — the paper's real test sets
+/// contained none at these LFSR sizes.
 ///
 /// # Panics
 ///
-/// Panics on pipeline errors — benches want loud failures.
+/// Panics on engine errors — benches want loud failures.
 pub fn run_profile(
     profile: &CubeProfile,
     set: &TestSet,
@@ -62,16 +63,16 @@ pub fn run_profile(
     segment: usize,
     speedup: u64,
 ) -> PipelineReport {
-    let config = PipelineConfig {
-        window,
-        segment,
-        speedup,
-        lfsr_size: Some(profile.lfsr_size),
-        ..PipelineConfig::default()
-    };
-    let probe = Pipeline::new(set, config)
-        .unwrap_or_else(|e| panic!("{}: pipeline setup failed: {e}", profile.name));
-    let (encodable, dropped) = probe.encodable_subset();
+    let engine = Engine::builder()
+        .window(window)
+        .segment(segment)
+        .speedup(speedup)
+        .lfsr_size(profile.lfsr_size)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: engine setup failed: {e}", profile.name));
+    let (encodable, dropped) = engine
+        .encodable_subset(set)
+        .unwrap_or_else(|e| panic!("{}: hardware synthesis failed: {e}", profile.name));
     if !dropped.is_empty() {
         eprintln!(
             "note: {}: dropped {} intrinsically unencodable cube(s) of {} (n = {})",
@@ -81,10 +82,9 @@ pub fn run_profile(
             profile.lfsr_size
         );
     }
-    Pipeline::new(&encodable, config)
-        .unwrap_or_else(|e| panic!("{}: pipeline setup failed: {e}", profile.name))
-        .run()
-        .unwrap_or_else(|e| panic!("{}: pipeline run failed: {e}", profile.name))
+    engine
+        .run(&encodable)
+        .unwrap_or_else(|e| panic!("{}: engine run failed: {e}", profile.name))
 }
 
 /// Best State-Skip reduction over a parameter sweep, reusing one
@@ -117,7 +117,7 @@ pub fn best_reduction(
         let plan = ss_core::SegmentPlan::build(&report.embedding, segment);
         for &speedup in speedups {
             let prop = plan.tsl(speedup, scan_depth).vectors;
-            if best.map_or(true, |b| prop < b.prop) {
+            if best.is_none_or(|b| prop < b.prop) {
                 best = Some(SweepBest {
                     orig,
                     prop,

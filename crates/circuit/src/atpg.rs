@@ -239,11 +239,23 @@ fn eval_gate5(kind: GateKind, fanins: &[NodeId], values: &[V5]) -> V5 {
     let ins = fanins.iter().map(|&f| values[f]);
     match kind {
         GateKind::And => ins.fold(V5::One, V5::and),
-        GateKind::Nand => fanins.iter().map(|&f| values[f]).fold(V5::One, V5::and).not(),
+        GateKind::Nand => fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(V5::One, V5::and)
+            .not(),
         GateKind::Or => ins.fold(V5::Zero, V5::or),
-        GateKind::Nor => fanins.iter().map(|&f| values[f]).fold(V5::Zero, V5::or).not(),
+        GateKind::Nor => fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(V5::Zero, V5::or)
+            .not(),
         GateKind::Xor => ins.fold(V5::Zero, V5::xor),
-        GateKind::Xnor => fanins.iter().map(|&f| values[f]).fold(V5::Zero, V5::xor).not(),
+        GateKind::Xnor => fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(V5::Zero, V5::xor)
+            .not(),
         GateKind::Not => values[fanins[0]].not(),
         GateKind::Buf => values[fanins[0]],
     }
@@ -479,7 +491,11 @@ mod tests {
         }
         // both heuristics must resolve essentially every fault on a
         // tiny circuit (test vs proven-redundant; aborts are the enemy)
-        assert!(guided_resolved * 20 >= faults.len() * 19, "{guided_resolved}/{}", faults.len());
+        assert!(
+            guided_resolved * 20 >= faults.len() * 19,
+            "{guided_resolved}/{}",
+            faults.len()
+        );
         assert!(plain_resolved * 20 >= faults.len() * 19);
         assert!(guided_found > 0);
     }
@@ -489,7 +505,11 @@ mod tests {
         let n = and_circuit();
         let outcome = generate_uncompacted_test_set(&n, &AtpgConfig::default(), 7);
         assert_eq!(outcome.total, FaultList::collapsed(&n).len());
-        assert!(outcome.coverage() >= 0.99, "coverage {}", outcome.coverage());
+        assert!(
+            outcome.coverage() >= 0.99,
+            "coverage {}",
+            outcome.coverage()
+        );
         assert!(outcome.aborted == 0);
         assert!(!outcome.cubes.is_empty());
         // uncompacted: never more cubes than faults

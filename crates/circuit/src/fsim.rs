@@ -134,7 +134,10 @@ impl<'a> FaultSimulator<'a> {
             let v = if node == fault.node {
                 forced
             } else {
-                let gate = self.netlist.gate(node).expect("cone nodes above the fault are gates");
+                let gate = self
+                    .netlist
+                    .gate(node)
+                    .expect("cone nodes above the fault are gates");
                 let ins = gate
                     .fanins
                     .iter()
@@ -200,7 +203,11 @@ mod tests {
         // faulty scalar sim
         let mut faulty: Vec<bool> = Vec::with_capacity(n.node_count());
         for (i, &b) in pattern.iter().enumerate() {
-            faulty.push(if i == fault.node { fault.stuck.value() } else { b });
+            faulty.push(if i == fault.node {
+                fault.stuck.value()
+            } else {
+                b
+            });
         }
         for (g, gate) in n.gates().iter().enumerate() {
             let node = n.input_count() + g;
@@ -209,11 +216,23 @@ mod tests {
                 let ins = gate.fanins.iter().map(|&f| faulty[f]);
                 match gate.kind {
                     And => ins.fold(true, |a, b| a & b),
-                    Nand => !gate.fanins.iter().map(|&f| faulty[f]).fold(true, |a, b| a & b),
+                    Nand => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| faulty[f])
+                        .fold(true, |a, b| a & b),
                     Or => ins.fold(false, |a, b| a | b),
-                    Nor => !gate.fanins.iter().map(|&f| faulty[f]).fold(false, |a, b| a | b),
+                    Nor => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| faulty[f])
+                        .fold(false, |a, b| a | b),
                     Xor => ins.fold(false, |a, b| a ^ b),
-                    Xnor => !gate.fanins.iter().map(|&f| faulty[f]).fold(false, |a, b| a ^ b),
+                    Xnor => !gate
+                        .fanins
+                        .iter()
+                        .map(|&f| faulty[f])
+                        .fold(false, |a, b| a ^ b),
                     Not => !faulty[gate.fanins[0]],
                     Buf => faulty[gate.fanins[0]],
                 }
@@ -254,7 +273,10 @@ mod tests {
             .collect();
         let detected = fsim.run(&faults, &all_patterns);
         // c17 has no redundant faults; exhaustive patterns detect all
-        assert!(detected.iter().all(|&d| d), "exhaustive set must detect everything");
+        assert!(
+            detected.iter().all(|&d| d),
+            "exhaustive set must detect everything"
+        );
         assert_eq!(fsim.coverage(&faults, &all_patterns), 1.0);
     }
 

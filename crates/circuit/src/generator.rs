@@ -232,8 +232,8 @@ mod tests {
     fn every_input_has_fanout() {
         let n = random_circuit(&CircuitSpec::mini(), 3);
         let fanouts = n.fanouts();
-        for i in 0..n.input_count() {
-            assert!(!fanouts[i].is_empty(), "input {i} is dangling");
+        for (i, fanout) in fanouts.iter().enumerate().take(n.input_count()) {
+            assert!(!fanout.is_empty(), "input {i} is dangling");
         }
     }
 
@@ -241,8 +241,8 @@ mod tests {
     fn no_dead_logic() {
         let n = random_circuit(&CircuitSpec::tiny(), 9);
         let fanouts = n.fanouts();
-        for g in n.input_count()..n.node_count() {
-            let read = !fanouts[g].is_empty();
+        for (g, fanout) in fanouts.iter().enumerate().skip(n.input_count()) {
+            let read = !fanout.is_empty();
             let is_output = n.outputs().contains(&g);
             assert!(read || is_output, "gate node {g} is dead");
         }

@@ -104,6 +104,7 @@ impl V5 {
     }
 
     /// 5-valued NOT.
+    #[allow(clippy::should_implement_trait)] // domain term; V5 is not a bool-like ops type
     pub fn not(self) -> V5 {
         match self {
             V5::Zero => V5::One,

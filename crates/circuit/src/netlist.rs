@@ -91,6 +91,7 @@ pub struct Gate {
 
 /// Error building a [`Netlist`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NetlistError {
     /// A gate referenced a node that does not exist yet.
     ForwardReference {
@@ -174,7 +175,11 @@ impl Netlist {
     ///   defined (this keeps the list topologically ordered).
     /// * [`NetlistError::BadFaninCount`] if the fanin count does not
     ///   suit the kind (unary kinds need exactly 1, others >= 2).
-    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<NodeId>) -> Result<NodeId, NetlistError> {
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
         let node = self.node_count();
         let unary = matches!(kind, GateKind::Not | GateKind::Buf);
         if (unary && fanins.len() != 1) || (!unary && fanins.len() < 2) {
@@ -225,7 +230,8 @@ impl Netlist {
 
     /// The gate driving `node`, or `None` for a primary input.
     pub fn gate(&self, node: NodeId) -> Option<&Gate> {
-        node.checked_sub(self.input_count).and_then(|g| self.gates.get(g))
+        node.checked_sub(self.input_count)
+            .and_then(|g| self.gates.get(g))
     }
 
     /// The gates in topological order (gate `g` drives node
@@ -332,11 +338,23 @@ fn eval_gate_bool(gate: &Gate, values: &[bool]) -> bool {
     let ins = gate.fanins.iter().map(|&f| values[f]);
     match gate.kind {
         GateKind::And => ins.fold(true, |a, b| a & b),
-        GateKind::Nand => !gate.fanins.iter().map(|&f| values[f]).fold(true, |a, b| a & b),
+        GateKind::Nand => !gate
+            .fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(true, |a, b| a & b),
         GateKind::Or => ins.fold(false, |a, b| a | b),
-        GateKind::Nor => !gate.fanins.iter().map(|&f| values[f]).fold(false, |a, b| a | b),
+        GateKind::Nor => !gate
+            .fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(false, |a, b| a | b),
         GateKind::Xor => ins.fold(false, |a, b| a ^ b),
-        GateKind::Xnor => !gate.fanins.iter().map(|&f| values[f]).fold(false, |a, b| a ^ b),
+        GateKind::Xnor => !gate
+            .fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(false, |a, b| a ^ b),
         GateKind::Not => !values[gate.fanins[0]],
         GateKind::Buf => values[gate.fanins[0]],
     }
@@ -346,7 +364,11 @@ fn eval_gate_u64(gate: &Gate, values: &[u64]) -> u64 {
     let ins = gate.fanins.iter().map(|&f| values[f]);
     match gate.kind {
         GateKind::And => ins.fold(u64::MAX, |a, b| a & b),
-        GateKind::Nand => !gate.fanins.iter().map(|&f| values[f]).fold(u64::MAX, |a, b| a & b),
+        GateKind::Nand => !gate
+            .fanins
+            .iter()
+            .map(|&f| values[f])
+            .fold(u64::MAX, |a, b| a & b),
         GateKind::Or => ins.fold(0, |a, b| a | b),
         GateKind::Nor => !gate.fanins.iter().map(|&f| values[f]).fold(0, |a, b| a | b),
         GateKind::Xor => ins.fold(0, |a, b| a ^ b),
@@ -402,7 +424,10 @@ mod tests {
             n.add_gate(GateKind::And, vec![0]),
             Err(NetlistError::BadFaninCount { .. })
         ));
-        assert!(matches!(n.add_output(9), Err(NetlistError::BadOutput { node: 9 })));
+        assert!(matches!(
+            n.add_output(9),
+            Err(NetlistError::BadOutput { node: 9 })
+        ));
     }
 
     #[test]

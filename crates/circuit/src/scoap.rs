@@ -117,7 +117,9 @@ impl Scoap {
     /// Combined detect difficulty of a stuck-at fault on `node`:
     /// controllability of the activation value plus observability.
     pub fn fault_difficulty(&self, node: NodeId, stuck_value: bool) -> u32 {
-        self.cc(node, !stuck_value).saturating_add(self.co[node]).min(INF)
+        self.cc(node, !stuck_value)
+            .saturating_add(self.co[node])
+            .min(INF)
     }
 }
 

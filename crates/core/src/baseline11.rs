@@ -5,6 +5,11 @@
 //! sequence reduction available is ending each window right after the
 //! last vector that embeds a test cube. This module reproduces that
 //! behaviour so Table 3's comparison can be regenerated.
+//!
+//! The scheme is also available polymorphically as
+//! [`Baseline11`](crate::Baseline11), runnable through
+//! [`Engine::run_all`](crate::Engine::run_all) alongside the other
+//! [`CompressionScheme`](crate::CompressionScheme)s.
 
 use crate::embedding::EmbeddingMap;
 

@@ -1,12 +1,13 @@
 //! `state-skip` — command-line driver for the State Skip compression
-//! flow.
+//! flow, built on the staged `Engine` API.
 //!
 //! ```text
 //! state-skip stats   <test_set.txt>
 //! state-skip run     <test_set.txt> [L] [S] [k]
+//! state-skip compare <test_set.txt> [L] [S] [k]   # all three schemes
 //! state-skip sweep   <test_set.txt> [L]
 //! state-skip rtl     <test_set.txt> [k]
-//! state-skip gen     <profile> <seed>          # emit a synthetic set
+//! state-skip gen     <profile> <seed>             # emit a synthetic set
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
@@ -15,7 +16,8 @@
 use std::process::ExitCode;
 
 use ss_core::{
-    emit_decompressor_rtl, improvement_percent, Pipeline, PipelineConfig, SegmentPlan, Table,
+    comparison_table, emit_decompressor_rtl, improvement_percent, Baseline11, ClassicalReseeding,
+    CompressionScheme, Engine, StateSkip, Table,
 };
 use ss_lfsr::SkipCircuit;
 use ss_testdata::{generate_test_set, CubeProfile, TestSet};
@@ -33,11 +35,12 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  state-skip stats <test_set.txt>
-  state-skip run   <test_set.txt> [L=100] [S=5] [k=10]
-  state-skip sweep <test_set.txt> [L=100]
-  state-skip rtl   <test_set.txt> [k=10]
-  state-skip gen   <s9234|s13207|s15850|s38417|s38584|mini> <seed>";
+  state-skip stats   <test_set.txt>
+  state-skip run     <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip compare <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip sweep   <test_set.txt> [L=100]
+  state-skip rtl     <test_set.txt> [k=10]
+  state-skip gen     <s9234|s13207|s15850|s38417|s38584|mini> <seed>";
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +48,12 @@ fn run() -> Result<(), String> {
     match command {
         "stats" => stats(args.get(1).ok_or("missing test set path")?),
         "run" => cmd_run(
+            args.get(1).ok_or("missing test set path")?,
+            parse_or(args.get(2), 100)?,
+            parse_or(args.get(3), 5)?,
+            parse_or(args.get(4), 10)? as u64,
+        ),
+        "compare" => compare(
             args.get(1).ok_or("missing test set path")?,
             parse_or(args.get(2), 100)?,
             parse_or(args.get(3), 5)?,
@@ -89,30 +98,40 @@ fn stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn pipeline_for(set: &TestSet, window: usize, segment: usize, speedup: u64) -> Result<(Pipeline<'_>, PipelineConfig), String> {
-    let config = PipelineConfig {
-        window,
-        segment,
-        speedup,
-        ..PipelineConfig::default()
-    };
-    Pipeline::new(set, config)
-        .map(|p| (p, config))
+fn engine_for(window: usize, segment: usize, speedup: u64) -> Result<Engine, String> {
+    Engine::builder()
+        .window(window)
+        .segment(segment)
+        .speedup(speedup)
+        .build()
         .map_err(|e| e.to_string())
 }
 
-fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
-    let set = load(path)?;
-    let (probe, config) = pipeline_for(&set, window, segment, speedup)?;
-    let (encodable, dropped) = probe.encodable_subset();
+/// Drops intrinsically unencodable cubes with a note on stderr and
+/// pins the LFSR size chosen for the *original* set, so filtering
+/// cannot shrink `smax` and silently change the hardware.
+fn encodable(engine: &Engine, set: &TestSet) -> Result<(Engine, TestSet), String> {
+    let ctx = engine.synthesize(set).map_err(|e| e.to_string())?;
+    let (encodable, dropped) = ctx.encodable_subset(set);
     if !dropped.is_empty() {
         eprintln!(
             "note: dropped {} intrinsically unencodable cube(s); raise the LFSR size to keep them",
             dropped.len()
         );
     }
-    let pipeline = Pipeline::new(&encodable, config).map_err(|e| e.to_string())?;
-    let report = pipeline.run().map_err(|e| e.to_string())?;
+    // copy the FULL config and pin only the LFSR size, so every other
+    // knob (ps_taps, hw_seed, ...) carries over to the filtered run
+    let mut config = *engine.config();
+    config.lfsr_size = Some(ctx.lfsr_size());
+    let pinned = Engine::from_config(config).map_err(|e| e.to_string())?;
+    Ok((pinned, encodable))
+}
+
+fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
+    let set = load(path)?;
+    let engine = engine_for(window, segment, speedup)?;
+    let (engine, set) = encodable(&engine, &set)?;
+    let report = engine.run(&set).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
     println!(
         "hardware: skip {:.0} GE, mode-select {:.0} GE, shared {:.0} GE",
@@ -123,41 +142,60 @@ fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<()
     Ok(())
 }
 
+fn compare(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
+    let set = load(path)?;
+    let engine = engine_for(window, segment, speedup)?;
+    let (engine, set) = encodable(&engine, &set)?;
+    let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+        Box::new(StateSkip),
+        Box::new(ClassicalReseeding),
+        Box::new(Baseline11),
+    ];
+    let reports = engine.run_all(&schemes, &set).map_err(|e| e.to_string())?;
+    println!("L={window} S={segment} k={speedup}, {} cubes", set.len());
+    println!("{}", comparison_table(&reports));
+    Ok(())
+}
+
 fn sweep(path: &str, window: usize) -> Result<(), String> {
     let set = load(path)?;
-    let (probe, config) = pipeline_for(&set, window, 5, 10)?;
-    let (encodable, _) = probe.encodable_subset();
-    let pipeline = Pipeline::new(&encodable, config).map_err(|e| e.to_string())?;
-    let report = pipeline.run().map_err(|e| e.to_string())?;
-    let r = set.config().depth();
+    let engine = engine_for(window, 5, 10)?;
+    let (engine, set) = encodable(&engine, &set)?;
+    // encode and embed once; re-plan per (S, k) through the staged
+    // artifacts
+    let embedded = engine.encode(&set).map_err(|e| e.to_string())?.embed();
+    let seeds = embedded.encoding().seeds.len();
+    let tdv = embedded.encoding().tdv();
+    let tsl_original = embedded.encoding().tsl_original() as u64;
     let mut table = Table::new(["S", "k", "TSL", "improvement"]);
     for segment in [2usize, 5, 10, 20] {
         if segment > window {
             continue;
         }
-        let plan = SegmentPlan::build(&report.embedding, segment);
+        let segmented = embedded.clone().segment_with(segment);
         for k in [4u64, 8, 16, 24] {
-            let tsl = plan.tsl(k, r).vectors;
+            let tsl = segmented.tsl_with(k).vectors;
             table.add_row([
                 segment.to_string(),
                 k.to_string(),
                 tsl.to_string(),
-                format!("{:.1}%", improvement_percent(report.tsl_original, tsl)),
+                format!("{:.1}%", improvement_percent(tsl_original, tsl)),
             ]);
         }
     }
-    println!("window L={window}: {} seeds, TDV {} bits, orig TSL {}", report.seeds, report.tdv, report.tsl_original);
+    println!("window L={window}: {seeds} seeds, TDV {tdv} bits, orig TSL {tsl_original}");
     println!("{table}");
     Ok(())
 }
 
 fn rtl(path: &str, speedup: u64) -> Result<(), String> {
     let set = load(path)?;
-    let (pipeline, _) = pipeline_for(&set, 1, 1, speedup)?;
-    let skip = SkipCircuit::new(pipeline.lfsr(), speedup).map_err(|e| e.to_string())?;
+    let engine = engine_for(1, 1, speedup)?;
+    let ctx = engine.synthesize(&set).map_err(|e| e.to_string())?;
+    let skip = SkipCircuit::new(ctx.lfsr(), speedup).map_err(|e| e.to_string())?;
     print!(
         "{}",
-        emit_decompressor_rtl(pipeline.lfsr(), &skip, pipeline.shifter())
+        emit_decompressor_rtl(ctx.lfsr(), &skip, ctx.shifter())
     );
     Ok(())
 }

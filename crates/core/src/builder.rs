@@ -1,0 +1,335 @@
+//! The staged [`Engine`] front-end and its builder.
+//!
+//! [`Engine::builder()`] collects the scheme knobs, validates them
+//! once in [`EngineBuilder::build`], and the resulting [`Engine`]
+//! exposes the flow as typed stages —
+//! [`Encoded`](crate::Encoded) → [`Embedded`](crate::Embedded) →
+//! [`Segmented`](crate::Segmented) → [`TslReport`](crate::TslReport) —
+//! so callers can stop, inspect or re-enter at any point instead of
+//! one opaque `run()`.
+
+use std::panic;
+use std::thread;
+
+use ss_lfsr::LfsrKind;
+use ss_testdata::TestSet;
+
+use crate::artifacts::{Encoded, HardwareCtx};
+use crate::error::SchemeError;
+use crate::pipeline::PipelineReport;
+use crate::scheme::{CompressionScheme, SchemeReport};
+
+/// The validated knob set an [`Engine`] runs with.
+///
+/// `#[non_exhaustive]`: new knobs can be added without breaking
+/// callers. Construct it through [`Engine::builder`] (or convert a
+/// legacy [`PipelineConfig`](crate::PipelineConfig) with `From`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineConfig {
+    /// Window length `L` (vectors per seed).
+    pub window: usize,
+    /// Segment size `S` (vectors per segment), `1..=L`.
+    pub segment: usize,
+    /// State Skip speedup factor `k`.
+    pub speedup: u64,
+    /// LFSR size `n`; `None` picks `smax + 4` (clamped to a tabulated
+    /// primitive-polynomial degree).
+    pub lfsr_size: Option<usize>,
+    /// LFSR feedback structure.
+    pub lfsr_kind: LfsrKind,
+    /// Phase shifter taps per scan chain.
+    pub ps_taps: usize,
+    /// RNG seed for phase shifter synthesis (the "hardware" seed).
+    pub hw_seed: u64,
+    /// RNG seed for the pseudorandom fill of free seed variables.
+    pub fill_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            window: 100,
+            segment: 5,
+            speedup: 10,
+            lfsr_size: None,
+            lfsr_kind: LfsrKind::Fibonacci,
+            ps_taps: 3,
+            // calibrated so the default phase shifter yields zero
+            // intrinsically unencodable cubes across the standard
+            // synthetic workloads; keep in sync with
+            // PipelineConfig::default
+            hw_seed: 0x14A2_4108_A00E_3508,
+            fill_seed: 1,
+        }
+    }
+}
+
+/// Fluent construction of an [`Engine`].
+///
+/// ```
+/// use ss_core::Engine;
+///
+/// # fn main() -> Result<(), ss_core::SchemeError> {
+/// let engine = Engine::builder().window(40).segment(5).speedup(8).build()?;
+/// assert_eq!(engine.config().window, 40);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain an Engine"]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    pub(crate) fn new() -> Self {
+        EngineBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Window length `L` (vectors per seed).
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Segment size `S` (vectors per segment).
+    pub fn segment(mut self, segment: usize) -> Self {
+        self.config.segment = segment;
+        self
+    }
+
+    /// State Skip speedup factor `k`.
+    pub fn speedup(mut self, speedup: u64) -> Self {
+        self.config.speedup = speedup;
+        self
+    }
+
+    /// Explicit LFSR size `n` (default: `smax + 4`).
+    pub fn lfsr_size(mut self, n: usize) -> Self {
+        self.config.lfsr_size = Some(n);
+        self
+    }
+
+    /// LFSR feedback structure.
+    pub fn lfsr_kind(mut self, kind: LfsrKind) -> Self {
+        self.config.lfsr_kind = kind;
+        self
+    }
+
+    /// Phase shifter taps per scan chain.
+    pub fn ps_taps(mut self, taps: usize) -> Self {
+        self.config.ps_taps = taps;
+        self
+    }
+
+    /// RNG seed for phase shifter synthesis.
+    pub fn hw_seed(mut self, seed: u64) -> Self {
+        self.config.hw_seed = seed;
+        self
+    }
+
+    /// RNG seed for the pseudorandom fill of free seed variables.
+    pub fn fill_seed(mut self, seed: u64) -> Self {
+        self.config.fill_seed = seed;
+        self
+    }
+
+    /// Validates the knobs and produces the [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] when `window == 0`, `segment` is
+    /// outside `1..=window`, `speedup == 0` or `ps_taps == 0`.
+    pub fn build(self) -> Result<Engine, SchemeError> {
+        Engine::from_config(self.config)
+    }
+}
+
+/// The staged execution front-end: hardware synthesis, the
+/// encode → embed → segment → finish stages, and batch drivers over
+/// [`CompressionScheme`] trait objects.
+///
+/// See the [crate-level quickstart](crate) for the typical flow.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Starts building an engine from the default knob set.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Validates a complete knob set directly.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`EngineBuilder::build`].
+    pub fn from_config(config: EngineConfig) -> Result<Self, SchemeError> {
+        if config.window == 0 {
+            return Err(SchemeError::bad_config("window must be >= 1"));
+        }
+        if config.segment == 0 || config.segment > config.window {
+            return Err(SchemeError::bad_config("segment must be in 1..=window"));
+        }
+        if config.speedup == 0 {
+            return Err(SchemeError::bad_config("speedup must be >= 1"));
+        }
+        if config.ps_taps == 0 {
+            return Err(SchemeError::bad_config("ps_taps must be >= 1"));
+        }
+        Ok(Engine { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Synthesises the hardware context (LFSR, phase shifter,
+    /// expression table) for a test set without encoding anything.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError`] for an empty set, an LFSR below `smax`, or
+    /// failed hardware synthesis.
+    pub fn synthesize(&self, set: &TestSet) -> Result<HardwareCtx, SchemeError> {
+        HardwareCtx::synthesize(set, &self.config)
+    }
+
+    /// Stage 1: encodes the test set into seeds, returning the
+    /// [`Encoded`] artifact for inspection or further stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis errors and [`SchemeError::Encode`] when a
+    /// cube cannot be encoded (LFSR too small).
+    pub fn encode<'a>(&self, set: &'a TestSet) -> Result<Encoded<'a>, SchemeError> {
+        let ctx = self.synthesize(set)?;
+        Encoded::from_ctx(set, ctx)
+    }
+
+    /// Runs all stages — encode, embed, segment, finish — and returns
+    /// the full report. Equivalent to the legacy
+    /// [`Pipeline::run`](crate::Pipeline::run), bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Any stage error, see [`Engine::encode`].
+    pub fn run(&self, set: &TestSet) -> Result<PipelineReport, SchemeError> {
+        self.encode(set)?.embed().segment().finish()
+    }
+
+    /// Splits `set` into the cubes this configuration's hardware can
+    /// encode and the indices of intrinsically unencodable cubes (see
+    /// [`HardwareCtx::encodable_subset`]).
+    ///
+    /// Note: with the default (set-derived) LFSR size, dropping cubes
+    /// can lower `smax` and therefore change the hardware a subsequent
+    /// [`Engine::run`] synthesises — possibly surfacing *new*
+    /// conflicts. To filter and run against identical hardware, pin
+    /// [`EngineBuilder::lfsr_size`], or keep the context and re-enter
+    /// the staged flow via
+    /// [`Encoded::from_ctx`](crate::Encoded::from_ctx).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware synthesis errors.
+    pub fn encodable_subset(&self, set: &TestSet) -> Result<(TestSet, Vec<usize>), SchemeError> {
+        Ok(self.synthesize(set)?.encodable_subset(set))
+    }
+
+    /// Runs one scheme against this engine's hardware.
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis errors and the scheme's own failure.
+    pub fn run_scheme(
+        &self,
+        scheme: &dyn CompressionScheme,
+        set: &TestSet,
+    ) -> Result<SchemeReport, SchemeError> {
+        let ctx = self.synthesize(set)?;
+        scheme.compress(set, &ctx)
+    }
+
+    /// Batch driver: synthesises the hardware once, then runs every
+    /// scheme **in parallel** (one thread per scheme via
+    /// [`std::thread::scope`]) and returns their reports in input
+    /// order — ready for [`comparison_table`](crate::comparison_table).
+    ///
+    /// # Errors
+    ///
+    /// The first scheme error in input order. Panics in scheme threads
+    /// are propagated.
+    pub fn run_all(
+        &self,
+        schemes: &[Box<dyn CompressionScheme>],
+        set: &TestSet,
+    ) -> Result<Vec<SchemeReport>, SchemeError> {
+        let ctx = self.synthesize(set)?;
+        let ctx = &ctx;
+        thread::scope(|scope| {
+            let handles: Vec<_> = schemes
+                .iter()
+                .map(|scheme| scope.spawn(move || scheme.compress(set, ctx)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    Err(payload) => panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_testdata::{generate_test_set, CubeProfile};
+
+    #[test]
+    fn builder_validates_every_knob() {
+        let bad = |b: EngineBuilder| matches!(b.build(), Err(SchemeError::BadConfig(_)));
+        assert!(bad(Engine::builder().window(0)));
+        assert!(bad(Engine::builder().window(10).segment(0)));
+        assert!(bad(Engine::builder().window(10).segment(11)));
+        assert!(bad(Engine::builder().speedup(0)));
+        assert!(bad(Engine::builder().ps_taps(0)));
+        assert!(Engine::builder().window(10).segment(10).build().is_ok());
+    }
+
+    #[test]
+    fn staged_run_produces_a_consistent_report() {
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let engine = Engine::builder()
+            .window(24)
+            .segment(4)
+            .speedup(6)
+            .build()
+            .unwrap();
+        let encoded = engine.encode(&set).unwrap();
+        assert!(encoded.seed_count() > 0);
+        let embedded = encoded.embed();
+        assert!(embedded.embedding().validate());
+        let segmented = embedded.segment();
+        let tsl = segmented.tsl();
+        let report = segmented.finish().unwrap();
+        assert_eq!(report.tsl_proposed, tsl.vectors);
+        assert!(report.tsl_proposed < report.tsl_original);
+    }
+
+    #[test]
+    fn engine_rejects_an_empty_set() {
+        let set = ss_testdata::TestSet::new(ss_testdata::ScanConfig::new(2, 4).unwrap());
+        let engine = Engine::builder().window(8).segment(2).build().unwrap();
+        assert!(matches!(engine.run(&set), Err(SchemeError::BadConfig(_))));
+    }
+}

@@ -4,6 +4,11 @@
 //! comparison of the paper's Table 1, the same multi-cube encoding
 //! algorithm is used: a seed still encodes every *compatible* cube that
 //! fits into one vector's worth of linear equations.
+//!
+//! The scheme is also available polymorphically as
+//! [`ClassicalReseeding`](crate::ClassicalReseeding), runnable through
+//! [`Engine::run_all`](crate::Engine::run_all) alongside the other
+//! [`CompressionScheme`](crate::CompressionScheme)s.
 
 use ss_testdata::TestSet;
 
@@ -65,7 +70,7 @@ mod tests {
     #[test]
     fn classical_tsl_equals_seed_count() {
         let set = generate_test_set(&CubeProfile::mini(), 8);
-        let result = classical_reseeding(&set, None, 0xDA7E_2008, 1).unwrap();
+        let result = classical_reseeding(&set, None, PipelineConfig::default().hw_seed, 1).unwrap();
         assert_eq!(result.tsl(), result.encoding.seeds.len());
         assert_eq!(result.tdv(), result.encoding.tdv());
         assert!(result.tsl() > 0);
@@ -76,7 +81,8 @@ mod tests {
         // the motivation experiment of the paper's Table 1: larger L
         // yields fewer seeds (lower TDV) at the price of longer TSL
         let set = generate_test_set(&CubeProfile::mini(), 8);
-        let classical = classical_reseeding(&set, None, 0xDA7E_2008, 1).unwrap();
+        let classical =
+            classical_reseeding(&set, None, PipelineConfig::default().hw_seed, 1).unwrap();
         let windowed = Pipeline::new(
             &set,
             PipelineConfig {

@@ -89,9 +89,7 @@ impl DecompressorCost {
     /// "rest of the decompressor" figure of ~320 GE for s13207).
     pub fn shared_ge(&self) -> f64 {
         let model = CostModel::default();
-        model.ge(&self.lfsr)
-            + model.ge(&self.phase_shifter)
-            + model.ge(&self.counters)
+        model.ge(&self.lfsr) + model.ge(&self.phase_shifter) + model.ge(&self.counters)
     }
 
     /// GE of the State Skip circuit alone (the paper's 52–119 GE

@@ -74,7 +74,11 @@ impl Decompressor {
         mode_select: ModeSelect,
     ) -> Self {
         assert_eq!(shifter.input_count(), lfsr.size(), "shifter/LFSR mismatch");
-        assert_eq!(shifter.output_count(), scan.chains(), "shifter/scan mismatch");
+        assert_eq!(
+            shifter.output_count(),
+            scan.chains(),
+            "shifter/scan mismatch"
+        );
         let skip_lfsr = StateSkipLfsr::new(lfsr, speedup).expect("speedup >= 1");
         Decompressor {
             skip_lfsr,
@@ -191,7 +195,7 @@ mod tests {
     use crate::embedding::EmbeddingMap;
     use crate::encoder::WindowEncoder;
     use crate::expr_table::ExprTable;
-    use crate::pipeline::{expand_seed, Pipeline, PipelineConfig};
+    use crate::pipeline::{try_expand_seed, Pipeline, PipelineConfig};
     use ss_testdata::{generate_test_set, CubeProfile};
 
     fn setup() -> (ss_testdata::TestSet, PipelineConfig) {
@@ -219,7 +223,10 @@ mod tests {
         );
         let trace = dec.run(&report.encoding, &report.plan);
         assert_eq!(trace.tsl(), report.tsl_proposed, "vector counts must agree");
-        assert_eq!(trace.clocks, report.tsl_report.total_clocks, "clock counts must agree");
+        assert_eq!(
+            trace.clocks, report.tsl_report.total_clocks,
+            "clock counts must agree"
+        );
         assert_eq!(
             trace.useful_vectors.len() as u64,
             report.tsl_report.useful_vectors
@@ -239,7 +246,10 @@ mod tests {
             report.mode_select.clone(),
         );
         let trace = dec.run(&report.encoding, &report.plan);
-        assert!(trace.covers(&set), "shortened sequence must apply every cube");
+        assert!(
+            trace.covers(&set),
+            "shortened sequence must apply every cube"
+        );
     }
 
     #[test]
@@ -260,13 +270,14 @@ mod tests {
         let mut expected = Vec::new();
         for (_, seeds) in report.plan.groups() {
             for &seed_idx in seeds {
-                let window = expand_seed(
+                let window = try_expand_seed(
                     pipeline.lfsr(),
                     pipeline.shifter(),
                     set.config(),
                     &report.encoding.seeds[seed_idx].seed,
                     config.window,
-                );
+                )
+                .unwrap();
                 for &seg in report.plan.useful_segments(seed_idx) {
                     let start = seg * config.segment;
                     let len = report.plan.segment_len(seg);
@@ -274,7 +285,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(trace.useful_vectors, expected, "skip traversal must land exactly");
+        assert_eq!(
+            trace.useful_vectors, expected,
+            "skip traversal must land exactly"
+        );
     }
 
     #[test]

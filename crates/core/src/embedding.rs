@@ -13,7 +13,7 @@ use ss_lfsr::{Lfsr, PhaseShifter};
 use ss_testdata::TestSet;
 
 use crate::encoder::EncodingResult;
-use crate::pipeline::expand_seed;
+use crate::pipeline::try_expand_seed;
 
 /// For every cube, every `(seed, window position)` whose expanded
 /// vector embeds it — intentional and fortuitous matches alike.
@@ -44,7 +44,8 @@ impl EmbeddingMap {
     ) -> Self {
         let mut matches = vec![Vec::new(); set.len()];
         for (si, enc) in result.seeds.iter().enumerate() {
-            let vectors = expand_seed(lfsr, shifter, set.config(), &enc.seed, result.window);
+            let vectors = try_expand_seed(lfsr, shifter, set.config(), &enc.seed, result.window)
+                .expect("encoding and hardware share one geometry");
             for (v, vector) in vectors.iter().enumerate() {
                 for ci in set.matching_cubes(vector) {
                     matches[ci].push((si, v));

@@ -81,6 +81,7 @@ impl EncodingResult {
 
 /// Error from [`WindowEncoder::encode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EncodeError {
     /// A cube could not be encoded alone at any window position — the
     /// LFSR is too small for the test set (`n < smax`, or pathological
@@ -132,7 +133,7 @@ impl Error for EncodeError {}
 /// let profile = CubeProfile::mini();
 /// let set = generate_test_set(&profile, 5);
 /// let lfsr = Lfsr::fibonacci(primitive_poly(profile.lfsr_size)?);
-/// let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(11);
+/// let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(2);
 /// let shifter = PhaseShifter::synthesize(
 ///     profile.lfsr_size, set.config().chains(), 3, &mut rng)?;
 /// let table = ExprTable::build(&lfsr, &shifter, set.config(), 20);
@@ -200,7 +201,10 @@ impl<'a> WindowEncoder<'a> {
                     lfsr_size: n,
                 });
             }
-            placements.push(Placement { cube: first, position: 0 });
+            placements.push(Placement {
+                cube: first,
+                position: 0,
+            });
             remaining[first] = false;
             remaining_count -= 1;
 
@@ -235,7 +239,10 @@ impl<'a> WindowEncoder<'a> {
                     }
                     let cube = self.set.cube(ci);
                     if let Some(v) = vectors.iter().position(|vec| cube.matches(vec)) {
-                        placements.push(Placement { cube: ci, position: v });
+                        placements.push(Placement {
+                            cube: ci,
+                            position: v,
+                        });
                         remaining[ci] = false;
                         remaining_count -= 1;
                     }
@@ -275,27 +282,24 @@ impl<'a> WindowEncoder<'a> {
             }
             level = specified;
 
-            let positions = viable
-                .entry(ci)
-                .or_insert_with(|| (0..window).collect());
+            let positions = viable.entry(ci).or_insert_with(|| (0..window).collect());
             let mut kept = Vec::with_capacity(positions.len());
             let mut cube_best: Option<(usize, usize)> = None; // (rank, pos)
             for &v in positions.iter() {
-                match self.probe_rank(solver, ci, v) {
-                    Some(rank) => {
-                        kept.push(v);
-                        if cube_best.map_or(true, |(r, p)| (rank, v) < (r, p)) {
-                            cube_best = Some((rank, v));
-                        }
+                // a None probe is a conflict: the position is dropped
+                // permanently by not re-adding it to `kept`
+                if let Some(rank) = self.probe_rank(solver, ci, v) {
+                    kept.push(v);
+                    if cube_best.is_none_or(|(r, p)| (rank, v) < (r, p)) {
+                        cube_best = Some((rank, v));
                     }
-                    None => {} // conflict: drop the position permanently
                 }
             }
             *positions = kept;
             if let Some((rank, pos)) = cube_best {
                 let count = positions.len();
                 let key = (rank, count, pos, ci);
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }
@@ -360,7 +364,7 @@ mod tests {
     fn mini_setup(window: usize) -> (ss_testdata::TestSet, ExprTable) {
         let profile = CubeProfile::mini();
         let set = generate_test_set(&profile, 5);
-        let table = build_table(profile.lfsr_size, set.config(), window, 11);
+        let table = build_table(profile.lfsr_size, set.config(), window, 2);
         (set, table)
     }
 
@@ -377,7 +381,10 @@ mod tests {
                 assert!(p.position < table.window());
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "every cube placed exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every cube placed exactly once"
+        );
         assert_eq!(result.encoded_cubes, set.len());
         assert_eq!(result.tdv(), result.seeds.len() * 16);
         assert_eq!(result.tsl_original(), result.seeds.len() * 20);
@@ -390,14 +397,15 @@ mod tests {
         let result = WindowEncoder::new(&set, &table).unwrap().encode(2).unwrap();
 
         // re-expand each seed concretely and check the placed cubes match
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = SmallRng::seed_from_u64(2);
         let lfsr = Lfsr::fibonacci(primitive_poly(profile.lfsr_size).unwrap());
         let shifter =
             PhaseShifter::synthesize(profile.lfsr_size, set.config().chains(), 3, &mut rng)
                 .unwrap();
         for enc in &result.seeds {
             let vectors =
-                crate::pipeline::expand_seed(&lfsr, &shifter, set.config(), &enc.seed, 16);
+                crate::pipeline::try_expand_seed(&lfsr, &shifter, set.config(), &enc.seed, 16)
+                    .unwrap();
             for p in &enc.placements {
                 assert!(
                     set.cube(p.cube).matches(&vectors[p.position]),
@@ -415,10 +423,16 @@ mod tests {
         let profile = CubeProfile::mini();
         let table_large = {
             // same LFSR/shifter seeds as mini_setup for comparability
-            build_table(profile.lfsr_size, set.config(), 40, 11)
+            build_table(profile.lfsr_size, set.config(), 40, 2)
         };
-        let small = WindowEncoder::new(&set, &table_small).unwrap().encode(3).unwrap();
-        let large = WindowEncoder::new(&set, &table_large).unwrap().encode(3).unwrap();
+        let small = WindowEncoder::new(&set, &table_small)
+            .unwrap()
+            .encode(3)
+            .unwrap();
+        let large = WindowEncoder::new(&set, &table_large)
+            .unwrap()
+            .encode(3)
+            .unwrap();
         assert!(
             large.seeds.len() <= small.seeds.len(),
             "L=40 used {} seeds, L=4 used {}",
@@ -431,7 +445,7 @@ mod tests {
     fn window_one_degenerates_to_classical_reseeding() {
         let (set, _) = mini_setup(4);
         let profile = CubeProfile::mini();
-        let table = build_table(profile.lfsr_size, set.config(), 1, 11);
+        let table = build_table(profile.lfsr_size, set.config(), 1, 2);
         let result = WindowEncoder::new(&set, &table).unwrap().encode(4).unwrap();
         for seed in &result.seeds {
             for p in &seed.placements {
@@ -446,8 +460,14 @@ mod tests {
         let profile = CubeProfile::mini(); // smax = 12
         let set = generate_test_set(&profile, 5);
         let table = build_table(8, set.config(), 4, 11); // 8-bit LFSR < smax
-        let err = WindowEncoder::new(&set, &table).unwrap().encode(5).unwrap_err();
-        assert!(matches!(err, EncodeError::CubeUnencodable { lfsr_size: 8, .. }));
+        let err = WindowEncoder::new(&set, &table)
+            .unwrap()
+            .encode(5)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EncodeError::CubeUnencodable { lfsr_size: 8, .. }
+        ));
     }
 
     #[test]

@@ -26,59 +26,112 @@
 //!    pipeline + Mode Select unit of Fig. 3, simulated cycle-accurately
 //!    to prove every cube is really applied.
 //!
-//! # Quickstart
+//! # Quickstart: the staged [`Engine`]
+//!
+//! [`Engine::builder`] validates the knobs once; each stage returns a
+//! typed artifact you can inspect before continuing:
 //!
 //! ```
-//! use ss_core::{Pipeline, PipelineConfig};
+//! use ss_core::Engine;
 //! use ss_testdata::{generate_test_set, CubeProfile};
 //!
-//! # fn main() -> Result<(), ss_core::PipelineError> {
+//! # fn main() -> Result<(), ss_core::SchemeError> {
 //! let set = generate_test_set(&CubeProfile::mini(), 1);
-//! let config = PipelineConfig {
-//!     window: 40,
-//!     segment: 5,
-//!     speedup: 8,
-//!     ..PipelineConfig::default()
-//! };
-//! let report = Pipeline::new(&set, config)?.run()?;
+//! let engine = Engine::builder().window(40).segment(5).speedup(8).build()?;
+//!
+//! // all stages at once ...
+//! let report = engine.run(&set)?;
 //! assert!(report.tsl_proposed < report.tsl_original);
-//! println!("{}", report.summary());
+//!
+//! // ... or stop and inspect between stages
+//! let encoded = engine.encode(&set)?;       // seeds + TDV fixed here
+//! let seeds = encoded.seed_count();
+//! let embedded = encoded.embed();           // fortuitous embeddings
+//! let segmented = embedded.segment();       // minimal useful segments
+//! let tsl = segmented.tsl();                // State Skip traversal
+//! assert_eq!(report.tsl_proposed, tsl.vectors);
+//! assert_eq!(report.seeds, seeds);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Comparing schemes
+//!
+//! The paper's tables compare State Skip against classical reseeding
+//! and pure test set embedding. All three are [`CompressionScheme`]
+//! implementations, runnable as trait objects through
+//! [`Engine::run_all`] (in parallel, against one shared
+//! [`HardwareCtx`]) and tabulated with [`comparison_table`]:
+//!
+//! ```
+//! use ss_core::{comparison_table, Baseline11, ClassicalReseeding, CompressionScheme,
+//!               Engine, StateSkip};
+//! use ss_testdata::{generate_test_set, CubeProfile};
+//!
+//! # fn main() -> Result<(), ss_core::SchemeError> {
+//! let set = generate_test_set(&CubeProfile::mini(), 1);
+//! let engine = Engine::builder().window(24).segment(4).speedup(6).build()?;
+//! let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+//!     Box::new(StateSkip),
+//!     Box::new(ClassicalReseeding),
+//!     Box::new(Baseline11),
+//! ];
+//! let reports = engine.run_all(&schemes, &set)?;
+//! println!("{}", comparison_table(&reports));
+//! assert_eq!(reports.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Multi-core SoCs run all cores in parallel with
+//! [`SocPlan::run_batch`]. The legacy [`Pipeline`] API remains as a
+//! thin shim over the same stages (bit-identical results) for one
+//! release; see the `MIGRATION` section of `CHANGES.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifacts;
 mod baseline11;
+mod builder;
 mod classical;
 mod cost;
 mod decompressor;
 mod embedding;
 mod encoder;
+mod error;
 mod expr_table;
 mod literature;
 mod modeselect;
 mod pipeline;
 mod report;
 mod rtl;
+mod scheme;
 mod soc;
 
+pub use artifacts::{Embedded, Encoded, HardwareCtx, Segmented};
 pub use baseline11::baseline11_tsl;
+pub use builder::{Engine, EngineBuilder, EngineConfig};
 pub use classical::{classical_reseeding, ClassicalResult};
 pub use cost::{DecompressorCost, DecompressorCostInputs};
 pub use decompressor::{Decompressor, DecompressorTrace};
 pub use embedding::EmbeddingMap;
 pub use encoder::{EncodeError, EncodedSeed, EncodingResult, Placement, WindowEncoder};
+pub use error::SchemeError;
 pub use expr_table::ExprTable;
 pub use literature::{
-    lit_table3, lit_table4, LitEmbeddingRow, LitMethod, LitTable4Row, PAPER_TABLE1, PAPER_TABLE2,
-    PAPER_TSL_TABLE2,
+    lit_table3, lit_table4, LitEmbeddingRow, LitMethod, LitTable4Row, Table1Row, Table2Row,
+    PAPER_TABLE1, PAPER_TABLE2, PAPER_TSL_TABLE2,
 };
 pub use modeselect::ModeSelect;
-pub use pipeline::{expand_seed, Pipeline, PipelineConfig, PipelineError, PipelineReport};
+#[allow(deprecated)]
+pub use pipeline::expand_seed;
+pub use pipeline::{try_expand_seed, Pipeline, PipelineConfig, PipelineError, PipelineReport};
 pub use report::{improvement_percent, Table};
 pub use rtl::emit_decompressor_rtl;
+pub use scheme::{
+    comparison_table, Baseline11, ClassicalReseeding, CompressionScheme, SchemeReport, StateSkip,
+};
 pub use soc::{estimated_core_area_ge, SocCore, SocPlan};
 
 /// Segment labelling, selection and TSL accounting (Section 3.2).

@@ -199,29 +199,115 @@ pub fn lit_table3() -> Vec<LitEmbeddingRow> {
     ]
 }
 
-/// One circuit row of the paper's Table 1 (classical vs window-based
-/// reseeding): `(circuit, lfsr_size, [(L, tdv, tsl); 4])` where the
-/// four entries are L = 1, 50, 200, 500.
-pub const PAPER_TABLE1: &[(&str, usize, [(usize, u64, u64); 4])] = &[
-    ("s9234", 44, [(1, 10692, 243), (50, 8008, 9100), (200, 7128, 32400), (500, 6688, 76000)]),
-    ("s13207", 24, [(1, 8856, 369), (50, 5328, 11100), (200, 3816, 31800), (500, 2688, 56000)]),
-    ("s15850", 39, [(1, 11622, 298), (50, 7410, 9500), (200, 6669, 34200), (500, 6201, 79500)]),
-    ("s38417", 85, [(1, 58225, 685), (50, 50660, 29800), (200, 48110, 113200), (500, 47005, 276500)]),
-    ("s38584", 56, [(1, 22680, 405), (50, 10584, 9450), (200, 7056, 25200), (500, 5152, 46000)]),
+/// One circuit row of the paper's Table 1: `(circuit, lfsr_size,
+/// [(L, tdv, tsl); 4])` where the four entries are L = 1, 50, 200, 500.
+pub type Table1Row = (&'static str, usize, [(usize, u64, u64); 4]);
+
+/// One circuit row of the paper's Table 2:
+/// `(circuit, [(L, orig_tsl, prop_tsl, impr%); 3])` for L = 50, 200,
+/// 500 (best S in {2,5,10}, 5 <= k <= 24).
+pub type Table2Row = (&'static str, [(usize, u64, u64, u64); 3]);
+
+/// The paper's Table 1 (classical vs window-based reseeding).
+pub const PAPER_TABLE1: &[Table1Row] = &[
+    (
+        "s9234",
+        44,
+        [
+            (1, 10692, 243),
+            (50, 8008, 9100),
+            (200, 7128, 32400),
+            (500, 6688, 76000),
+        ],
+    ),
+    (
+        "s13207",
+        24,
+        [
+            (1, 8856, 369),
+            (50, 5328, 11100),
+            (200, 3816, 31800),
+            (500, 2688, 56000),
+        ],
+    ),
+    (
+        "s15850",
+        39,
+        [
+            (1, 11622, 298),
+            (50, 7410, 9500),
+            (200, 6669, 34200),
+            (500, 6201, 79500),
+        ],
+    ),
+    (
+        "s38417",
+        85,
+        [
+            (1, 58225, 685),
+            (50, 50660, 29800),
+            (200, 48110, 113200),
+            (500, 47005, 276500),
+        ],
+    ),
+    (
+        "s38584",
+        56,
+        [
+            (1, 22680, 405),
+            (50, 10584, 9450),
+            (200, 7056, 25200),
+            (500, 5152, 46000),
+        ],
+    ),
 ];
 
-/// The paper's Table 2: `(circuit, [(L, orig_tsl, prop_tsl, impr%); 3])`
-/// for L = 50, 200, 500 (best S in {2,5,10}, 5 <= k <= 24).
-pub const PAPER_TABLE2: &[(&str, [(usize, u64, u64, u64); 3])] = &[
-    ("s9234", [(50, 9100, 1082, 88), (200, 32400, 1784, 94), (500, 76000, 3055, 96)]),
-    ("s13207", [(50, 11100, 1309, 88), (200, 31800, 1756, 94), (500, 56000, 2701, 95)]),
-    ("s15850", [(50, 9500, 1129, 88), (200, 34200, 1740, 95), (500, 79500, 2791, 96)]),
-    ("s38417", [(50, 29800, 7626, 74), (200, 113200, 13113, 88), (500, 276500, 21865, 92)]),
-    ("s38584", [(50, 9450, 3805, 60), (200, 25200, 6639, 74), (500, 46000, 9054, 80)]),
+/// The paper's Table 2 (original vs proposed TSL).
+pub const PAPER_TABLE2: &[Table2Row] = &[
+    (
+        "s9234",
+        [
+            (50, 9100, 1082, 88),
+            (200, 32400, 1784, 94),
+            (500, 76000, 3055, 96),
+        ],
+    ),
+    (
+        "s13207",
+        [
+            (50, 11100, 1309, 88),
+            (200, 31800, 1756, 94),
+            (500, 56000, 2701, 95),
+        ],
+    ),
+    (
+        "s15850",
+        [
+            (50, 9500, 1129, 88),
+            (200, 34200, 1740, 95),
+            (500, 79500, 2791, 96),
+        ],
+    ),
+    (
+        "s38417",
+        [
+            (50, 29800, 7626, 74),
+            (200, 113200, 13113, 88),
+            (500, 276500, 21865, 92),
+        ],
+    ),
+    (
+        "s38584",
+        [
+            (50, 9450, 3805, 60),
+            (200, 25200, 6639, 74),
+            (500, 46000, 9054, 80),
+        ],
+    ),
 ];
 
 /// Alias kept for discoverability: Table 2's TSL triples.
-pub const PAPER_TSL_TABLE2: &[(&str, [(usize, u64, u64, u64); 3])] = PAPER_TABLE2;
+pub const PAPER_TSL_TABLE2: &[Table2Row] = PAPER_TABLE2;
 
 #[cfg(test)]
 mod tests {

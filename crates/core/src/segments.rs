@@ -309,8 +309,22 @@ mod tests {
         set.push("01".parse::<TestCube>().unwrap()).unwrap();
         let z = |bits: [u8; 2]| BitVec::from_bits(bits.iter().map(|&b| b == 1));
         let windows = vec![
-            vec![z([1, 1]), z([1, 0]), z([1, 0]), z([1, 0]), z([0, 0]), z([1, 0])],
-            vec![z([0, 1]), z([1, 0]), z([0, 0]), z([1, 0]), z([1, 0]), z([1, 0])],
+            vec![
+                z([1, 1]),
+                z([1, 0]),
+                z([1, 0]),
+                z([1, 0]),
+                z([0, 0]),
+                z([1, 0]),
+            ],
+            vec![
+                z([0, 1]),
+                z([1, 0]),
+                z([0, 0]),
+                z([1, 0]),
+                z([1, 0]),
+                z([1, 0]),
+            ],
         ];
         let map = EmbeddingMap::from_windows(&set, &windows);
         (set, map)
@@ -371,7 +385,14 @@ mod tests {
         set.push("11".parse::<TestCube>().unwrap()).unwrap();
         set.push("00".parse::<TestCube>().unwrap()).unwrap();
         let z = |bits: [u8; 2]| BitVec::from_bits(bits.iter().map(|&b| b == 1));
-        let windows = vec![vec![z([1, 1]), z([1, 0]), z([1, 0]), z([1, 0]), z([0, 0]), z([1, 0])]];
+        let windows = vec![vec![
+            z([1, 1]),
+            z([1, 0]),
+            z([1, 0]),
+            z([1, 0]),
+            z([0, 0]),
+            z([1, 0]),
+        ]];
         let map = EmbeddingMap::from_windows(&set, &windows);
         let plan = SegmentPlan::build(&map, 2);
         assert_eq!(plan.useful_segments(0), &[0, 2]);

@@ -7,8 +7,14 @@
 //! segments) is replicated. [`SocPlan`] aggregates per-core pipeline
 //! results into that area accounting.
 
-use ss_lfsr::CostModel;
+use std::panic;
+use std::thread;
 
+use ss_lfsr::CostModel;
+use ss_testdata::TestSet;
+
+use crate::builder::Engine;
+use crate::error::SchemeError;
 use crate::pipeline::PipelineReport;
 
 /// One core's contribution to the SoC plan.
@@ -43,6 +49,40 @@ impl SocPlan {
     /// An empty plan.
     pub fn new() -> Self {
         SocPlan::default()
+    }
+
+    /// Runs the full State Skip flow for every core **in parallel**
+    /// (one scoped thread per core, [`std::thread::scope`]) under one
+    /// shared engine configuration, and aggregates the reports into a
+    /// plan — the paper's Section 4 five-core experiment as one call.
+    ///
+    /// Cores are `(name, test set)` pairs; reports are aggregated in
+    /// input order, so the plan is deterministic regardless of thread
+    /// scheduling.
+    ///
+    /// # Errors
+    ///
+    /// The first per-core [`SchemeError`] in input order. Panics in
+    /// core threads are propagated.
+    pub fn run_batch(engine: &Engine, cores: &[(String, TestSet)]) -> Result<SocPlan, SchemeError> {
+        let reports: Vec<Result<PipelineReport, SchemeError>> = thread::scope(|scope| {
+            let handles: Vec<_> = cores
+                .iter()
+                .map(|(_, set)| scope.spawn(move || engine.run(set)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    Err(payload) => panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut plan = SocPlan::new();
+        for ((name, _), report) in cores.iter().zip(reports) {
+            plan.add_core(name.clone(), &report?);
+        }
+        Ok(plan)
     }
 
     /// Adds a core from its pipeline report.
@@ -84,8 +124,16 @@ impl SocPlan {
     /// Range of per-core Mode Select GE, `(min, max)`; zeros when no
     /// cores were added.
     pub fn mode_select_range(&self) -> (f64, f64) {
-        let min = self.cores.iter().map(|c| c.mode_select_ge).fold(f64::MAX, f64::min);
-        let max = self.cores.iter().map(|c| c.mode_select_ge).fold(0.0, f64::max);
+        let min = self
+            .cores
+            .iter()
+            .map(|c| c.mode_select_ge)
+            .fold(f64::MAX, f64::min);
+        let max = self
+            .cores
+            .iter()
+            .map(|c| c.mode_select_ge)
+            .fold(0.0, f64::max);
         if self.cores.is_empty() {
             (0.0, 0.0)
         } else {
@@ -176,9 +224,7 @@ mod tests {
         // shared part counted once
         assert!((plan.shared_ge() - report.cost.shared_ge()).abs() < 1e-9);
         // mode select counted three times
-        assert!(
-            (plan.mode_select_total_ge() - 3.0 * report.cost.mode_select_ge()).abs() < 1e-9
-        );
+        assert!((plan.mode_select_total_ge() - 3.0 * report.cost.mode_select_ge()).abs() < 1e-9);
     }
 
     #[test]
@@ -209,5 +255,47 @@ mod tests {
     fn estimated_core_area_scales() {
         assert!(estimated_core_area_ge(1400) > estimated_core_area_ge(700));
         assert_eq!(estimated_core_area_ge(0), 0.0);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let engine = Engine::builder()
+            .window(12)
+            .segment(3)
+            .speedup(4)
+            .build()
+            .unwrap();
+        let cores: Vec<(String, TestSet)> = [3u64, 4]
+            .iter()
+            .map(|&seed| {
+                (
+                    format!("core-{seed}"),
+                    generate_test_set(&CubeProfile::mini(), seed),
+                )
+            })
+            .collect();
+        let plan = SocPlan::run_batch(&engine, &cores).unwrap();
+        assert_eq!(plan.cores().len(), 2);
+        let mut reference = SocPlan::new();
+        for (name, set) in &cores {
+            reference.add_core(name.clone(), &engine.run(set).unwrap());
+        }
+        assert_eq!(plan.total_tdv(), reference.total_tdv());
+        assert_eq!(plan.total_tsl(), reference.total_tsl());
+        for (a, b) in plan.cores().iter().zip(reference.cores()) {
+            assert_eq!(a.name, b.name, "input order is preserved");
+            assert_eq!(a.tsl, b.tsl);
+        }
+    }
+
+    #[test]
+    fn run_batch_surfaces_the_first_error() {
+        let engine = Engine::builder().window(8).segment(2).build().unwrap();
+        let empty = TestSet::new(ss_testdata::ScanConfig::new(2, 4).unwrap());
+        let cores = vec![("empty".to_string(), empty)];
+        assert!(matches!(
+            SocPlan::run_batch(&engine, &cores),
+            Err(SchemeError::BadConfig(_))
+        ));
     }
 }

@@ -138,7 +138,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -148,7 +152,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -163,7 +171,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len`.
     pub fn toggle(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
@@ -305,7 +317,11 @@ impl BitVec {
     pub fn shift_up(&mut self) {
         let n = self.words.len();
         for i in (0..n).rev() {
-            let carry = if i > 0 { self.words[i - 1] >> (WORD_BITS - 1) } else { 0 };
+            let carry = if i > 0 {
+                self.words[i - 1] >> (WORD_BITS - 1)
+            } else {
+                0
+            };
             self.words[i] = (self.words[i] << 1) | carry;
         }
         self.mask_tail();

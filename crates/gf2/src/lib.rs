@@ -46,10 +46,10 @@
 #![warn(missing_docs)]
 
 mod berlekamp;
-mod proptests;
 mod bitvec;
 mod matrix;
 mod poly;
+mod proptests;
 mod solver;
 
 pub use berlekamp::berlekamp_massey;

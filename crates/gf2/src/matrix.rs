@@ -247,6 +247,7 @@ impl BitMatrix {
             inv.rows.swap(col, pivot);
             let a_pivot = a[col].clone();
             let i_pivot = inv.rows[col].clone();
+            #[allow(clippy::needless_range_loop)] // r indexes a and inv.rows in lockstep
             for r in 0..n {
                 if r != col && a[r].get(col) {
                     a[r].xor_with(&a_pivot);

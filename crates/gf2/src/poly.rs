@@ -294,9 +294,9 @@ fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -598,7 +598,10 @@ mod tests {
             let p = primitive_poly(n).unwrap();
             assert_eq!(p.degree(), Some(n), "degree {n}");
             assert!(p.coeff(0), "constant term required, degree {n}");
-            assert!(p.weight() % 2 == 1, "even-weight poly is divisible by x+1, degree {n}");
+            assert!(
+                p.weight() % 2 == 1,
+                "even-weight poly is divisible by x+1, degree {n}"
+            );
         }
         assert!(primitive_poly(2).is_err());
         assert!(primitive_poly(169).is_err());
@@ -612,7 +615,10 @@ mod tests {
         // use (LFSR sizes 24..85) plus the small ones used in tests.
         for n in 3..=96 {
             let p = primitive_poly(n).unwrap();
-            assert!(p.is_irreducible(), "table entry for degree {n} not irreducible: {p}");
+            assert!(
+                p.is_irreducible(),
+                "table entry for degree {n} not irreducible: {p}"
+            );
         }
     }
 
@@ -621,7 +627,10 @@ mod tests {
     fn table_entries_are_irreducible_all() {
         for n in 3..=168 {
             let p = primitive_poly(n).unwrap();
-            assert!(p.is_irreducible(), "table entry for degree {n} not irreducible: {p}");
+            assert!(
+                p.is_irreducible(),
+                "table entry for degree {n} not irreducible: {p}"
+            );
         }
     }
 
@@ -629,7 +638,10 @@ mod tests {
     fn table_entries_are_primitive_small() {
         for n in 3..=28 {
             let p = primitive_poly(n).unwrap();
-            assert!(p.is_primitive(), "table entry for degree {n} not primitive: {p}");
+            assert!(
+                p.is_primitive(),
+                "table entry for degree {n} not primitive: {p}"
+            );
         }
     }
 
@@ -639,7 +651,10 @@ mod tests {
             let p = primitive_poly(n).unwrap();
             let r = p.reciprocal();
             assert_eq!(r.degree(), Some(n));
-            assert!(r.is_primitive(), "reciprocal of degree {n} entry not primitive");
+            assert!(
+                r.is_primitive(),
+                "reciprocal of degree {n} entry not primitive"
+            );
         }
     }
 

@@ -19,9 +19,8 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
 }
 
 fn poly(max_degree: usize) -> impl Strategy<Value = Gf2Poly> {
-    proptest::collection::vec(any::<bool>(), max_degree + 1).prop_map(|bits| {
-        Gf2Poly::from_coeffs(BitVec::from_bits(bits))
-    })
+    proptest::collection::vec(any::<bool>(), max_degree + 1)
+        .prop_map(|bits| Gf2Poly::from_coeffs(BitVec::from_bits(bits)))
 }
 
 proptest! {

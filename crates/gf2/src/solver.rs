@@ -244,9 +244,7 @@ impl IncrementalSolver {
     /// Panics if `assignment.len()` differs from the variable count.
     pub fn check(&self, assignment: &BitVec) -> bool {
         assert_eq!(assignment.len(), self.vars, "assignment width mismatch");
-        self.basis
-            .iter()
-            .all(|b| b.coeffs.dot(assignment) == b.rhs)
+        self.basis.iter().all(|b| b.coeffs.dot(assignment) == b.rhs)
     }
 }
 

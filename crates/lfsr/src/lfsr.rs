@@ -25,6 +25,7 @@ impl fmt::Display for LfsrKind {
 
 /// Error constructing an [`Lfsr`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LfsrError {
     /// The characteristic polynomial must have degree >= 2.
     DegreeTooSmall,
@@ -38,7 +39,10 @@ impl fmt::Display for LfsrError {
         match self {
             LfsrError::DegreeTooSmall => write!(f, "characteristic polynomial degree must be >= 2"),
             LfsrError::ZeroConstantTerm => {
-                write!(f, "characteristic polynomial must have a nonzero constant term")
+                write!(
+                    f,
+                    "characteristic polynomial must have a nonzero constant term"
+                )
             }
         }
     }
@@ -350,7 +354,10 @@ mod tests {
             l.load(&BitVec::from_u128(8, 0x5B));
             let seq = l.output_sequence(64);
             let (_, len) = berlekamp_massey(&seq);
-            assert_eq!(len, 8, "{kind}: shortest LFSR for the output must have length 8");
+            assert_eq!(
+                len, 8,
+                "{kind}: shortest LFSR for the output must have length 8"
+            );
         }
     }
 
@@ -365,7 +372,11 @@ mod tests {
         let seq = l.output_sequence(48);
         let (c, len) = berlekamp_massey(&seq);
         assert_eq!(len, 6);
-        assert_eq!(c, poly.reciprocal(), "connection poly = reciprocal of characteristic");
+        assert_eq!(
+            c,
+            poly.reciprocal(),
+            "connection poly = reciprocal of characteristic"
+        );
     }
 
     #[test]

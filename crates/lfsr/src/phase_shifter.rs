@@ -16,6 +16,7 @@ use ss_gf2::{BitMatrix, BitVec};
 
 /// Error synthesising a [`PhaseShifter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PhaseShifterError {
     /// Requested more taps per output than there are LFSR cells.
     TooManyTaps {
@@ -36,10 +37,15 @@ impl fmt::Display for PhaseShifterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhaseShifterError::TooManyTaps { taps, cells } => {
-                write!(f, "requested {taps} taps per output but the LFSR has only {cells} cells")
+                write!(
+                    f,
+                    "requested {taps} taps per output but the LFSR has only {cells} cells"
+                )
             }
             PhaseShifterError::SynthesisFailed => write!(f, "phase shifter synthesis failed"),
-            PhaseShifterError::EmptyRequest => write!(f, "phase shifter needs >= 1 output and >= 1 tap"),
+            PhaseShifterError::EmptyRequest => {
+                write!(f, "phase shifter needs >= 1 output and >= 1 tap")
+            }
         }
     }
 }
@@ -390,7 +396,9 @@ mod tests {
             assert!(acc.is_zero());
         }
         // the synthesis guard guarantees weight >= 5
-        let min_w = ps.min_dependency_weight(20).expect("m > n has dependencies");
+        let min_w = ps
+            .min_dependency_weight(20)
+            .expect("m > n has dependencies");
         assert!(min_w >= 5, "min dependency weight {min_w} below the guard");
     }
 

@@ -19,6 +19,7 @@ use crate::Lfsr;
 
 /// Error constructing a [`SkipCircuit`] or [`StateSkipLfsr`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SkipError {
     /// The speedup factor `k` must be at least 1.
     ZeroSpeedup,
@@ -208,7 +209,10 @@ mod tests {
     #[test]
     fn zero_speedup_rejected() {
         let lfsr = Lfsr::fibonacci(primitive_poly(5).unwrap());
-        assert!(matches!(SkipCircuit::new(&lfsr, 0), Err(SkipError::ZeroSpeedup)));
+        assert!(matches!(
+            SkipCircuit::new(&lfsr, 0),
+            Err(SkipError::ZeroSpeedup)
+        ));
         assert!(matches!(
             StateSkipLfsr::new(lfsr, 0),
             Err(SkipError::ZeroSpeedup)

@@ -115,7 +115,11 @@ impl ExpressionStream {
     /// Panics if the phase shifter input width differs from the LFSR
     /// size, or `chain` is out of range.
     pub fn output_expr(&self, shifter: &PhaseShifter, chain: usize) -> BitVec {
-        assert_eq!(shifter.input_count(), self.n, "phase shifter width mismatch");
+        assert_eq!(
+            shifter.input_count(),
+            self.n,
+            "phase shifter width mismatch"
+        );
         let mut expr = BitVec::zeros(self.n);
         for cell in shifter.taps(chain) {
             expr.xor_with(&self.rows[cell]);

@@ -281,7 +281,10 @@ mod tests {
         let net = XorNetwork::synthesize(&m);
         for (g, gate) in net.gates().iter().enumerate() {
             let sig = net.input_count() + g;
-            assert!(gate.a < sig && gate.b < sig, "gate {g} references later signal");
+            assert!(
+                gate.a < sig && gate.b < sig,
+                "gate {g} references later signal"
+            );
         }
     }
 

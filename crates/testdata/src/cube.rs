@@ -341,7 +341,10 @@ mod tests {
             let b = TestCube::random(24, 6, &mut rng);
             if let Some(m) = a.merge(&b) {
                 let v = m.random_fill(&mut rng);
-                assert!(a.matches(&v) && b.matches(&v), "merged fill must satisfy both");
+                assert!(
+                    a.matches(&v) && b.matches(&v),
+                    "merged fill must satisfy both"
+                );
             }
         }
     }

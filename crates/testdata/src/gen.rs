@@ -279,7 +279,11 @@ mod tests {
                 p.name
             );
             let cfg = p.scan_config();
-            assert!(cfg.cells() >= p.scan_cells, "{}: geometry must cover cells", p.name);
+            assert!(
+                cfg.cells() >= p.scan_cells,
+                "{}: geometry must cover cells",
+                p.name
+            );
         }
     }
 

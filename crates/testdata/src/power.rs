@@ -94,7 +94,11 @@ where
     PowerReport {
         total_wtm: total,
         peak_wtm: peak,
-        mean_wtm: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+        mean_wtm: if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        },
         vectors: count,
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Error constructing a [`ScanConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ScanConfigError {
     /// Zero scan chains requested.
     ZeroChains,

@@ -9,6 +9,7 @@ use crate::{ParseCubeError, ScanConfig, TestCube};
 
 /// Error mutating a [`TestSet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TestSetError {
     /// A cube's length differs from the scan configuration's cell count.
     WidthMismatch {
@@ -23,7 +24,10 @@ impl fmt::Display for TestSetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TestSetError::WidthMismatch { cube_len, cells } => {
-                write!(f, "cube has {cube_len} positions but the scan configuration has {cells} cells")
+                write!(
+                    f,
+                    "cube has {cube_len} positions but the scan configuration has {cells} cells"
+                )
             }
         }
     }
@@ -255,9 +259,8 @@ impl TestSet {
                 line: line_no + 2,
                 source: e,
             })?;
-            set.push(cube).map_err(|_| ParseTestSetError::WidthMismatch {
-                line: line_no + 2,
-            })?;
+            set.push(cube)
+                .map_err(|_| ParseTestSetError::WidthMismatch { line: line_no + 2 })?;
         }
         Ok(set)
     }
@@ -274,6 +277,7 @@ impl<'a> IntoIterator for &'a TestSet {
 
 /// Error parsing a [`TestSet`] from text.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ParseTestSetError {
     /// The input had no header line.
     MissingHeader,
@@ -333,7 +337,13 @@ mod tests {
     fn push_validates_width() {
         let mut set = TestSet::new(ScanConfig::new(2, 3).unwrap());
         let err = set.push("1X".parse().unwrap()).unwrap_err();
-        assert!(matches!(err, TestSetError::WidthMismatch { cube_len: 2, cells: 6 }));
+        assert!(matches!(
+            err,
+            TestSetError::WidthMismatch {
+                cube_len: 2,
+                cells: 6
+            }
+        ));
     }
 
     #[test]
@@ -359,11 +369,7 @@ mod tests {
         let set = small_set();
         let order = set.indices_by_specified_desc();
         assert_eq!(order[0], 0, "4-bit cube first");
-        assert_eq!(
-            set.cube(order[2]).specified_count(),
-            1,
-            "1-bit cube last"
-        );
+        assert_eq!(set.cube(order[2]).specified_count(), 1, "1-bit cube last");
     }
 
     #[test]

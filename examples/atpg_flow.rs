@@ -11,7 +11,7 @@
 //! with the State Skip pipeline.
 
 use ss_circuit::{generate_uncompacted_test_set, random_circuit, AtpgConfig, CircuitSpec};
-use ss_core::{Pipeline, PipelineConfig};
+use ss_core::{Encoded, Engine};
 use ss_testdata::{ScanConfig, TestSet};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,14 +56,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.mean_specified
     );
 
-    // 4. compress with State Skip LFSRs
-    let config = PipelineConfig {
-        window: 60,
-        segment: 6,
-        speedup: 12,
-        ..PipelineConfig::default()
-    };
-    let report = Pipeline::new(&set, config)?.run()?;
+    // 4. compress with State Skip LFSRs. The hardware is synthesised
+    //    once and pinned: dropping unencodable cubes must not change
+    //    the LFSR size mid-flow, so the filtered set re-enters the
+    //    staged flow against the *same* context.
+    let engine = Engine::builder()
+        .window(60)
+        .segment(6)
+        .speedup(12)
+        .build()?;
+    let ctx = engine.synthesize(&set)?;
+    let (encodable, unencodable) = ctx.encodable_subset(&set);
+    if !unencodable.is_empty() {
+        println!(
+            "  ({} intrinsically unencodable cube(s) dropped)",
+            unencodable.len()
+        );
+    }
+    let report = Encoded::from_ctx(&encodable, ctx)?
+        .embed()
+        .segment()
+        .finish()?;
     println!("{}", report.summary());
     println!(
         "  vs plain window-based embedding: {:.1}% shorter test sequence at identical TDV",

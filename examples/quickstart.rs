@@ -1,15 +1,21 @@
-//! Quickstart: compress a synthetic test set with State Skip LFSRs.
+//! Quickstart: compress a synthetic test set with State Skip LFSRs
+//! through the staged `Engine` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Generates a small statistical test set, runs the full pipeline
-//! (window-based reseeding -> embedding detection -> segment selection
-//! -> State Skip traversal), then proves with the cycle-accurate
-//! decompressor that the shortened sequence still applies every cube.
+//! Generates a small statistical test set, walks the typed stages
+//! (encode -> embed -> segment -> finish) with commentary at each
+//! step, then proves with the cycle-accurate decompressor that the
+//! shortened sequence still applies every cube. Finally, runs the two
+//! paper baselines against the same hardware for a one-table
+//! comparison.
 
-use ss_core::{Decompressor, Pipeline, PipelineConfig};
+use ss_core::{
+    comparison_table, Baseline11, ClassicalReseeding, CompressionScheme, Decompressor, Engine,
+    StateSkip,
+};
 use ss_testdata::{generate_test_set, CubeProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,21 +31,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.mean_specified
     );
 
-    let config = PipelineConfig {
-        window: 50,
-        segment: 5,
-        speedup: 10,
-        ..PipelineConfig::default()
-    };
-    let pipeline = Pipeline::new(&set, config)?;
-    let report = pipeline.run()?;
-    println!("{}", report.summary());
-    println!(
-        "  useful segments: {} over {} seeds (mode-select terms: {})",
-        report.plan.total_useful(),
-        report.seeds,
-        report.mode_select.term_count()
+    let engine = Engine::builder()
+        .window(50)
+        .segment(5)
+        .speedup(10)
+        .build()?;
+
+    // stage 1: encoding (seeds and TDV are fixed from here on); keep
+    // the synthesised hardware for the decompressor proof below
+    // instead of re-synthesising it
+    let encoded = engine.encode(&set)?;
+    let (lfsr, shifter) = (
+        encoded.ctx().lfsr().clone(),
+        encoded.ctx().shifter().clone(),
     );
+    println!(
+        "encoded: {} seeds x {} bits = {} bits TDV ({} raw vectors)",
+        encoded.seed_count(),
+        encoded.ctx().lfsr_size(),
+        encoded.tdv(),
+        encoded.tsl_original()
+    );
+
+    // stage 2: fortuitous embedding detection
+    let embedded = encoded.embed();
+    println!(
+        "embedded: {:.1} embeddings per cube on average",
+        embedded.embedding().mean_embeddings()
+    );
+
+    // stage 3: segment selection; stage 4: traversal + full report
+    let segmented = embedded.segment();
+    println!(
+        "segmented: {} useful segments across {} seeds",
+        segmented.plan().total_useful(),
+        segmented.plan().seed_count()
+    );
+    let report = segmented.finish()?;
+    println!("{}", report.summary());
     println!(
         "  hardware: skip circuit {:.0} GE, mode select {:.0} GE, shared blocks {:.0} GE",
         report.cost.skip_ge(),
@@ -49,9 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // prove it: run the decompressor and check coverage
     let mut decompressor = Decompressor::new(
-        pipeline.lfsr().clone(),
-        config.speedup,
-        pipeline.shifter().clone(),
+        lfsr,
+        engine.config().speedup,
+        shifter,
         set.config(),
         report.mode_select.clone(),
     );
@@ -61,8 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.clocks,
         trace.tsl(),
         trace.garbage_vectors,
-        if trace.covers(&set) { "all cubes applied" } else { "MISSING CUBES" }
+        if trace.covers(&set) {
+            "all cubes applied"
+        } else {
+            "MISSING CUBES"
+        }
     );
     assert!(trace.covers(&set));
+
+    // the paper's comparison, one batch call over trait objects
+    let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+        Box::new(StateSkip),
+        Box::new(ClassicalReseeding),
+        Box::new(Baseline11),
+    ];
+    let reports = engine.run_all(&schemes, &set)?;
+    println!();
+    println!("{}", comparison_table(&reports));
     Ok(())
 }

@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lfsr = Lfsr::fibonacci(primitive_poly(n)?);
     let model = CostModel::default();
 
-    let mut table = Table::new(["k", "raw XOR2", "shared XOR2", "depth", "skip GE (w/ muxes)"]);
+    let mut table = Table::new([
+        "k",
+        "raw XOR2",
+        "shared XOR2",
+        "depth",
+        "skip GE (w/ muxes)",
+    ]);
     for k in [2u64, 4, 8, 12, 16, 20, 24, 28, 32] {
         let skip = SkipCircuit::new(&lfsr, k)?;
         let net = skip.synthesize();
@@ -32,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{ge:.0}"),
         ]);
     }
-    println!("State Skip circuit cost for a {n}-bit LFSR ({}):", lfsr.poly());
+    println!(
+        "State Skip circuit cost for a {n}-bit LFSR ({}):",
+        lfsr.poly()
+    );
     println!("{table}");
 
     let skip = SkipCircuit::new(&lfsr, 10)?;

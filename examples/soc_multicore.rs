@@ -1,5 +1,5 @@
 //! Multi-core SoC decompressor sharing — the paper's Section 4 case
-//! study.
+//! study, run as one parallel batch.
 //!
 //! ```text
 //! cargo run --release --example soc_multicore
@@ -9,44 +9,58 @@
 //! containing all five ISCAS'89 cores (L=200, S=10, k=10): the LFSR,
 //! State Skip circuit, phase shifter and counters are shared; only the
 //! Mode Select unit is per-core. This example reproduces that area
-//! accounting with scaled-down core profiles.
+//! accounting with scaled-down core profiles, compressing every core
+//! concurrently via `SocPlan::run_batch`.
 
-use ss_core::{estimated_core_area_ge, Pipeline, PipelineConfig, SocPlan, Table};
-use ss_testdata::{generate_test_set, CubeProfile};
+use ss_core::{estimated_core_area_ge, Engine, SocPlan, Table};
+use ss_testdata::{generate_test_set, CubeProfile, TestSet};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // scaled profiles keep this example snappy; the bench harness runs
     // the bigger versions
-    let cores: Vec<CubeProfile> = CubeProfile::paper_circuits()
+    let profiles: Vec<CubeProfile> = CubeProfile::paper_circuits()
         .into_iter()
         .map(|p| p.scaled(0.12))
         .collect();
-    let config = PipelineConfig {
-        window: 200,
-        segment: 10,
-        speedup: 10,
-        ..PipelineConfig::default()
-    };
+    let sets: Vec<TestSet> = profiles.iter().map(|p| generate_test_set(p, 1)).collect();
 
-    let mut plan = SocPlan::new();
-    let mut table = Table::new(["core", "seeds", "TDV (bits)", "TSL", "ModeSelect GE"]);
+    // the paper's SoC shares ONE LFSR sized for the largest core;
+    // pinning that size also keeps the hardware stable through the
+    // unencodable-cube filter below
+    let n_shared = sets.iter().map(|s| s.smax() + 4).max().expect("five cores");
+    let engine = Engine::builder()
+        .window(200)
+        .segment(10)
+        .speedup(10)
+        .lfsr_size(n_shared)
+        .build()?;
+
+    // prepare the per-core encodable sets, then compress all cores in
+    // parallel (std::thread::scope inside run_batch)
     let mut soc_core_area = 0.0;
-    for profile in &cores {
-        let set = generate_test_set(profile, 1);
-        let pipeline = Pipeline::new(&set, config)?;
-        let (encodable, dropped) = pipeline.encodable_subset();
+    let mut cores: Vec<(String, TestSet)> = Vec::new();
+    for (profile, set) in profiles.iter().zip(&sets) {
+        let (encodable, dropped) = engine.encodable_subset(set)?;
         if !dropped.is_empty() {
-            eprintln!("note: {}: {} unencodable cube(s) dropped", profile.name, dropped.len());
+            eprintln!(
+                "note: {}: {} unencodable cube(s) dropped",
+                profile.name,
+                dropped.len()
+            );
         }
-        let report = Pipeline::new(&encodable, config)?.run()?;
-        plan.add_core(profile.name, &report);
         soc_core_area += estimated_core_area_ge(profile.scan_cells);
+        cores.push((profile.name.to_string(), encodable));
+    }
+    let plan = SocPlan::run_batch(&engine, &cores)?;
+
+    let mut table = Table::new(["core", "seeds", "TDV (bits)", "TSL", "ModeSelect GE"]);
+    for core in plan.cores() {
         table.add_row([
-            profile.name.to_string(),
-            report.seeds.to_string(),
-            report.tdv.to_string(),
-            report.tsl_proposed.to_string(),
-            format!("{:.0}", report.cost.mode_select_ge()),
+            core.name.clone(),
+            core.seeds.to_string(),
+            core.tdv.to_string(),
+            core.tsl.to_string(),
+            format!("{:.0}", core.mode_select_ge),
         ]);
     }
     println!("{table}");

@@ -1,0 +1,34 @@
+//! Umbrella facade over the `state-skip` workspace crates.
+//!
+//! Re-exports every layer of the reproduction of *"State Skip LFSRs:
+//! Bridging the Gap between Test Data Compression and Test Set
+//! Embedding for IP Cores"* (Tenentes, Kavousianos, Kalligeros;
+//! DATE 2008) under one dependency:
+//!
+//! * [`gf2`] — dense GF(2) linear algebra
+//! * [`lfsr`] — LFSRs, State Skip circuits, phase shifters
+//! * [`testdata`] — test cubes, scan geometry, synthetic sets
+//! * [`circuit`] — netlists, stuck-at faults, PODEM ATPG
+//! * [`core`] — compression schemes and the staged [`core::Engine`]
+//!
+//! ```
+//! use state_skip::core::Engine;
+//! use state_skip::testdata::{generate_test_set, CubeProfile};
+//!
+//! # fn main() -> Result<(), state_skip::core::SchemeError> {
+//! let set = generate_test_set(&CubeProfile::mini(), 1);
+//! let engine = Engine::builder().window(24).segment(4).speedup(6).build()?;
+//! let report = engine.run(&set)?;
+//! assert!(report.tsl_proposed < report.tsl_original);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ss_circuit as circuit;
+pub use ss_core as core;
+pub use ss_gf2 as gf2;
+pub use ss_lfsr as lfsr;
+pub use ss_testdata as testdata;

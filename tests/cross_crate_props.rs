@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use ss_core::{expand_seed, Pipeline, PipelineConfig};
+use ss_core::{try_expand_seed, Pipeline, PipelineConfig};
 use ss_gf2::{berlekamp_massey, primitive_poly, BitVec};
 use ss_lfsr::{Lfsr, LfsrKind, PhaseShifter, SkipCircuit, StateSkipLfsr, XorNetwork};
 use ss_testdata::{ScanConfig, TestCube, TestSet};
@@ -108,15 +108,20 @@ proptest! {
             ..PipelineConfig::default()
         };
         let pipeline = Pipeline::new(&set, config).unwrap();
+        // an intrinsically unencodable (LFSR, shifter, cube) triple is
+        // possible (if astronomically rare) for random cubes; such
+        // cases are outside the property and rejected
+        prop_assume!(pipeline.encodable_subset().1.is_empty());
         let report = pipeline.run().unwrap();
         prop_assert_eq!(report.seeds, 1);
-        let windows = expand_seed(
+        let windows = try_expand_seed(
             pipeline.lfsr(),
             pipeline.shifter(),
             scan,
             &report.encoding.seeds[0].seed,
             6,
-        );
+        )
+        .unwrap();
         let p = report.encoding.seeds[0].placements[0];
         prop_assert!(set.cube(p.cube).matches(&windows[p.position]));
     }

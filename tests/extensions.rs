@@ -3,14 +3,19 @@
 //! the core pipeline.
 
 use ss_core::{
-    emit_decompressor_rtl, estimated_core_area_ge, Decompressor, Pipeline, PipelineConfig,
-    SocPlan,
+    emit_decompressor_rtl, estimated_core_area_ge, Decompressor, Pipeline, PipelineConfig, SocPlan,
 };
 use ss_gf2::BitVec;
 use ss_lfsr::{Misr, SkipCircuit};
 use ss_testdata::{generate_test_set, max_wtm, sequence_power, CubeProfile};
 
-fn run_mini(seed: u64) -> (ss_testdata::TestSet, PipelineConfig, ss_core::PipelineReport) {
+fn run_mini(
+    seed: u64,
+) -> (
+    ss_testdata::TestSet,
+    PipelineConfig,
+    ss_core::PipelineReport,
+) {
     let set = generate_test_set(&CubeProfile::mini(), seed);
     let config = PipelineConfig {
         window: 30,
@@ -37,7 +42,10 @@ fn applied_sequence_power_is_within_bounds() {
     let power = sequence_power(&trace.vectors, set.config());
     assert_eq!(power.vectors as u64, trace.tsl());
     assert!(power.peak_wtm <= max_wtm(set.config()));
-    assert!(power.total_wtm > 0, "pseudorandom vectors cause transitions");
+    assert!(
+        power.total_wtm > 0,
+        "pseudorandom vectors cause transitions"
+    );
     // shortening the sequence also cuts total shift energy vs the
     // full-window original
     let full_power_per_vector = max_wtm(set.config()) as f64 / 2.0;
@@ -57,7 +65,10 @@ fn soc_plan_from_two_different_cores() {
     plan.add_core("core-b", &report_b);
     assert_eq!(plan.cores().len(), 2);
     assert_eq!(plan.total_tdv(), report_a.tdv + report_b.tdv);
-    assert_eq!(plan.total_tsl(), report_a.tsl_proposed + report_b.tsl_proposed);
+    assert_eq!(
+        plan.total_tsl(),
+        report_a.tsl_proposed + report_b.tsl_proposed
+    );
     assert!(plan.total_ge() < plan.unshared_ge());
     let frac = plan.area_fraction(estimated_core_area_ge(2 * 64));
     assert!(frac > 0.0 && frac < 1.0);
@@ -72,10 +83,16 @@ fn rtl_matches_the_simulated_hardware() {
     let rtl = emit_decompressor_rtl(pipeline.lfsr(), &skip, pipeline.shifter());
     let net = skip.synthesize();
     for g in 0..net.gate_count() {
-        assert!(rtl.contains(&format!("skip_t{g}")), "gate {g} missing from RTL");
+        assert!(
+            rtl.contains(&format!("skip_t{g}")),
+            "gate {g} missing from RTL"
+        );
     }
     for c in 0..pipeline.shifter().output_count() {
-        assert!(rtl.contains(&format!("scan_in[{c}]")), "chain {c} missing from RTL");
+        assert!(
+            rtl.contains(&format!("scan_in[{c}]")),
+            "chain {c} missing from RTL"
+        );
     }
     assert_eq!(rtl.matches("endmodule").count(), 1);
 }
