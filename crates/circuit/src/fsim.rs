@@ -4,6 +4,18 @@
 //! transitive fanout cone of the faulted node is re-evaluated, with the
 //! node forced to its stuck value; a fault is detected by a pattern
 //! when any primary output differs from the good machine.
+//!
+//! The primary entry points consume bit-sliced
+//! [`PackedPatterns`](ss_gf2::PackedPatterns) blocks
+//! ([`run_packed`](FaultSimulator::run_packed) /
+//! [`coverage_packed`](FaultSimulator::coverage_packed)), dropping a
+//! fault as soon as some block detects it, so a list of `N` patterns
+//! costs `ceil(N/64)` good-machine evaluations. The `Vec<bool>` entry
+//! points pack their input and delegate; the one-pattern-at-a-time
+//! path survives as [`run_scalar`](FaultSimulator::run_scalar), the
+//! reference oracle the property tests pin the word kernel against.
+
+use ss_gf2::PackedPatterns;
 
 use crate::fault::{Fault, FaultList};
 use crate::netlist::Netlist;
@@ -67,37 +79,100 @@ impl<'a> FaultSimulator<'a> {
             .collect()
     }
 
+    /// Runs a bit-sliced pattern list with fault dropping and returns
+    /// per-fault detection flags — the primary simulation path: each
+    /// 64-pattern block costs one good-machine evaluation plus one
+    /// cone re-evaluation per *still-undetected* fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.width()` differs from the input count.
+    pub fn run_packed(&self, faults: &FaultList, patterns: &PackedPatterns) -> Vec<bool> {
+        assert_eq!(
+            patterns.width(),
+            self.netlist.input_count(),
+            "pattern width mismatch"
+        );
+        let mut detected = vec![false; faults.len()];
+        // fault dropping: detected faults leave the worklist entirely
+        let mut remaining: Vec<usize> = (0..faults.len()).collect();
+        let mut pi_words = Vec::with_capacity(patterns.width());
+        for block in 0..patterns.block_count() {
+            if remaining.is_empty() {
+                break;
+            }
+            patterns.block_words(block, &mut pi_words);
+            let block_mask = patterns.block_mask(block);
+            let good = self.netlist.eval_nodes_parallel(&pi_words);
+            let all = faults.faults();
+            remaining.retain(|&fi| {
+                if self.fault_mask(all[fi], &good) & block_mask != 0 {
+                    detected[fi] = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        detected
+    }
+
+    /// Fault coverage of a bit-sliced pattern list over `faults`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.width()` differs from the input count.
+    pub fn coverage_packed(&self, faults: &FaultList, patterns: &PackedPatterns) -> f64 {
+        if faults.is_empty() {
+            return 1.0;
+        }
+        let detected = self.run_packed(faults, patterns);
+        detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+    }
+
     /// Runs a whole pattern list (each a full-width bool vector) and
-    /// returns per-fault detection flags.
+    /// returns per-fault detection flags. Packs the list and delegates
+    /// to [`run_packed`](FaultSimulator::run_packed).
     ///
     /// # Panics
     ///
     /// Panics if any pattern's length differs from the input count.
     pub fn run(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> Vec<bool> {
-        let n_in = self.netlist.input_count();
+        self.run_packed(
+            faults,
+            &PackedPatterns::from_bools(self.netlist.input_count(), patterns),
+        )
+    }
+
+    /// Fault coverage of a pattern list over `faults`. Packs the list
+    /// and delegates to
+    /// [`coverage_packed`](FaultSimulator::coverage_packed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from the input count.
+    pub fn coverage(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> f64 {
+        self.coverage_packed(
+            faults,
+            &PackedPatterns::from_bools(self.netlist.input_count(), patterns),
+        )
+    }
+
+    /// The one-pattern-at-a-time reference oracle: simulates every
+    /// pattern individually through
+    /// [`detected_by_pattern`](FaultSimulator::detected_by_pattern),
+    /// with no word packing and no fault dropping. Property tests pin
+    /// [`run_packed`](FaultSimulator::run_packed) against this path
+    /// bit for bit; benches use it as the scalar baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from the input count.
+    pub fn run_scalar(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> Vec<bool> {
         let mut detected = vec![false; faults.len()];
-        for block in patterns.chunks(64) {
-            let mut pi_words = vec![0u64; n_in];
-            for (p, pattern) in block.iter().enumerate() {
-                assert_eq!(pattern.len(), n_in, "pattern width mismatch");
-                for (i, &b) in pattern.iter().enumerate() {
-                    if b {
-                        pi_words[i] |= 1 << p;
-                    }
-                }
-            }
-            let block_mask = if block.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << block.len()) - 1
-            };
-            // skip faults already detected
-            let good = self.netlist.eval_nodes_parallel(&pi_words);
-            for (fi, &fault) in faults.iter().enumerate() {
-                if detected[fi] {
-                    continue;
-                }
-                if self.fault_mask(fault, &good) & block_mask != 0 {
+        for pattern in patterns {
+            for (fi, hit) in self.detected_by_pattern(faults, pattern).iter().enumerate() {
+                if *hit {
                     detected[fi] = true;
                 }
             }
@@ -105,12 +180,17 @@ impl<'a> FaultSimulator<'a> {
         detected
     }
 
-    /// Fault coverage of a pattern list over `faults`.
-    pub fn coverage(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> f64 {
+    /// Fault coverage computed by the scalar oracle
+    /// ([`run_scalar`](FaultSimulator::run_scalar)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from the input count.
+    pub fn coverage_scalar(&self, faults: &FaultList, patterns: &[Vec<bool>]) -> f64 {
         if faults.is_empty() {
             return 1.0;
         }
-        let detected = self.run(faults, patterns);
+        let detected = self.run_scalar(faults, patterns);
         detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
     }
 
@@ -278,6 +358,62 @@ mod tests {
             "exhaustive set must detect everything"
         );
         assert_eq!(fsim.coverage(&faults, &all_patterns), 1.0);
+    }
+
+    #[test]
+    fn packed_path_matches_scalar_oracle_bit_for_bit() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = c17();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::full(&n);
+        let mut rng = SmallRng::seed_from_u64(99);
+        // ragged count on purpose: 3 blocks, last one 5 lanes wide
+        let patterns: Vec<Vec<bool>> = (0..133)
+            .map(|_| (0..5).map(|_| rng.gen()).collect())
+            .collect();
+        let packed = PackedPatterns::from_bools(5, &patterns);
+        assert_eq!(
+            fsim.run_packed(&faults, &packed),
+            fsim.run_scalar(&faults, &patterns)
+        );
+        assert_eq!(
+            fsim.coverage_packed(&faults, &packed),
+            fsim.coverage_scalar(&faults, &patterns)
+        );
+        // and the Vec<bool> front door routes through the same kernel
+        assert_eq!(
+            fsim.run(&faults, &patterns),
+            fsim.run_scalar(&faults, &patterns)
+        );
+    }
+
+    #[test]
+    fn fault_dropping_carries_across_blocks() {
+        let n = c17();
+        let fsim = FaultSimulator::new(&n);
+        let faults = FaultList::collapsed(&n);
+        // 128 patterns = 2 packed blocks. Block 0 alone is exhaustive
+        // (all 32 input combinations, repeated), so every fault drops
+        // there and block 1 takes the empty-worklist early exit; the
+        // detection state must survive the block boundary.
+        let patterns: Vec<Vec<bool>> = (0u32..128)
+            .map(|p| (0..5).map(|i| (p >> i) & 1 == 1).collect())
+            .collect();
+        let packed = PackedPatterns::from_bools(5, &patterns);
+        assert_eq!(packed.block_count(), 2);
+        let detected = fsim.run_packed(&faults, &packed);
+        assert!(detected.iter().all(|&d| d));
+        // and a split where detection straddles blocks agrees with the
+        // scalar oracle
+        let sparse: Vec<Vec<bool>> = (0u32..100)
+            .map(|p| (0..5).map(|i| (p >> (i + 1)) & 1 == 1).collect())
+            .collect();
+        let packed_sparse = PackedPatterns::from_bools(5, &sparse);
+        assert_eq!(
+            fsim.run_packed(&faults, &packed_sparse),
+            fsim.run_scalar(&faults, &sparse)
+        );
     }
 
     #[test]

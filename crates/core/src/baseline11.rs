@@ -19,7 +19,7 @@ use crate::embedding::EmbeddingMap;
 /// `assignment[cube] = (seed, position)` must map every cube to one of
 /// its embeddings (a minimal-latest assignment is computed here: each
 /// cube is served by its *earliest* embedding in the seed that embeds
-/// it first — a simple deterministic policy matching [11]'s greedy
+/// it first — a simple deterministic policy matching \[11\]'s greedy
 /// spirit).
 ///
 /// # Panics

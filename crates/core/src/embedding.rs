@@ -8,12 +8,12 @@
 //! a cube is embedded, the more freedom the useful-segment selection
 //! has.
 
-use ss_gf2::BitVec;
+use ss_gf2::{BitVec, PATTERNS_PER_BLOCK};
 use ss_lfsr::{Lfsr, PhaseShifter};
 use ss_testdata::TestSet;
 
 use crate::encoder::EncodingResult;
-use crate::pipeline::try_expand_seed;
+use crate::pipeline::{try_expand_seed, PackedWindowExpander};
 
 /// For every cube, every `(seed, window position)` whose expanded
 /// vector embeds it — intentional and fortuitous matches alike.
@@ -31,12 +31,54 @@ pub struct EmbeddingMap {
 }
 
 impl EmbeddingMap {
-    /// Expands every seed and records all cube matches.
+    /// Expands every seed and records all cube matches — the primary,
+    /// word-parallel path: each seed's window is generated as packed
+    /// 64-position blocks ([`PackedWindowExpander`]) and every cube
+    /// is matched against a whole block at once with
+    /// [`TestCube::match_mask`](ss_testdata::TestCube::match_mask).
+    /// Results are bit-identical to [`EmbeddingMap::build_scalar`],
+    /// which property tests pin.
     ///
     /// `lfsr` and `shifter` must be the same hardware the encoding was
     /// computed against, otherwise the intentional placements will not
     /// even match (and [`EmbeddingMap::validate`] will say so).
     pub fn build(
+        set: &TestSet,
+        result: &EncodingResult,
+        lfsr: &Lfsr,
+        shifter: &PhaseShifter,
+    ) -> Self {
+        let mut matches = vec![Vec::new(); set.len()];
+        let expander = PackedWindowExpander::new(lfsr, shifter, set.config(), result.window)
+            .expect("encoding and hardware share one geometry");
+        let mut packed = ss_gf2::PackedPatterns::zeros(0, 0);
+        for (si, enc) in result.seeds.iter().enumerate() {
+            expander
+                .expand_into(&enc.seed, &mut packed)
+                .expect("encoded seeds match the LFSR width");
+            for (ci, cube) in set.iter().enumerate() {
+                for block in 0..packed.block_count() {
+                    let mut mask = cube.match_mask(&packed, block);
+                    while mask != 0 {
+                        let v = block * PATTERNS_PER_BLOCK + mask.trailing_zeros() as usize;
+                        matches[ci].push((si, v));
+                        mask &= mask - 1;
+                    }
+                }
+            }
+        }
+        EmbeddingMap {
+            matches,
+            window: result.window,
+            seed_count: result.seeds.len(),
+        }
+    }
+
+    /// The scalar reference oracle: expands every seed one vector at a
+    /// time ([`try_expand_seed`]) and matches cubes per vector.
+    /// Kept only to pin [`EmbeddingMap::build`] — the two must agree
+    /// bit for bit on every workload.
+    pub fn build_scalar(
         set: &TestSet,
         result: &EncodingResult,
         lfsr: &Lfsr,
@@ -155,6 +197,28 @@ mod tests {
         assert!((map.mean_embeddings() - 2.0).abs() < 1e-9);
         assert_eq!(map.window(), 2);
         assert_eq!(map.seed_count(), 2);
+    }
+
+    #[test]
+    fn packed_build_matches_the_scalar_oracle() {
+        use crate::artifacts::Encoded;
+        use crate::builder::Engine;
+        use ss_testdata::{generate_test_set, CubeProfile};
+
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let engine = Engine::builder()
+            .window(30)
+            .segment(5)
+            .speedup(6)
+            .build()
+            .unwrap();
+        let ctx = engine.synthesize(&set).unwrap();
+        let encoded = Encoded::from_ctx_ref(&set, &ctx).unwrap();
+        let packed = EmbeddingMap::build(&set, encoded.encoding(), ctx.lfsr(), ctx.shifter());
+        let scalar =
+            EmbeddingMap::build_scalar(&set, encoded.encoding(), ctx.lfsr(), ctx.shifter());
+        assert_eq!(packed, scalar, "embedding maps must agree bit for bit");
+        assert!(packed.validate());
     }
 
     #[test]

@@ -146,9 +146,9 @@ impl ExprTable {
 
     /// Evaluates the whole window for a concrete seed: the `L` test
     /// vectors the decompressor would generate in Normal mode.
-    /// Identical to [`expand_seed`](crate::expand_seed) but computed
-    /// from the table (used by the encoder's fast path once a seed is
-    /// fully determined).
+    /// Identical to [`try_expand_seed`](crate::try_expand_seed) but
+    /// computed from the table (used by the encoder's fast path once a
+    /// seed is fully determined).
     ///
     /// # Panics
     ///

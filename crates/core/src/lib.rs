@@ -126,7 +126,10 @@ pub use literature::{
 pub use modeselect::ModeSelect;
 #[allow(deprecated)]
 pub use pipeline::expand_seed;
-pub use pipeline::{try_expand_seed, Pipeline, PipelineConfig, PipelineError, PipelineReport};
+pub use pipeline::{
+    try_expand_seed, try_expand_seed_packed, PackedWindowExpander, Pipeline, PipelineConfig,
+    PipelineError, PipelineReport,
+};
 pub use report::{improvement_percent, Table};
 pub use rtl::emit_decompressor_rtl;
 pub use scheme::{

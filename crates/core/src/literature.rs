@@ -120,21 +120,21 @@ pub fn lit_table4() -> Vec<LitTable4Row> {
 pub struct LitEmbeddingRow {
     /// Circuit name.
     pub circuit: &'static str,
-    /// TDV of [11] (Kaseridis et al.).
+    /// TDV of \[11\] (Kaseridis et al.).
     pub tdv_11: u64,
-    /// TDV of [22] (Li & Chakrabarty reconfigurable network).
+    /// TDV of \[22\] (Li & Chakrabarty reconfigurable network).
     pub tdv_22: u64,
     /// TDV of the proposed method (paper-reported).
     pub tdv_prop: u64,
-    /// TSL of [11].
+    /// TSL of \[11\].
     pub tsl_11: u64,
-    /// TSL of [22].
+    /// TSL of \[22\].
     pub tsl_22: u64,
     /// TSL of the proposed method (paper-reported).
     pub tsl_prop: u64,
-    /// Paper-reported TSL improvement vs [11], percent.
+    /// Paper-reported TSL improvement vs \[11\], percent.
     pub impr_11: f64,
-    /// Paper-reported TSL improvement vs [22], percent.
+    /// Paper-reported TSL improvement vs \[22\], percent.
     pub impr_22: f64,
 }
 

@@ -9,7 +9,7 @@
 //! [`Engine::builder`](crate::Engine::builder); see the `MIGRATION`
 //! section of `CHANGES.md` for the call-by-call mapping.
 
-use ss_gf2::BitVec;
+use ss_gf2::{BitVec, PackedPatterns, PATTERNS_PER_BLOCK};
 use ss_lfsr::{Lfsr, LfsrKind, PhaseShifter};
 use ss_testdata::{ScanConfig, TestSet};
 
@@ -83,6 +83,184 @@ pub fn try_expand_seed(
         vectors.push(vector);
     }
     Ok(vectors)
+}
+
+/// Packed variant of [`try_expand_seed`]: expands a seed into its
+/// window of fully specified vectors as a bit-sliced
+/// [`PackedPatterns`] block set (64 window positions per `u64` lane),
+/// bit-identical to the scalar expansion. The win is in the
+/// phase-shifter side: one packed [`PhaseShifter::outputs_packed`]
+/// evaluation per clock serves 64 window positions at once, where the
+/// scalar path pays a full matrix-vector product and per-cell bit
+/// sets for every window separately.
+///
+/// One-shot convenience over [`PackedWindowExpander`]; callers
+/// expanding many seeds against the same hardware should build the
+/// expander once so the transition-matrix powers are amortised.
+///
+/// # Errors
+///
+/// [`SchemeError::BadConfig`] under exactly the same geometry checks
+/// as [`try_expand_seed`].
+pub fn try_expand_seed_packed(
+    lfsr: &Lfsr,
+    shifter: &PhaseShifter,
+    scan: ScanConfig,
+    seed: &BitVec,
+    window: usize,
+) -> Result<PackedPatterns, SchemeError> {
+    PackedWindowExpander::new(lfsr, shifter, scan, window)?.expand(seed)
+}
+
+/// Reusable packed seed-window expander: one `(LFSR, phase shifter,
+/// scan, window)` setup, many seeds.
+///
+/// Each 64-position block runs one [`PackedLfsrStream`] pass of `r`
+/// clocks — 64 lanes stepped together bit-sliced, one lane per window
+/// position — and block starts are reached with a precomputed
+/// `T^(64·r)` transition-matrix jump ([`ExpressionStream::to_matrix`]
+/// territory: one [`BitMatrix::pow`](ss_gf2::BitMatrix::pow) at
+/// construction) instead of `64·r` scalar `step()`s per block. This
+/// is the generation path behind
+/// [`EmbeddingMap::build`](crate::EmbeddingMap::build).
+///
+/// [`PackedLfsrStream`]: ss_lfsr::PackedLfsrStream
+/// [`ExpressionStream::to_matrix`]: ss_lfsr::ExpressionStream::to_matrix
+///
+/// # Example
+///
+/// ```
+/// use ss_core::{try_expand_seed, PackedWindowExpander};
+/// use ss_gf2::{primitive_poly, BitVec};
+/// use ss_lfsr::{Lfsr, PhaseShifter};
+/// use ss_testdata::ScanConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lfsr = Lfsr::fibonacci(primitive_poly(8)?);
+/// let shifter = PhaseShifter::identity(8);
+/// let scan = ScanConfig::new(8, 4)?;
+/// let expander = PackedWindowExpander::new(&lfsr, &shifter, scan, 70)?;
+/// let seed = BitVec::from_u128(8, 0xA5);
+/// let packed = expander.expand(&seed)?;
+/// // bit-identical to the scalar path, 64 windows per word
+/// let scalar = try_expand_seed(&lfsr, &shifter, scan, &seed, 70)?;
+/// assert_eq!(packed.to_vectors(), scalar);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedWindowExpander<'a> {
+    lfsr: &'a Lfsr,
+    shifter: &'a PhaseShifter,
+    scan: ScanConfig,
+    window: usize,
+    /// `T^(64·r)`: the block-to-block jump; `None` for single-block
+    /// windows.
+    block_jump: Option<ss_gf2::BitMatrix>,
+}
+
+impl<'a> PackedWindowExpander<'a> {
+    /// Validates the hardware geometry and precomputes the jump
+    /// matrices.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] if the shifter does not match the
+    /// LFSR/scan geometry.
+    pub fn new(
+        lfsr: &'a Lfsr,
+        shifter: &'a PhaseShifter,
+        scan: ScanConfig,
+        window: usize,
+    ) -> Result<Self, SchemeError> {
+        if shifter.input_count() != lfsr.size() {
+            return Err(SchemeError::bad_config(format!(
+                "phase shifter reads {} cells but the LFSR has {}",
+                shifter.input_count(),
+                lfsr.size()
+            )));
+        }
+        if shifter.output_count() != scan.chains() {
+            return Err(SchemeError::bad_config(format!(
+                "phase shifter drives {} chains but the scan geometry has {}",
+                shifter.output_count(),
+                scan.chains()
+            )));
+        }
+        let block_jump = (window > PATTERNS_PER_BLOCK).then(|| {
+            lfsr.transition_matrix()
+                .pow((PATTERNS_PER_BLOCK * scan.depth()) as u64)
+        });
+        Ok(PackedWindowExpander {
+            lfsr,
+            shifter,
+            scan,
+            window,
+            block_jump,
+        })
+    }
+
+    /// The window length this expander produces.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Expands one seed into its packed window.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] if the seed width differs from the
+    /// LFSR size.
+    pub fn expand(&self, seed: &BitVec) -> Result<PackedPatterns, SchemeError> {
+        let mut packed = PackedPatterns::zeros(0, 0);
+        self.expand_into(seed, &mut packed)?;
+        Ok(packed)
+    }
+
+    /// [`expand`](PackedWindowExpander::expand) into a reusable
+    /// scratch buffer (reset first), for allocation-free outer loops
+    /// over many seeds.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] if the seed width differs from the
+    /// LFSR size.
+    pub fn expand_into(&self, seed: &BitVec, out: &mut PackedPatterns) -> Result<(), SchemeError> {
+        if seed.len() != self.lfsr.size() {
+            return Err(SchemeError::bad_config(format!(
+                "seed width {} differs from LFSR size {}",
+                seed.len(),
+                self.lfsr.size()
+            )));
+        }
+        let r = self.scan.depth();
+        out.reset(self.scan.cells(), self.window);
+        let blocks = self.window.div_ceil(PATTERNS_PER_BLOCK);
+        let mut base = seed.clone();
+        let mut outs = Vec::with_capacity(self.scan.chains());
+        for block in 0..blocks {
+            let lanes = (self.window - block * PATTERNS_PER_BLOCK).min(PATTERNS_PER_BLOCK);
+            // lane starts are r-step neighbours: a scalar walk beats a
+            // matrix-vector product per lane at scan-depth strides
+            let mut stream =
+                ss_lfsr::PackedLfsrStream::from_walk(self.lfsr, &base, r as u64, lanes);
+            for t in 0..r {
+                self.shifter.outputs_packed_into(stream.slices(), &mut outs);
+                let pos = self.scan.position_loaded_at(t);
+                for (c, &word) in outs.iter().enumerate() {
+                    out.set_word(self.scan.cell_index(c, pos), block, word);
+                }
+                stream.step();
+            }
+            if block + 1 < blocks {
+                // the 64-window jump to the next block's start: one
+                // precomputed T^(64*r) matrix-vector product
+                let jump = self.block_jump.as_ref().expect("multi-block windows");
+                base = jump.mul_vec(&base);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Panicking wrapper around [`try_expand_seed`], kept for legacy
@@ -184,7 +362,8 @@ impl From<EngineConfig> for PipelineConfig {
 /// construction, everything else behind one `run()`.
 ///
 /// Thin shim over [`Engine`](crate::Engine) + the staged artifacts;
-/// see the [module docs](self) for the migration story.
+/// see the `MIGRATION` section of `CHANGES.md` for the call-by-call
+/// mapping.
 #[derive(Debug)]
 pub struct Pipeline<'a> {
     set: &'a TestSet,
@@ -389,6 +568,51 @@ mod tests {
         for v in &a {
             assert_eq!(v.len(), set.config().cells());
         }
+    }
+
+    #[test]
+    fn packed_expansion_is_bit_identical_to_scalar() {
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let pipeline = Pipeline::new(&set, mini_config()).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        // windows straddling one block, an exact block and a ragged tail
+        for window in [1, 7, 64, 70, 130] {
+            let seed = BitVec::random(pipeline.lfsr().size(), &mut rng);
+            let scalar = try_expand_seed(
+                pipeline.lfsr(),
+                pipeline.shifter(),
+                set.config(),
+                &seed,
+                window,
+            )
+            .unwrap();
+            let packed = try_expand_seed_packed(
+                pipeline.lfsr(),
+                pipeline.shifter(),
+                set.config(),
+                &seed,
+                window,
+            )
+            .unwrap();
+            assert_eq!(packed.count(), window);
+            assert_eq!(packed.to_vectors(), scalar, "window {window}");
+        }
+    }
+
+    #[test]
+    fn packed_expansion_rejects_the_same_geometry_mismatches() {
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let pipeline = Pipeline::new(&set, mini_config()).unwrap();
+        let narrow = BitVec::ones(pipeline.lfsr().size() - 1);
+        let result = try_expand_seed_packed(
+            pipeline.lfsr(),
+            pipeline.shifter(),
+            set.config(),
+            &narrow,
+            4,
+        );
+        assert!(matches!(result, Err(SchemeError::BadConfig(_))));
     }
 
     #[test]

@@ -259,6 +259,31 @@ mod tests {
     }
 
     #[test]
+    fn comparison_table_formats_report_fields() {
+        let reports = vec![
+            SchemeReport::new("state-skip", 24, 10, 240, 1000, 120),
+            SchemeReport::new("classical-reseeding", 24, 40, 960, 40, 40),
+        ];
+        let table = comparison_table(&reports);
+        assert_eq!(table.row_count(), 2);
+        let text = table.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // header + separator + one line per report
+        assert_eq!(lines.len(), 4);
+        for header in ["scheme", "n", "seeds", "TDV (bits)", "TSL", "impr"] {
+            assert!(lines[0].contains(header), "missing header {header}");
+        }
+        // every column is rendered, improvement as a percentage
+        assert!(lines[2].contains("state-skip"));
+        assert!(lines[2].contains("240") && lines[2].contains("120"));
+        assert!(lines[2].contains("88.0%"), "1000 -> 120 is 88.0% shorter");
+        assert!(lines[3].contains("0.0%"), "no reduction formats as 0.0%");
+        // aligned: all rows share the header's width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
     fn run_scheme_matches_run_all() {
         let (set, engine) = mini();
         let single = engine.run_scheme(&StateSkip, &set).unwrap();

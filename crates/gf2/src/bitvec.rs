@@ -332,6 +332,41 @@ impl BitVec {
         &self.words
     }
 
+    /// The word at `word_index` (bits `64*word_index ..` of the
+    /// vector). The tail word reads with its out-of-range bits zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index >= as_words().len()`.
+    pub fn word(&self, word_index: usize) -> u64 {
+        assert!(
+            word_index < self.words.len(),
+            "word index {word_index} out of range {}",
+            self.words.len()
+        );
+        self.words[word_index]
+    }
+
+    /// Overwrites the word at `word_index` with `value`, masking off
+    /// any bits beyond `len` — the zero-tail invariant is preserved, so
+    /// this is the safe word-granular mutation primitive for packed
+    /// kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index >= as_words().len()`.
+    pub fn set_word(&mut self, word_index: usize, value: u64) {
+        assert!(
+            word_index < self.words.len(),
+            "word index {word_index} out of range {}",
+            self.words.len()
+        );
+        self.words[word_index] = value;
+        if word_index == self.words.len() - 1 {
+            self.mask_tail();
+        }
+    }
+
     /// Interprets the low 64 bits as a `u64` (bit 0 = index 0).
     pub fn low_u64(&self) -> u64 {
         self.words.first().copied().unwrap_or(0)

@@ -13,6 +13,9 @@
 //! * [`Gf2Poly`] and [`primitive_poly`] — polynomials over GF(2) and a
 //!   table of primitive polynomials for every degree an LFSR in this
 //!   workspace might use.
+//! * [`PackedPatterns`] — bit-sliced pattern blocks (64 patterns per
+//!   `u64` lane), the storage format of the word-parallel fault
+//!   simulation and embedding-detection kernels.
 //! * [`IncrementalSolver`] — a row-echelon GF(2) system solver with
 //!   checkpoint/rollback, used to encode test cubes into LFSR seeds.
 //! * [`berlekamp_massey`] — shortest-LFSR synthesis, used in tests to
@@ -48,6 +51,7 @@
 mod berlekamp;
 mod bitvec;
 mod matrix;
+mod packed;
 mod poly;
 mod proptests;
 mod solver;
@@ -55,5 +59,6 @@ mod solver;
 pub use berlekamp::berlekamp_massey;
 pub use bitvec::BitVec;
 pub use matrix::BitMatrix;
+pub use packed::{PackedPatterns, PATTERNS_PER_BLOCK};
 pub use poly::{primitive_poly, Gf2Poly, PrimitivePolyError};
 pub use solver::{IncrementalSolver, SolveOutcome, SolverCheckpoint};

@@ -163,6 +163,14 @@ impl Lfsr {
         &self.state
     }
 
+    /// The sparse feedback tap indices: every `j < n` with a nonzero
+    /// `x^j` coefficient in the characteristic polynomial. For
+    /// Fibonacci these cells XOR into the feedback bit; for Galois the
+    /// recirculated bit XORs into cell `j - 1` for each tap `j > 0`.
+    pub fn tap_indices(&self) -> Vec<usize> {
+        self.taps.iter_ones().collect()
+    }
+
     /// Loads a seed.
     ///
     /// # Panics
@@ -182,11 +190,15 @@ impl Lfsr {
     pub fn step(&mut self) {
         match self.kind {
             LfsrKind::Fibonacci => {
-                let feedback = {
-                    let mut t = self.state.clone();
-                    t.and_with(&self.taps);
-                    t.count_ones() % 2 == 1
-                };
+                // allocation-free tap parity: XOR the masked words and
+                // take one popcount
+                let acc = self
+                    .state
+                    .as_words()
+                    .iter()
+                    .zip(self.taps.as_words())
+                    .fold(0u64, |acc, (s, t)| acc ^ (s & t));
+                let feedback = acc.count_ones() % 2 == 1;
                 self.state.shift_down();
                 self.state.set(self.size - 1, feedback);
             }

@@ -17,6 +17,11 @@
 //! * [`ExpressionStream`] — symbolic simulation: the linear expressions
 //!   of every cell/output over the initial seed variables, advanced one
 //!   cycle at a time (the machinery behind seed computation).
+//! * [`PackedLfsrStream`] — 64-lane bit-sliced concrete simulation:
+//!   [`Lfsr::stream_packed`] runs up to 64 phase-offset copies of one
+//!   LFSR per word, and [`PhaseShifter::outputs_packed`] emits a whole
+//!   `u64` of scan-chain bits per chain per clock (the generation side
+//!   of the packed fault-simulation path).
 //! * [`XorNetwork`] — multi-output XOR synthesis with greedy common
 //!   subexpression extraction, plus [`CostModel`] gate-equivalent
 //!   accounting (how the paper's overhead numbers are estimated).
@@ -45,11 +50,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cost;
 mod lfsr;
 mod misr;
+mod packed;
 mod phase_shifter;
 mod proptests;
 mod skip;
@@ -59,6 +65,7 @@ mod xor_network;
 pub use cost::{CostModel, GateCount};
 pub use lfsr::{Lfsr, LfsrError, LfsrKind};
 pub use misr::Misr;
+pub use packed::PackedLfsrStream;
 pub use phase_shifter::{PhaseShifter, PhaseShifterError};
 pub use skip::{SkipCircuit, SkipError, StateSkipLfsr};
 pub use stream::ExpressionStream;

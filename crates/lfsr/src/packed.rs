@@ -1,0 +1,390 @@
+//! 64-lane bit-sliced LFSR streaming: the packed pattern-generation
+//! path.
+//!
+//! Scalar expansion walks one LFSR through `L * r` clocks per seed and
+//! reads one phase-shifter output bit per chain per clock. The packed
+//! path instead runs up to 64 *lanes* of the same LFSR simultaneously,
+//! transposed: lane `v` is the register advanced `v * stride` clocks
+//! ahead, and the stream state is stored bit-sliced (`slices[i]` holds
+//! cell `i` of all lanes, one lane per bit). One [`step`] then advances
+//! all 64 lanes with a handful of word XORs, and
+//! [`PhaseShifter::outputs_packed`] yields, per scan chain, a whole
+//! `u64` of output bits — 64 window positions per word instead of one.
+//!
+//! With `stride = r` (the scan depth), the 64 lanes are exactly 64
+//! consecutive window positions of one seed, which is how
+//! `ss-core` packs a window into [`ss_gf2::PackedPatterns`] blocks.
+//!
+//! [`step`]: PackedLfsrStream::step
+
+use ss_gf2::{BitMatrix, BitVec};
+
+use crate::{Lfsr, LfsrKind, PhaseShifter};
+
+/// Up to 64 copies of one LFSR, phase-offset by a fixed stride and
+/// stepped together bit-sliced (lane `v` lives in bit `v` of every
+/// state word).
+///
+/// Lane initialisation uses the transition-matrix power `T^stride`
+/// (one [`BitMatrix::pow`](ss_gf2::BitMatrix::pow) plus one
+/// matrix-vector product per lane) instead of `stride` scalar
+/// [`Lfsr::step`]s per lane, so wide strides cost `O(n^3 log stride)`
+/// setup rather than `O(lanes * stride * n)` stepping.
+///
+/// # Example
+///
+/// ```
+/// use ss_gf2::{primitive_poly, BitVec};
+/// use ss_lfsr::{Lfsr, PackedLfsrStream};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lfsr = Lfsr::fibonacci(primitive_poly(8)?);
+/// let seed = BitVec::from_u128(8, 0b1011_0001);
+/// // 4 lanes, each 10 clocks apart
+/// let mut stream = lfsr.stream_packed(&seed, 10, 4);
+/// stream.step(); // all four lanes advance one clock at once
+///
+/// // lane 2 now equals the scalar register at cycle 2*10 + 1
+/// let mut scalar = lfsr.clone();
+/// scalar.load(&seed);
+/// scalar.step_by(21);
+/// assert_eq!(stream.lane_state(2), *scalar.state());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedLfsrStream {
+    kind: LfsrKind,
+    /// Sparse feedback taps (`x^j` coefficients of the characteristic
+    /// polynomial with `j < n`), shared by both feedback structures.
+    taps: Vec<usize>,
+    /// `slices[i]` = cell `i` of every lane, one lane per bit.
+    slices: Vec<u64>,
+    lanes: usize,
+    cycle: u64,
+}
+
+impl PackedLfsrStream {
+    /// Creates a stream whose lane `v` holds `T^(v * stride) * seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != lfsr.size()` or `lanes` is outside
+    /// `1..=64`.
+    pub fn new(lfsr: &Lfsr, seed: &BitVec, stride: u64, lanes: usize) -> Self {
+        // one matrix power + (lanes - 1) matrix-vector products, not
+        // lanes * stride scalar steps
+        PackedLfsrStream::with_jump(lfsr, seed, &lfsr.transition_matrix().pow(stride), lanes)
+    }
+
+    /// Like [`new`](PackedLfsrStream::new) with a precomputed lane
+    /// jump matrix (`jump = T^stride`): lane `v` holds `jump^v * seed`.
+    /// Callers that expand many seeds against one piece of hardware
+    /// compute the power once and amortise it across every stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != lfsr.size()`, `jump` is not
+    /// `size x size`, or `lanes` is outside `1..=64`.
+    pub fn with_jump(lfsr: &Lfsr, seed: &BitVec, jump: &BitMatrix, lanes: usize) -> Self {
+        assert_eq!(seed.len(), lfsr.size(), "seed width mismatch");
+        assert!(
+            jump.row_count() == lfsr.size() && jump.col_count() == lfsr.size(),
+            "jump matrix must be {n} x {n}",
+            n = lfsr.size()
+        );
+        assert!(
+            (1..=64).contains(&lanes),
+            "lane count {lanes} outside 1..=64"
+        );
+        let n = lfsr.size();
+        let mut slices = vec![0u64; n];
+        let mut state = seed.clone();
+        for lane in 0..lanes {
+            if lane > 0 {
+                state = jump.mul_vec(&state);
+            }
+            for i in state.iter_ones() {
+                slices[i] |= 1u64 << lane;
+            }
+        }
+        let taps = lfsr.tap_indices();
+        PackedLfsrStream {
+            kind: lfsr.kind(),
+            taps,
+            slices,
+            lanes,
+            cycle: 0,
+        }
+    }
+
+    /// Creates the same stream as [`new`](PackedLfsrStream::new) by
+    /// *walking* the scalar register `stride` steps between lanes
+    /// instead of multiplying by `T^stride`. For small strides (a
+    /// scan-chain depth, say) the walk's `O(lanes·stride·n/64)` word
+    /// ops beat the matrix route's `O(lanes·n²/64)`; window expanders
+    /// choose this form, wide-stride callers the matrix one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != lfsr.size()` or `lanes` is outside
+    /// `1..=64`.
+    pub fn from_walk(lfsr: &Lfsr, seed: &BitVec, stride: u64, lanes: usize) -> Self {
+        assert_eq!(seed.len(), lfsr.size(), "seed width mismatch");
+        assert!(
+            (1..=64).contains(&lanes),
+            "lane count {lanes} outside 1..=64"
+        );
+        let n = lfsr.size();
+        let mut slices = vec![0u64; n];
+        let mut walker = lfsr.clone();
+        walker.load(seed);
+        for lane in 0..lanes {
+            for i in walker.state().iter_ones() {
+                slices[i] |= 1u64 << lane;
+            }
+            if lane + 1 < lanes {
+                walker.step_by(stride);
+            }
+        }
+        PackedLfsrStream {
+            kind: lfsr.kind(),
+            taps: lfsr.tap_indices(),
+            slices,
+            lanes,
+            cycle: 0,
+        }
+    }
+
+    /// Number of LFSR cells `n`.
+    pub fn size(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of active lanes (`1..=64`).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Clocks advanced since construction (per lane).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The bit-sliced state: `slices()[i]` carries cell `i` of every
+    /// lane (lane `v` in bit `v`). This is the word layout
+    /// [`PhaseShifter::outputs_packed`] consumes.
+    pub fn slices(&self) -> &[u64] {
+        &self.slices
+    }
+
+    /// Reconstructs the full state of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes()`.
+    pub fn lane_state(&self, lane: usize) -> BitVec {
+        assert!(lane < self.lanes, "lane {lane} out of range {}", self.lanes);
+        BitVec::from_bits(self.slices.iter().map(|&w| (w >> lane) & 1 == 1))
+    }
+
+    /// Advances every lane one clock: the bit-sliced analogue of
+    /// [`Lfsr::step`], costing `O(n + weight(f))` word operations for
+    /// all lanes together.
+    pub fn step(&mut self) {
+        let n = self.slices.len();
+        match self.kind {
+            LfsrKind::Fibonacci => {
+                let mut feedback = 0u64;
+                for &j in &self.taps {
+                    feedback ^= self.slices[j];
+                }
+                self.slices.copy_within(1..n, 0);
+                self.slices[n - 1] = feedback;
+            }
+            LfsrKind::Galois => {
+                let recirc = self.slices[0];
+                self.slices.copy_within(1..n, 0);
+                self.slices[n - 1] = recirc;
+                for &j in &self.taps {
+                    if j > 0 {
+                        self.slices[j - 1] ^= recirc;
+                    }
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Advances every lane `count` clocks.
+    pub fn step_by(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+}
+
+impl Lfsr {
+    /// Starts a [`PackedLfsrStream`] on this LFSR's structure: `lanes`
+    /// phase-shifted copies seeded at `T^(v * stride) * seed`, stepped
+    /// together bit-sliced. The receiver's own state is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed.len() != size()` or `lanes` is outside `1..=64`.
+    pub fn stream_packed(&self, seed: &BitVec, stride: u64, lanes: usize) -> PackedLfsrStream {
+        PackedLfsrStream::new(self, seed, stride, lanes)
+    }
+}
+
+impl PhaseShifter {
+    /// Evaluates every output for a bit-sliced LFSR state: `out[c]` is
+    /// the packed word of chain `c`'s output across all lanes (lane
+    /// `v` in bit `v`) — 64 scan-chain bits per chain per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices.len() != input_count()`.
+    pub fn outputs_packed(&self, slices: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.output_count());
+        self.outputs_packed_into(slices, &mut out);
+        out
+    }
+
+    /// [`outputs_packed`](PhaseShifter::outputs_packed) into a caller
+    /// buffer (cleared first), for allocation-free inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices.len() != input_count()`.
+    pub fn outputs_packed_into(&self, slices: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            slices.len(),
+            self.input_count(),
+            "bit-sliced state width mismatch"
+        );
+        out.clear();
+        out.extend(self.rows().iter_rows().map(|row| {
+            let mut acc = 0u64;
+            for cell in row.iter_ones() {
+                acc ^= slices[cell];
+            }
+            acc
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use ss_gf2::primitive_poly;
+
+    #[test]
+    fn lanes_track_scalar_stepping_for_both_kinds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for kind in [LfsrKind::Fibonacci, LfsrKind::Galois] {
+            let lfsr = Lfsr::try_new(primitive_poly(9).unwrap(), kind).unwrap();
+            let seed = BitVec::random(9, &mut rng);
+            let mut stream = lfsr.stream_packed(&seed, 7, 5);
+            for step in 0..30u64 {
+                for lane in 0..5 {
+                    let mut scalar = lfsr.clone();
+                    scalar.load(&seed);
+                    scalar.step_by(lane as u64 * 7 + step);
+                    assert_eq!(
+                        stream.lane_state(lane),
+                        *scalar.state(),
+                        "{kind} lane {lane} step {step}"
+                    );
+                }
+                stream.step();
+            }
+            assert_eq!(stream.cycle(), 30);
+        }
+    }
+
+    #[test]
+    fn sixty_four_lanes_fill_every_bit() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(7).unwrap());
+        let seed = BitVec::from_u128(7, 1);
+        let stream = lfsr.stream_packed(&seed, 1, 64);
+        // lane v = T^v * seed; a maximal-length 7-bit LFSR (period 127)
+        // makes all 64 lane states distinct
+        let mut seen = std::collections::HashSet::new();
+        for lane in 0..64 {
+            seen.insert(stream.lane_state(lane));
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn outputs_packed_matches_scalar_outputs_per_lane() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let lfsr = Lfsr::fibonacci(primitive_poly(12).unwrap());
+        let shifter = PhaseShifter::synthesize(12, 8, 3, &mut rng).unwrap();
+        let seed = BitVec::random(12, &mut rng);
+        let mut stream = lfsr.stream_packed(&seed, 5, 64);
+        for _ in 0..20 {
+            let words = shifter.outputs_packed(stream.slices());
+            assert_eq!(words.len(), 8);
+            for lane in 0..64 {
+                let outs = shifter.outputs(&stream.lane_state(lane));
+                for (c, &word) in words.iter().enumerate() {
+                    assert_eq!(
+                        (word >> lane) & 1 == 1,
+                        outs.get(c),
+                        "lane {lane} chain {c}"
+                    );
+                }
+            }
+            stream.step();
+        }
+    }
+
+    #[test]
+    fn from_walk_equals_matrix_initialisation() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for kind in [LfsrKind::Fibonacci, LfsrKind::Galois] {
+            let lfsr = Lfsr::try_new(primitive_poly(11).unwrap(), kind).unwrap();
+            let seed = BitVec::random(11, &mut rng);
+            for (stride, lanes) in [(1u64, 64usize), (9, 17), (40, 3)] {
+                let walked = PackedLfsrStream::from_walk(&lfsr, &seed, stride, lanes);
+                let jumped = lfsr.stream_packed(&seed, stride, lanes);
+                assert_eq!(
+                    walked.slices(),
+                    jumped.slices(),
+                    "{kind} stride {stride} lanes {lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_by_equals_steps() {
+        let lfsr = Lfsr::galois(primitive_poly(7).unwrap());
+        let seed = BitVec::from_u128(7, 0x55);
+        let mut a = lfsr.stream_packed(&seed, 3, 8);
+        let mut b = lfsr.stream_packed(&seed, 3, 8);
+        a.step_by(13);
+        for _ in 0..13 {
+            b.step();
+        }
+        assert_eq!(a.slices(), b.slices());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn rejects_more_than_64_lanes() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(6).unwrap());
+        let _ = lfsr.stream_packed(&BitVec::zeros(6), 1, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed width")]
+    fn rejects_wrong_seed_width() {
+        let lfsr = Lfsr::fibonacci(primitive_poly(6).unwrap());
+        let _ = lfsr.stream_packed(&BitVec::zeros(5), 1, 4);
+    }
+}
