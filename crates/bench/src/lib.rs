@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use ss_core::{Engine, PipelineReport};
-use ss_testdata::{generate_test_set, CubeProfile, TestSet};
+use ss_testdata::{generate_test_set, CubeProfile, TestSet, WorkloadRegistry, CORPUS_SEED};
 
 /// Workload scale factor from `SS_SCALE` (default 0.25, clamped to
 /// `(0, 1]`).
@@ -30,8 +30,10 @@ pub fn scale() -> f64 {
         .unwrap_or(0.25)
 }
 
-/// Deterministic workload seed shared by all benches.
-pub const WORKLOAD_SEED: u64 = 2008;
+/// Deterministic workload seed shared by all benches — the corpus
+/// registry's canonical seed, so bench workloads and registry
+/// workloads are the same bits.
+pub const WORKLOAD_SEED: u64 = CORPUS_SEED;
 
 /// The five paper circuits at the harness scale.
 pub fn scaled_circuits() -> Vec<CubeProfile> {
@@ -41,9 +43,20 @@ pub fn scaled_circuits() -> Vec<CubeProfile> {
         .collect()
 }
 
-/// Generates the synthetic test set for a profile.
+/// The test set for a (possibly scaled) profile, pulled from the
+/// named workload corpus.
+///
+/// Every paper profile is a registry entry
+/// ([`WorkloadRegistry::find`] by `profile.name`), so benches, tests
+/// and docs all run the same named bits; a scaled profile maps to the
+/// corpus entry's prefix (`Workload::test_set_scaled`'s documented
+/// truncation-equals-scaled-generation contract). Profiles without a
+/// registry entry fall back to direct generation at [`WORKLOAD_SEED`].
 pub fn workload(profile: &CubeProfile) -> TestSet {
-    generate_test_set(profile, WORKLOAD_SEED)
+    match WorkloadRegistry::find(profile.name) {
+        Some(w) => w.test_set_prefix(profile.cube_count),
+        None => generate_test_set(profile, WORKLOAD_SEED),
+    }
 }
 
 /// Runs the full State Skip flow for a profile at `(L, S, k)` through
@@ -161,6 +174,20 @@ mod tests {
     #[test]
     fn scaled_circuits_have_five_entries() {
         assert_eq!(scaled_circuits().len(), 5);
+    }
+
+    #[test]
+    fn registry_workload_equals_direct_generation() {
+        // the registry-backed path must produce the exact bits the old
+        // direct-generation path produced, scaled or not
+        for factor in [1.0, 0.25] {
+            let profile = CubeProfile::s13207().scaled(factor);
+            assert_eq!(
+                workload(&profile),
+                generate_test_set(&profile, WORKLOAD_SEED),
+                "factor {factor}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,860 @@
+//! ISCAS'89 `.bench` netlist reading and writing.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS'85/'89
+//! benchmark suites and of academic ATPG tools (HITEC, Atalanta, ...):
+//!
+//! ```text
+//! # s27 (fragment)
+//! INPUT(G0)
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G5  = DFF(G10)
+//! G10 = NAND(G0, G14)
+//! G14 = NOT(G1)
+//! G17 = NOR(G5, G10)
+//! ```
+//!
+//! [`parse_bench`] reads this grammar into the workspace's full-scan
+//! view: every `DFF` is broken at the flip-flop, its **output**
+//! becoming a pseudo-primary input (a scan cell, appended after the
+//! declared `INPUT`s) and its **input** a pseudo-primary output
+//! (appended after the declared `OUTPUT`s). The result is exactly the
+//! combinational [`Netlist`] the rest of the workspace operates on —
+//! netlist inputs are the positions of a test cube.
+//!
+//! [`write_bench`] serialises a (combinational) [`Netlist`] back to
+//! `.bench` text with canonical `I<i>` / `N<id>` signal names; gates
+//! are emitted in topological (node-id) order. The pair round-trips:
+//! `parse_bench(&write_bench(&n, ...))` reconstructs a structurally
+//! identical netlist (same gate list, same fanin ids, same outputs),
+//! a property pinned by this crate's proptests.
+//!
+//! Parsing **never panics**: every malformed input yields a
+//! [`BenchParseError`] carrying the 1-based line and column of the
+//! offending token plus a specific [`BenchErrorKind`].
+
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// What went wrong while parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenchErrorKind {
+    /// The file contained no statements at all (only blank lines and
+    /// comments, or nothing).
+    EmptyFile,
+    /// A line ended in the middle of a construct (e.g. a missing `)`
+    /// or a fanin list cut short).
+    Truncated,
+    /// A character that cannot appear at this position (bad signal
+    /// name characters, stray punctuation, trailing junk).
+    BadCharacter(char),
+    /// A directive other than `INPUT(..)` / `OUTPUT(..)`.
+    UnknownDirective(String),
+    /// A gate function name that is not one of
+    /// `AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF`.
+    UnknownGate(String),
+    /// A signal referenced (as a fanin or an `OUTPUT`) but never
+    /// defined by an `INPUT` line or a gate assignment.
+    UndefinedSignal(String),
+    /// A signal driven twice (two assignments, or an assignment to a
+    /// declared `INPUT`).
+    DuplicateDefinition(String),
+    /// The combinational logic (after breaking every `DFF`) contains a
+    /// cycle through the named signal.
+    CombinationalCycle(String),
+    /// A gate with an impossible fanin count (`NOT`/`BUF`/`DFF` need
+    /// exactly one, every other kind at least two).
+    BadFaninCount {
+        /// The gate's output signal name.
+        gate: String,
+        /// The gate function as written.
+        kind: String,
+        /// Fanins supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BenchErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchErrorKind::EmptyFile => write!(f, "empty .bench file (no statements)"),
+            BenchErrorKind::Truncated => write!(f, "line ends in the middle of a construct"),
+            BenchErrorKind::BadCharacter(c) => write!(f, "unexpected character {c:?}"),
+            BenchErrorKind::UnknownDirective(d) => {
+                write!(f, "unknown directive {d:?} (expected INPUT or OUTPUT)")
+            }
+            BenchErrorKind::UnknownGate(g) => write!(f, "unknown gate function {g:?}"),
+            BenchErrorKind::UndefinedSignal(s) => write!(f, "signal {s:?} is never defined"),
+            BenchErrorKind::DuplicateDefinition(s) => {
+                write!(f, "signal {s:?} is defined more than once")
+            }
+            BenchErrorKind::CombinationalCycle(s) => {
+                write!(f, "combinational cycle through signal {s:?}")
+            }
+            BenchErrorKind::BadFaninCount { gate, kind, got } => {
+                write!(f, "gate {gate:?}: {kind} cannot take {got} fanin(s)")
+            }
+        }
+    }
+}
+
+/// A `.bench` parse failure: the error kind plus the 1-based line and
+/// column where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (character position within the line).
+    pub column: usize,
+    /// What went wrong.
+    pub kind: BenchErrorKind,
+}
+
+impl fmt::Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.kind
+        )
+    }
+}
+
+impl Error for BenchParseError {}
+
+/// A parsed `.bench` circuit: the full-scan combinational [`Netlist`]
+/// plus the signal-name metadata needed to relate netlist node ids
+/// back to the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCircuit {
+    /// The combinational netlist (DFFs broken into pseudo-PI/PO pairs).
+    pub netlist: Netlist,
+    /// Name of every netlist input, in node-id order: the declared
+    /// `INPUT`s first, then one pseudo-input per `DFF` output.
+    pub input_names: Vec<String>,
+    /// Name of every gate node, indexed by gate position (gate `g`
+    /// drives node `input_names.len() + g`).
+    pub gate_names: Vec<String>,
+    /// Name of every netlist output, parallel to
+    /// [`Netlist::outputs`]: the declared `OUTPUT`s first, then one
+    /// pseudo-output per `DFF` input (named after the driving signal).
+    pub output_names: Vec<String>,
+    /// How many of the inputs were declared `INPUT(..)` (true primary
+    /// inputs); the remaining `dff_count` are scan pseudo-inputs.
+    pub pi_count: usize,
+    /// Number of DFFs broken into scan cells.
+    pub dff_count: usize,
+}
+
+/// The gate functions `.bench` can name on the right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BenchKind {
+    Plain(GateKind),
+    Dff,
+}
+
+fn lookup_kind(name: &str) -> Option<BenchKind> {
+    let upper = name.to_ascii_uppercase();
+    Some(match upper.as_str() {
+        "AND" => BenchKind::Plain(GateKind::And),
+        "OR" => BenchKind::Plain(GateKind::Or),
+        "NAND" => BenchKind::Plain(GateKind::Nand),
+        "NOR" => BenchKind::Plain(GateKind::Nor),
+        "XOR" => BenchKind::Plain(GateKind::Xor),
+        "XNOR" => BenchKind::Plain(GateKind::Xnor),
+        "NOT" => BenchKind::Plain(GateKind::Not),
+        "BUF" | "BUFF" => BenchKind::Plain(GateKind::Buf),
+        "DFF" => BenchKind::Dff,
+        _ => return None,
+    })
+}
+
+fn kind_to_bench(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::And => "AND",
+        GateKind::Or => "OR",
+        GateKind::Nand => "NAND",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Not => "NOT",
+        GateKind::Buf => "BUFF",
+    }
+}
+
+/// A source location (1-based line, 1-based column).
+type Loc = (usize, usize);
+
+fn err(loc: Loc, kind: BenchErrorKind) -> BenchParseError {
+    BenchParseError {
+        line: loc.0,
+        column: loc.1,
+        kind,
+    }
+}
+
+/// One syntactic statement of a `.bench` file.
+#[derive(Debug)]
+enum Stmt {
+    Input {
+        name: String,
+        loc: Loc,
+    },
+    Output {
+        name: String,
+        loc: Loc,
+    },
+    Gate {
+        name: String,
+        kind: BenchKind,
+        fanins: Vec<(String, Loc)>,
+        loc: Loc,
+    },
+}
+
+/// A cursor over one line's characters with 1-based column tracking
+/// (columns count characters, not bytes, so multi-byte signals keep
+/// every error kind's column consistent).
+struct LineScanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line_no: usize,
+    consumed: usize,
+}
+
+impl<'a> LineScanner<'a> {
+    fn new(line: &'a str, line_no: usize) -> Self {
+        LineScanner {
+            chars: line.chars().peekable(),
+            line_no,
+            consumed: 0,
+        }
+    }
+
+    /// Column of the next unread character (or one past the end).
+    fn column(&self) -> usize {
+        self.consumed + 1
+    }
+
+    fn loc(&self) -> Loc {
+        (self.line_no, self.column())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c.is_some() {
+            self.consumed += 1;
+        }
+        c
+    }
+
+    /// `true` for characters allowed in signal and function names.
+    fn is_name_char(c: char) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, '_' | '[' | ']' | '.' | '$')
+    }
+
+    /// Reads a non-empty identifier; errors with the violating
+    /// character (or [`BenchErrorKind::Truncated`] at end of line).
+    fn ident(&mut self) -> Result<(String, Loc), BenchParseError> {
+        self.skip_ws();
+        let loc = self.loc();
+        let mut name = String::new();
+        while matches!(self.chars.peek(), Some(&c) if Self::is_name_char(c)) {
+            name.push(self.bump().expect("peeked"));
+        }
+        if name.is_empty() {
+            return match self.peek() {
+                Some(c) => Err(err(loc, BenchErrorKind::BadCharacter(c))),
+                None => Err(err(loc, BenchErrorKind::Truncated)),
+            };
+        }
+        Ok((name, loc))
+    }
+
+    /// Consumes one expected punctuation character.
+    fn expect(&mut self, want: char) -> Result<(), BenchParseError> {
+        self.skip_ws();
+        let loc = self.loc();
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(err(loc, BenchErrorKind::BadCharacter(c))),
+            None => Err(err(loc, BenchErrorKind::Truncated)),
+        }
+    }
+
+    /// Errors unless only whitespace remains.
+    fn expect_end(&mut self) -> Result<(), BenchParseError> {
+        self.skip_ws();
+        let loc = self.loc();
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => Err(err(loc, BenchErrorKind::BadCharacter(c))),
+        }
+    }
+
+    /// Parses a parenthesised, comma-separated identifier list:
+    /// `( a, b, ... )` with at least one element.
+    fn paren_list(&mut self) -> Result<Vec<(String, Loc)>, BenchParseError> {
+        self.expect('(')?;
+        let mut items = vec![self.ident()?];
+        loop {
+            self.skip_ws();
+            let loc = self.loc();
+            match self.bump() {
+                Some(')') => return Ok(items),
+                Some(',') => items.push(self.ident()?),
+                Some(c) => return Err(err(loc, BenchErrorKind::BadCharacter(c))),
+                None => return Err(err(loc, BenchErrorKind::Truncated)),
+            }
+        }
+    }
+}
+
+/// Tokenises one non-blank, non-comment line into a [`Stmt`].
+fn parse_line(line: &str, line_no: usize) -> Result<Stmt, BenchParseError> {
+    let mut s = LineScanner::new(line, line_no);
+    let (first, first_loc) = s.ident()?;
+    s.skip_ws();
+    match s.peek() {
+        // directive form: INPUT(x) / OUTPUT(x) — exactly one signal,
+        // so a comma (or anything else before `)`) errors at its own
+        // column
+        Some('(') => {
+            s.expect('(')?;
+            let (name, loc) = s.ident()?;
+            s.expect(')')?;
+            s.expect_end()?;
+            match first.to_ascii_uppercase().as_str() {
+                "INPUT" => Ok(Stmt::Input { name, loc }),
+                "OUTPUT" => Ok(Stmt::Output { name, loc }),
+                _ => Err(err(first_loc, BenchErrorKind::UnknownDirective(first))),
+            }
+        }
+        // assignment form: name = KIND(a, b, ...)
+        Some('=') => {
+            s.bump();
+            let (kind_text, kind_loc) = s.ident()?;
+            let kind = lookup_kind(&kind_text)
+                .ok_or_else(|| err(kind_loc, BenchErrorKind::UnknownGate(kind_text.clone())))?;
+            let fanins = s.paren_list()?;
+            s.expect_end()?;
+            let unary = matches!(kind, BenchKind::Dff | BenchKind::Plain(GateKind::Not))
+                || matches!(kind, BenchKind::Plain(GateKind::Buf));
+            if (unary && fanins.len() != 1) || (!unary && fanins.len() < 2) {
+                return Err(err(
+                    first_loc,
+                    BenchErrorKind::BadFaninCount {
+                        gate: first,
+                        kind: kind_text,
+                        got: fanins.len(),
+                    },
+                ));
+            }
+            Ok(Stmt::Gate {
+                name: first,
+                kind,
+                fanins,
+                loc: first_loc,
+            })
+        }
+        Some(c) => {
+            let loc = s.loc();
+            Err(err(loc, BenchErrorKind::BadCharacter(c)))
+        }
+        None => Err(err(s.loc(), BenchErrorKind::Truncated)),
+    }
+}
+
+/// Parses ISCAS'89 `.bench` text into a full-scan [`BenchCircuit`].
+///
+/// Grammar: `#` starts a comment, blank lines are skipped, and every
+/// other line is `INPUT(sig)`, `OUTPUT(sig)` or
+/// `sig = FUNC(sig, sig, ...)` with `FUNC` one of
+/// `AND OR NAND NOR XOR XNOR NOT BUF BUFF DFF` (case-insensitive).
+/// Gates may be defined in any textual order; the parser topologically
+/// sorts them (stably, by definition order) into the netlist's gate
+/// list. Every `DFF` is broken into a scan pseudo-input / pseudo-output
+/// pair (the DFF output joins the netlist inputs after the declared
+/// `INPUT`s; the DFF's data input joins the outputs).
+///
+/// # Errors
+///
+/// Returns a [`BenchParseError`] with line/column for any malformed
+/// input; this function never panics.
+///
+/// # Example
+///
+/// ```
+/// use ss_circuit::parse_bench;
+///
+/// let src = "
+/// INPUT(A)
+/// INPUT(B)
+/// OUTPUT(Q)
+/// S = DFF(Q)
+/// Q = XOR(A, N1)
+/// N1 = NAND(B, S)
+/// ";
+/// let circuit = parse_bench(src)?;
+/// assert_eq!(circuit.pi_count, 2);
+/// assert_eq!(circuit.dff_count, 1);       // S became a scan cell
+/// assert_eq!(circuit.netlist.input_count(), 3);
+/// assert_eq!(circuit.netlist.outputs().len(), 2); // Q + DFF input
+/// # Ok::<(), ss_circuit::BenchParseError>(())
+/// ```
+pub fn parse_bench(text: &str) -> Result<BenchCircuit, BenchParseError> {
+    // pass 1: tokenise
+    let mut stmts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        stmts.push(parse_line(line, i + 1)?);
+    }
+    if stmts.is_empty() {
+        return Err(err((1, 1), BenchErrorKind::EmptyFile));
+    }
+
+    // pass 2: collect definitions. Node ids: declared INPUTs first (in
+    // order), then one pseudo-input per DFF (in definition order), then
+    // the combinational gates in stable topological order.
+    struct GateDef<'a> {
+        name: &'a str,
+        kind: GateKind,
+        fanins: &'a [(String, Loc)],
+        loc: Loc,
+    }
+    let mut input_names: Vec<String> = Vec::new();
+    let mut gates: Vec<GateDef<'_>> = Vec::new();
+    let mut dffs: Vec<(&String, &(String, Loc))> = Vec::new();
+    let mut outputs: Vec<(&String, Loc)> = Vec::new();
+    // signal -> Driver
+    #[derive(Clone, Copy)]
+    enum Driver {
+        Input(usize),
+        Gate(usize),
+        DffOut(usize),
+    }
+    let mut drivers: HashMap<&str, Driver> = HashMap::new();
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Input { name, loc } => {
+                if drivers.contains_key(name.as_str()) {
+                    return Err(err(*loc, BenchErrorKind::DuplicateDefinition(name.clone())));
+                }
+                drivers.insert(name.as_str(), Driver::Input(input_names.len()));
+                input_names.push(name.clone());
+            }
+            Stmt::Output { name, loc } => outputs.push((name, *loc)),
+            Stmt::Gate {
+                name,
+                kind,
+                fanins,
+                loc,
+            } => {
+                if drivers.contains_key(name.as_str()) {
+                    return Err(err(*loc, BenchErrorKind::DuplicateDefinition(name.clone())));
+                }
+                match kind {
+                    BenchKind::Dff => {
+                        drivers.insert(name.as_str(), Driver::DffOut(dffs.len()));
+                        dffs.push((name, &fanins[0]));
+                    }
+                    BenchKind::Plain(k) => {
+                        drivers.insert(name.as_str(), Driver::Gate(gates.len()));
+                        gates.push(GateDef {
+                            name,
+                            kind: *k,
+                            fanins,
+                            loc: *loc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let pi_count = input_names.len();
+    let dff_count = dffs.len();
+    let input_count = pi_count + dff_count;
+    for (name, _) in &dffs {
+        input_names.push((*name).clone());
+    }
+
+    // resolve every gate fanin now so undefined signals are reported
+    // even when the gate is unreachable; build the gate-on-gate
+    // dependency lists for the topological sort
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); gates.len()]; // gate -> gates it feeds
+    let mut indegree: Vec<usize> = vec![0; gates.len()];
+    for (g, gate) in gates.iter().enumerate() {
+        for (fanin, floc) in gate.fanins.iter() {
+            match drivers.get(fanin.as_str()) {
+                None => {
+                    return Err(err(*floc, BenchErrorKind::UndefinedSignal(fanin.clone())));
+                }
+                Some(Driver::Gate(src)) => {
+                    deps[*src].push(g);
+                    indegree[g] += 1;
+                }
+                Some(Driver::Input(_)) | Some(Driver::DffOut(_)) => {}
+            }
+        }
+    }
+    // DFF data inputs must also resolve
+    for (_, (fanin, floc)) in &dffs {
+        if !drivers.contains_key(fanin.as_str()) {
+            return Err(err(*floc, BenchErrorKind::UndefinedSignal(fanin.clone())));
+        }
+    }
+
+    // stable Kahn topological sort: always emit the ready gate with the
+    // smallest definition index, so an already-ordered file (e.g. the
+    // output of `write_bench`) keeps its gate order exactly
+    let mut heap: BinaryHeap<std::cmp::Reverse<usize>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(g, _)| std::cmp::Reverse(g))
+        .collect();
+    let mut order = Vec::with_capacity(gates.len());
+    while let Some(std::cmp::Reverse(g)) = heap.pop() {
+        order.push(g);
+        for &next in &deps[g] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                heap.push(std::cmp::Reverse(next));
+            }
+        }
+    }
+    if order.len() < gates.len() {
+        // every unplaced gate lies on or downstream of a cycle; walk
+        // unplaced predecessors until a gate repeats — that one is on
+        // the cycle itself
+        let start = (0..gates.len())
+            .find(|&g| indegree[g] > 0)
+            .expect("some gate is unplaced");
+        let mut seen = vec![false; gates.len()];
+        let mut g = start;
+        while !seen[g] {
+            seen[g] = true;
+            g = gates[g]
+                .fanins
+                .iter()
+                .find_map(|(fanin, _)| match drivers.get(fanin.as_str()) {
+                    Some(Driver::Gate(src)) if indegree[*src] > 0 => Some(*src),
+                    _ => None,
+                })
+                .expect("an unplaced gate has an unplaced gate fanin");
+        }
+        return Err(err(
+            gates[g].loc,
+            BenchErrorKind::CombinationalCycle(gates[g].name.to_string()),
+        ));
+    }
+
+    // node id of each parsed entity
+    let node_of = |driver: Driver, topo_pos: &[usize]| -> NodeId {
+        match driver {
+            Driver::Input(i) => i,
+            Driver::DffOut(d) => pi_count + d,
+            Driver::Gate(g) => input_count + topo_pos[g],
+        }
+    };
+    let mut topo_pos = vec![0usize; gates.len()];
+    for (pos, &g) in order.iter().enumerate() {
+        topo_pos[g] = pos;
+    }
+
+    let mut netlist = Netlist::new(input_count);
+    let mut gate_names = Vec::with_capacity(gates.len());
+    for &g in &order {
+        let gate = &gates[g];
+        let ids: Vec<NodeId> = gate
+            .fanins
+            .iter()
+            .map(|(fanin, _)| node_of(drivers[fanin.as_str()], &topo_pos))
+            .collect();
+        netlist
+            .add_gate(gate.kind, ids)
+            .expect("fanin counts and ordering were validated");
+        gate_names.push(gate.name.to_string());
+    }
+
+    let mut output_names = Vec::with_capacity(outputs.len() + dffs.len());
+    for (name, loc) in outputs {
+        let driver = *drivers
+            .get(name.as_str())
+            .ok_or_else(|| err(loc, BenchErrorKind::UndefinedSignal(name.clone())))?;
+        netlist
+            .add_output(node_of(driver, &topo_pos))
+            .expect("resolved drivers are in range");
+        output_names.push(name.clone());
+    }
+    for (_, (fanin, _)) in &dffs {
+        netlist
+            .add_output(node_of(drivers[fanin.as_str()], &topo_pos))
+            .expect("resolved drivers are in range");
+        output_names.push(fanin.clone());
+    }
+
+    Ok(BenchCircuit {
+        netlist,
+        input_names,
+        gate_names,
+        output_names,
+        pi_count,
+        dff_count,
+    })
+}
+
+/// Serialises a combinational [`Netlist`] to `.bench` text.
+///
+/// Canonical naming: input `i` is `I<i>`, the gate driving node `id`
+/// is `N<id>`. Inputs are declared in id order, then outputs, then the
+/// gates in topological (id) order — so
+/// [`parse_bench`]`(&write_bench(&n, ..))` reconstructs a structurally
+/// identical netlist.
+///
+/// The header comment records `name` plus the node counts; it is
+/// ignored by the parser.
+pub fn write_bench(netlist: &Netlist, name: &str) -> String {
+    let node_name = |id: NodeId| -> String {
+        if netlist.is_input(id) {
+            format!("I{id}")
+        } else {
+            format!("N{id}")
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!("# {name}\n"));
+    out.push_str(&format!(
+        "# {} inputs, {} gates, {} outputs\n",
+        netlist.input_count(),
+        netlist.gate_count(),
+        netlist.outputs().len()
+    ));
+    for i in 0..netlist.input_count() {
+        out.push_str(&format!("INPUT(I{i})\n"));
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", node_name(o)));
+    }
+    for (g, gate) in netlist.gates().iter().enumerate() {
+        let id = netlist.input_count() + g;
+        let fanins: Vec<String> = gate.fanins.iter().map(|&f| node_name(f)).collect();
+        out.push_str(&format!(
+            "N{id} = {}({})\n",
+            kind_to_bench(gate.kind),
+            fanins.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{random_circuit, CircuitSpec};
+
+    const S27ISH: &str = "
+# toy sequential core
+INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(Q)
+S1 = DFF(N2)
+N1 = NAND(A, S1)   # trailing comment
+N2 = NOR(N1, B)
+Q  = XOR(N2, C)
+";
+
+    #[test]
+    fn parses_a_sequential_core_into_the_scan_view() {
+        let c = parse_bench(S27ISH).unwrap();
+        assert_eq!(c.pi_count, 3);
+        assert_eq!(c.dff_count, 1);
+        assert_eq!(c.netlist.input_count(), 4, "3 PIs + 1 scan cell");
+        assert_eq!(c.netlist.gate_count(), 3);
+        // outputs: declared Q, then the DFF's data input N2
+        assert_eq!(c.output_names, vec!["Q".to_string(), "N2".to_string()]);
+        assert_eq!(c.netlist.outputs().len(), 2);
+        assert_eq!(c.input_names, vec!["A", "B", "C", "S1"]);
+        // gate order is topological: N1 (reads A,S1), N2, Q
+        assert_eq!(c.gate_names, vec!["N1", "N2", "Q"]);
+    }
+
+    #[test]
+    fn out_of_order_definitions_are_sorted() {
+        let src = "INPUT(A)\nOUTPUT(Z)\nZ = NOT(Y)\nY = BUFF(A)\n";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.gate_names, vec!["Y", "Z"], "Y must be elaborated first");
+        let v = c.netlist.eval(&[true]);
+        assert_eq!(v, vec![false]);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let src = "input(a)\ninput(b)\noutput(z)\nz = nand(a, b)\n";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.netlist.gate_count(), 1);
+        assert_eq!(c.netlist.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn writer_emits_parseable_text() {
+        let n = random_circuit(&CircuitSpec::tiny(), 3);
+        let text = write_bench(&n, "tiny-3");
+        let parsed = parse_bench(&text).unwrap();
+        assert_eq!(parsed.netlist, n);
+        assert_eq!(parsed.pi_count, n.input_count());
+        assert_eq!(parsed.dff_count, 0);
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_generated_circuits() {
+        for seed in [1, 7, 42] {
+            let n = random_circuit(&CircuitSpec::mini(), seed);
+            let parsed = parse_bench(&write_bench(&n, "mini")).unwrap();
+            assert_eq!(parsed.netlist, n, "seed {seed}");
+        }
+    }
+
+    /// The adversarial table: every malformed input maps to a
+    /// *specific* error kind at a plausible location — never a panic.
+    #[test]
+    fn malformed_inputs_yield_specific_errors() {
+        use BenchErrorKind as K;
+        let cases: &[(&str, K)] = &[
+            ("", K::EmptyFile),
+            ("\n\n# only comments\n", K::EmptyFile),
+            ("   \n\t\n", K::EmptyFile),
+            // truncated constructs
+            ("INPUT(", K::Truncated),
+            ("INPUT(A", K::Truncated),
+            ("G1 = AND(A, ", K::Truncated),
+            ("G1 = AND(A, B", K::Truncated),
+            ("G1 =", K::Truncated),
+            ("G1 = AND", K::Truncated),
+            ("G1", K::Truncated),
+            // bad characters
+            ("INPUT(A)\nG! = AND(A, A)", K::BadCharacter('!')),
+            ("INPUT(A)\nG1 = AND(A; A)", K::BadCharacter(';')),
+            ("INPUT(A)\nG1 = AND(A, A) junk", K::BadCharacter('j')),
+            ("INPUT(A) extra", K::BadCharacter('e')),
+            ("INPUT()", K::BadCharacter(')')),
+            ("INPUT(A, B)", K::BadCharacter(',')),
+            // unknown names
+            ("FOO(A)", K::UnknownDirective("FOO".into())),
+            ("INPUT(A)\nG1 = NANDD(A, A)", K::UnknownGate("NANDD".into())),
+            // semantic errors
+            (
+                "INPUT(A)\nOUTPUT(G1)\nG1 = AND(A, B)",
+                K::UndefinedSignal("B".into()),
+            ),
+            ("INPUT(A)\nOUTPUT(Z)", K::UndefinedSignal("Z".into())),
+            (
+                "INPUT(A)\nD = DFF(Q)\nOUTPUT(D)",
+                K::UndefinedSignal("Q".into()),
+            ),
+            ("INPUT(A)\nINPUT(A)", K::DuplicateDefinition("A".into())),
+            ("INPUT(A)\nA = NOT(A)", K::DuplicateDefinition("A".into())),
+            (
+                "INPUT(A)\nG1 = NOT(A)\nG1 = BUFF(A)",
+                K::DuplicateDefinition("G1".into()),
+            ),
+            // combinational cycles (a DFF in the loop is fine; a pure
+            // combinational loop is not)
+            (
+                "INPUT(A)\nX = AND(A, Y)\nY = NOT(X)\nOUTPUT(Y)",
+                K::CombinationalCycle("X".into()),
+            ),
+            ("X = NOT(X)\nOUTPUT(X)", K::CombinationalCycle("X".into())),
+            // fanin arity
+            (
+                "INPUT(A)\nG1 = NOT(A, A)",
+                K::BadFaninCount {
+                    gate: "G1".into(),
+                    kind: "NOT".into(),
+                    got: 2,
+                },
+            ),
+            (
+                "INPUT(A)\nG1 = DFF(A, A)",
+                K::BadFaninCount {
+                    gate: "G1".into(),
+                    kind: "DFF".into(),
+                    got: 2,
+                },
+            ),
+            (
+                "INPUT(A)\nG1 = AND(A)",
+                K::BadFaninCount {
+                    gate: "G1".into(),
+                    kind: "AND".into(),
+                    got: 1,
+                },
+            ),
+        ];
+        for (src, want) in cases {
+            match parse_bench(src) {
+                Err(e) => assert_eq!(&e.kind, want, "input {src:?} gave {e}"),
+                Ok(_) => panic!("input {src:?} unexpectedly parsed"),
+            }
+        }
+    }
+
+    #[test]
+    fn dff_feedback_loops_are_legal() {
+        // classic counter bit: the DFF feeds itself through an inverter
+        let src = "OUTPUT(Q)\nQ = DFF(NQ)\nNQ = NOT(Q)\n";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.pi_count, 0);
+        assert_eq!(c.dff_count, 1);
+        assert_eq!(c.netlist.input_count(), 1);
+        // scan cell Q=0 -> NQ=1
+        assert_eq!(c.netlist.eval(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn error_locations_are_precise() {
+        let e = parse_bench("INPUT(A)\nG1 = AND(A; A)").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 11));
+        // a second directive argument errors at the comma itself
+        let e = parse_bench("INPUT(A, B)").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 8));
+        // columns count characters, not bytes: the two-byte no-break
+        // space before the bad char must not shift its column
+        let e = parse_bench("INPUT(\u{A0}\u{E9})").unwrap_err();
+        assert_eq!(e.kind, BenchErrorKind::BadCharacter('\u{E9}'));
+        assert_eq!((e.line, e.column), (1, 8));
+        let e = parse_bench("INPUT(A)\n\nQ = NAND(A, zz)\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, BenchErrorKind::UndefinedSignal("zz".into()));
+        // display mentions both coordinates
+        assert!(e.to_string().starts_with("line 3, column "));
+    }
+
+    #[test]
+    fn duplicate_outputs_are_allowed() {
+        let src = "INPUT(A)\nOUTPUT(Z)\nOUTPUT(Z)\nZ = NOT(A)\n";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.netlist.outputs().len(), 2);
+    }
+}

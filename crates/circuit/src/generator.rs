@@ -104,6 +104,21 @@ impl CircuitSpec {
         }
     }
 
+    /// Looks a preset up by name (`"tiny"`, `"mini"`, `"s9234-like"`,
+    /// ...), as recorded in workload provenance metadata.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "tiny" => CircuitSpec::tiny(),
+            "mini" => CircuitSpec::mini(),
+            "s9234-like" => CircuitSpec::s9234_like(),
+            "s13207-like" => CircuitSpec::s13207_like(),
+            "s15850-like" => CircuitSpec::s15850_like(),
+            "s38417-like" => CircuitSpec::s38417_like(),
+            "s38584-like" => CircuitSpec::s38584_like(),
+            _ => return None,
+        })
+    }
+
     /// s38584-like interface: 1464 inputs.
     pub fn s38584_like() -> Self {
         CircuitSpec {
@@ -163,7 +178,11 @@ pub fn random_circuit(spec: &CircuitSpec, seed: u64) -> Netlist {
                 let lo = node_count.saturating_sub(spec.locality);
                 rng.gen_range(lo..node_count)
             };
-            if !fanins.contains(&pick) {
+            // distinct fanins preferred; duplicates only once every
+            // existing node is already tapped (tiny early gates of
+            // narrow specs), so wide specs are byte-identical to
+            // before this guard existed
+            if !fanins.contains(&pick) || fanins.len() >= node_count {
                 fanins.push(pick);
             }
         }

@@ -1,0 +1,98 @@
+//! Property-based tests for the `.bench` reader/writer.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::bench_io::{parse_bench, write_bench};
+use crate::generator::{random_circuit, CircuitSpec};
+use crate::netlist::Netlist;
+
+/// A random generator-built netlist spanning the spec space,
+/// deterministic in the three drawn knobs.
+fn build_netlist(inputs: usize, gates: usize, seed: u64) -> Netlist {
+    let spec = CircuitSpec {
+        name: "prop",
+        inputs,
+        gates,
+        outputs: (gates / 3).max(1),
+        max_fanin: 2 + (seed % 3) as usize,
+        locality: (inputs + gates).div_ceil(2).max(4),
+    };
+    random_circuit(&spec, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `parse(write(n))` reconstructs the exact netlist structure for
+    /// any generator-built circuit: same inputs, gate list (kinds and
+    /// fanin ids) and output list.
+    #[test]
+    fn bench_roundtrip_is_identity(
+        inputs in 1usize..=24,
+        gates in 1usize..=80,
+        seed in any::<u64>(),
+    ) {
+        let netlist = build_netlist(inputs, gates, seed);
+        let text = write_bench(&netlist, "prop-roundtrip");
+        let parsed = parse_bench(&text).unwrap();
+        prop_assert_eq!(&parsed.netlist, &netlist);
+        prop_assert_eq!(parsed.pi_count, netlist.input_count());
+        prop_assert_eq!(parsed.dff_count, 0);
+        // a second trip through the writer is byte-stable
+        prop_assert_eq!(write_bench(&parsed.netlist, "prop-roundtrip"), text);
+    }
+
+    /// Round-tripped netlists are not just structurally but
+    /// behaviourally identical on random input vectors.
+    #[test]
+    fn bench_roundtrip_preserves_behaviour(
+        inputs in 1usize..=24,
+        gates in 1usize..=80,
+        seed in any::<u64>(),
+        raw in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let netlist = build_netlist(inputs, gates, seed);
+        let parsed = parse_bench(&write_bench(&netlist, "prop")).unwrap();
+        let inputs: Vec<bool> = raw.iter().copied()
+            .cycle()
+            .take(netlist.input_count())
+            .collect();
+        prop_assert_eq!(parsed.netlist.eval(&inputs), netlist.eval(&inputs));
+    }
+
+    /// The parser never panics: arbitrary byte soup yields `Ok` or a
+    /// structured error, nothing else.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_bench(&text);
+    }
+
+    /// Nor on "almost valid" inputs: random line-structured text drawn
+    /// from the format's own alphabet.
+    #[test]
+    fn parser_never_panics_on_format_like_text(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    Just("INPUT"), Just("OUTPUT"), Just("G1"), Just("G2"),
+                    Just("="), Just("("), Just(")"), Just(","), Just(" "),
+                    Just("NAND"), Just("DFF"), Just("#"), Just("\t"),
+                ],
+                0..12,
+            ),
+            0..8,
+        ),
+    ) {
+        let text = lines
+            .iter()
+            .map(|tokens| tokens.concat())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = parse_bench(&text);
+    }
+}

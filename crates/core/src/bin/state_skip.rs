@@ -2,25 +2,31 @@
 //! flow, built on the staged `Engine` API.
 //!
 //! ```text
-//! state-skip stats   <test_set.txt>
-//! state-skip run     <test_set.txt> [L] [S] [k]
-//! state-skip compare <test_set.txt> [L] [S] [k]   # all three schemes
-//! state-skip sweep   <test_set.txt> [L]
-//! state-skip rtl     <test_set.txt> [k]
-//! state-skip gen     <profile> <seed>             # emit a synthetic set
+//! state-skip stats     <test_set.txt>
+//! state-skip run       <test_set.txt> [L] [S] [k]
+//! state-skip run       --bench <f.bench> --cubes <f.cubes> [L] [S] [k]
+//! state-skip compare   <test_set.txt> [L] [S] [k]   # all three schemes
+//! state-skip sweep     <test_set.txt> [L]
+//! state-skip rtl       <test_set.txt> [k]
+//! state-skip gen       <profile> <seed>             # emit a synthetic set
+//! state-skip workloads                              # list the corpus
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
-//! (`chains <m> depth <r>` header + one `01X` cube per line).
+//! (`chains <m> depth <r>` header + one `01X` cube per line); netlists
+//! use the ISCAS'89 `.bench` format of `ss_circuit::parse_bench`. The
+//! `--bench/--cubes` form runs the engine on a user-supplied circuit +
+//! cube-set pair and closes the loop with fault simulation of the
+//! decompressed sequences.
 
 use std::process::ExitCode;
 
 use ss_core::{
-    comparison_table, emit_decompressor_rtl, improvement_percent, Baseline11, ClassicalReseeding,
-    CompressionScheme, Engine, StateSkip, Table,
+    comparison_table, emit_decompressor_rtl, improvement_percent, parse_workload,
+    sequence_coverage, Baseline11, ClassicalReseeding, CompressionScheme, Engine, StateSkip, Table,
 };
 use ss_lfsr::SkipCircuit;
-use ss_testdata::{generate_test_set, CubeProfile, TestSet};
+use ss_testdata::{generate_test_set, CubeProfile, TestSet, WorkloadRegistry};
 
 fn main() -> ExitCode {
     match run() {
@@ -35,18 +41,21 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  state-skip stats   <test_set.txt>
-  state-skip run     <test_set.txt> [L=100] [S=5] [k=10]
-  state-skip compare <test_set.txt> [L=100] [S=5] [k=10]
-  state-skip sweep   <test_set.txt> [L=100]
-  state-skip rtl     <test_set.txt> [k=10]
-  state-skip gen     <s9234|s13207|s15850|s38417|s38584|mini> <seed>";
+  state-skip stats     <test_set.txt>
+  state-skip run       <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10]
+  state-skip compare   <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip sweep     <test_set.txt> [L=100]
+  state-skip rtl       <test_set.txt> [k=10]
+  state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
+  state-skip workloads";
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).ok_or("missing command")?;
     match command {
         "stats" => stats(args.get(1).ok_or("missing test set path")?),
+        "run" if args.iter().any(|a| a == "--bench" || a == "--cubes") => run_files(&args[1..]),
         "run" => cmd_run(
             args.get(1).ok_or("missing test set path")?,
             parse_or(args.get(2), 100)?,
@@ -71,8 +80,31 @@ fn run() -> Result<(), String> {
             args.get(1).ok_or("missing profile name")?,
             parse_or(args.get(2), 1)? as u64,
         ),
+        "workloads" => workloads(),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Splits `--bench <path> --cubes <path>` out of a flag/positional mix,
+/// returning (bench, cubes, positionals).
+fn split_flags(args: &[String]) -> Result<(String, String, Vec<&String>), String> {
+    let mut bench = None;
+    let mut cubes = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => bench = Some(it.next().ok_or("--bench needs a path")?.clone()),
+            "--cubes" => cubes = Some(it.next().ok_or("--cubes needs a path")?.clone()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            _ => rest.push(arg),
+        }
+    }
+    Ok((
+        bench.ok_or("missing --bench <file>")?,
+        cubes.ok_or("missing --cubes <file>")?,
+        rest,
+    ))
 }
 
 fn parse_or(arg: Option<&String>, default: usize) -> Result<usize, String> {
@@ -139,6 +171,83 @@ fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<()
         report.cost.mode_select_ge(),
         report.cost.shared_ge()
     );
+    Ok(())
+}
+
+/// `run --bench <f> --cubes <f>`: ingest a circuit + cube-set pair,
+/// run the full State Skip flow, and fault-simulate the decompressed
+/// sequences against the circuit.
+fn run_files(args: &[String]) -> Result<(), String> {
+    let (bench_path, cubes_path, rest) = split_flags(args)?;
+    let window = parse_or(rest.first().copied(), 100)?;
+    let segment = parse_or(rest.get(1).copied(), 5)?;
+    let speedup = parse_or(rest.get(2).copied(), 10)? as u64;
+
+    let bench_text =
+        std::fs::read_to_string(&bench_path).map_err(|e| format!("{bench_path}: {e}"))?;
+    let cubes_text =
+        std::fs::read_to_string(&cubes_path).map_err(|e| format!("{cubes_path}: {e}"))?;
+    let workload = parse_workload(&bench_text, &cubes_text).map_err(|e| e.to_string())?;
+    let netlist = &workload.circuit.netlist;
+    println!(
+        "circuit:  {} inputs ({} PIs + {} scan cells), {} gates, {} outputs",
+        netlist.input_count(),
+        workload.circuit.pi_count,
+        workload.circuit.dff_count,
+        netlist.gate_count(),
+        netlist.outputs().len()
+    );
+    let stats = workload.set.stats();
+    println!(
+        "cubes:    {} cubes on {}, smax {}, mean specified {:.1}",
+        stats.cube_count,
+        workload.set.config(),
+        stats.smax,
+        stats.mean_specified
+    );
+
+    let engine = engine_for(window, segment, speedup)?;
+    let (engine, set) = encodable(&engine, &workload.set)?;
+    let report = engine.run(&set).map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    let ctx = engine.synthesize(&set).map_err(|e| e.to_string())?;
+    let cov = sequence_coverage(netlist, &ctx, &report).map_err(|e| e.to_string())?;
+    println!(
+        "coverage: {:.2}% of {} collapsed stuck-at faults under State Skip ({} applied vectors); {:.2}% for the full window sequence ({} vectors)",
+        cov.applied_coverage * 100.0,
+        cov.faults,
+        cov.applied_vectors,
+        cov.window_coverage * 100.0,
+        cov.window_vectors
+    );
+    Ok(())
+}
+
+/// `workloads`: list the named corpus. Profile entries are described
+/// from their profile metadata so the listing stays instant — no cube
+/// set is materialised.
+fn workloads() -> Result<(), String> {
+    let mut table = Table::new(["name", "kind", "cubes", "cells", "smax", "description"]);
+    for w in WorkloadRegistry::all() {
+        let (kind, cubes, cells, smax) = match w.profile() {
+            Some(p) => ("profile", p.cube_count, p.scan_config().cells(), p.smax),
+            None => {
+                let set = w.test_set();
+                ("files", set.len(), set.config().cells(), set.smax())
+            }
+        };
+        table.add_row([
+            w.name.to_string(),
+            kind.to_string(),
+            cubes.to_string(),
+            cells.to_string(),
+            smax.to_string(),
+            w.description.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("file workloads live under crates/testdata/workloads/;");
+    println!("run one with: state-skip run --bench <name>.bench --cubes <name>.cubes");
     Ok(())
 }
 

@@ -87,6 +87,15 @@
 //! [`SocPlan::run_batch`]. The legacy [`Pipeline`] API remains as a
 //! thin shim over the same stages (bit-identical results) for one
 //! release; see the `MIGRATION` section of `CHANGES.md`.
+//!
+//! # File workloads
+//!
+//! User-supplied workloads enter through [`parse_workload`] (an
+//! ISCAS'89 `.bench` netlist + a `01X` cube-set file, cross-validated)
+//! and [`sequence_coverage`] fault-simulates the decompressor's actual
+//! output against the ingested netlist; named ready-made pairs live in
+//! `ss_testdata::WorkloadRegistry`. The `state-skip` binary exposes the
+//! same path as `run --bench <f> --cubes <f>` and `workloads`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -108,6 +117,7 @@ mod report;
 mod rtl;
 mod scheme;
 mod soc;
+mod workload_io;
 
 pub use artifacts::{Embedded, Encoded, HardwareCtx, Segmented};
 pub use baseline11::baseline11_tsl;
@@ -136,6 +146,9 @@ pub use scheme::{
     comparison_table, Baseline11, ClassicalReseeding, CompressionScheme, SchemeReport, StateSkip,
 };
 pub use soc::{estimated_core_area_ge, SocCore, SocPlan};
+pub use workload_io::{
+    parse_workload, sequence_coverage, CoverageReport, FileWorkload, WorkloadIoError,
+};
 
 /// Segment labelling, selection and TSL accounting (Section 3.2).
 pub mod segments;

@@ -16,7 +16,11 @@
 //!   generator with profiles mimicking the paper's five ISCAS'89
 //!   benchmark test sets (see `DESIGN.md` for the substitution
 //!   rationale).
-//! * Text serialisation in an Atalanta-like `01X` format.
+//! * Text serialisation in an Atalanta-like `01X` format
+//!   (`chains <m> depth <r>` header + one cube row per line).
+//! * [`WorkloadRegistry`] — the named workload corpus: checked-in
+//!   circuit + cube-set files and the five paper profiles, addressable
+//!   by name from benches, tests, docs and the CLI.
 //!
 //! # Example
 //!
@@ -34,17 +38,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cube;
 mod gen;
 mod power;
 mod proptests;
+mod registry;
 mod scan;
 mod set;
 
 pub use cube::{ParseCubeError, TestCube};
 pub use gen::{generate_cubes, generate_test_set, CubeProfile};
 pub use power::{max_wtm, sequence_power, weighted_transitions, PowerReport};
+pub use registry::{FileProvenance, Workload, WorkloadRegistry, WorkloadSource, CORPUS_SEED};
 pub use scan::{ScanConfig, ScanConfigError};
 pub use set::{ParseTestSetError, TestSet, TestSetError, TestSetStats};

@@ -93,6 +93,43 @@ proptest! {
         prop_assert_eq!(parsed, set);
     }
 
+    /// Cube-file round-trip over arbitrary scan geometries:
+    /// `parse(write(set))` is identity for every geometry and cube mix,
+    /// and a second write is byte-stable.
+    #[test]
+    fn cube_file_roundtrip_any_geometry(
+        chains in 1usize..6,
+        depth in 1usize..8,
+        rows in proptest::collection::vec(any::<u64>(), 0..10),
+    ) {
+        let cfg = ScanConfig::new(chains, depth).unwrap();
+        let mut set = TestSet::new(cfg);
+        for &row in &rows {
+            // derive a 01X row deterministically from the drawn word
+            let text: String = (0..cfg.cells())
+                .map(|i| match (row >> (i % 32)) & 0b11 {
+                    0 => '0',
+                    1 => '1',
+                    _ => 'X',
+                })
+                .collect();
+            set.push(text.parse().unwrap()).unwrap();
+        }
+        let text = set.to_text();
+        let parsed = TestSet::from_text(&text).unwrap();
+        prop_assert_eq!(&parsed, &set);
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// The cube-file parser never panics on arbitrary byte soup.
+    #[test]
+    fn cube_file_parser_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = TestSet::from_text(&text);
+    }
+
     /// drop_covered never removes coverage: every vector matching some
     /// original cube still matches a surviving cube that implies it...
     /// precisely: for every removed cube there is a surviving cube

@@ -1,0 +1,383 @@
+//! The named workload corpus: every input the system can be driven
+//! with, addressable by name.
+//!
+//! Benches, tests, docs and the `state-skip` CLI all pull workloads
+//! from this registry instead of re-generating them ad hoc, so a name
+//! like `"mini-7"` or `"s13207"` means the same bits everywhere. Two
+//! kinds of entry exist:
+//!
+//! * **File workloads** — a generator-built circuit serialised to
+//!   ISCAS'89 `.bench` text plus its Podem-generated uncompacted cube
+//!   set in the workspace cube-file format, both checked in under
+//!   `crates/testdata/workloads/` and embedded with [`include_str!`].
+//!   Each carries [`FileProvenance`] (generator spec, seeds, chain
+//!   count), and the workspace test `corpus_identity` proves the
+//!   checked-in bytes are exactly what the provenance regenerates.
+//! * **Profile workloads** — the five paper circuits' synthetic cube
+//!   sets, materialised on demand from their [`CubeProfile`] with the
+//!   canonical corpus seed. Their cube sets are megabytes when
+//!   serialised, so they are generated (deterministically) rather than
+//!   embedded.
+//!
+//! ```
+//! use ss_testdata::WorkloadRegistry;
+//!
+//! let workload = WorkloadRegistry::find("mini-7").unwrap();
+//! let set = workload.test_set();
+//! assert!(!set.is_empty());
+//! assert!(WorkloadRegistry::find("s13207").is_some());
+//! ```
+
+use crate::{generate_test_set, CubeProfile, TestSet};
+
+/// The RNG seed every profile workload is materialised with — the
+/// workspace-wide canonical workload seed (also used by `ss-bench`).
+pub const CORPUS_SEED: u64 = 2008;
+
+/// How a file workload was produced, sufficient to regenerate it
+/// bit-identically (see the workspace `corpus_identity` test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileProvenance {
+    /// `ss_circuit::CircuitSpec` preset name (`"tiny"`, `"mini"`, ...).
+    pub spec: &'static str,
+    /// Seed passed to `ss_circuit::random_circuit`.
+    pub circuit_seed: u64,
+    /// Seed passed to `ss_circuit::generate_uncompacted_test_set`.
+    pub atpg_seed: u64,
+    /// Scan chains the cubes were mapped onto
+    /// (`ScanConfig::for_cells(chains, circuit inputs)`).
+    pub chains: usize,
+}
+
+/// Where a workload's bits come from.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkloadSource {
+    /// Checked-in `.bench` + cube-set text, embedded at compile time.
+    Files {
+        /// The ISCAS'89 `.bench` netlist source.
+        bench: &'static str,
+        /// The cube-set file source (workspace `01X` format).
+        cubes: &'static str,
+        /// How the two files were produced.
+        provenance: FileProvenance,
+    },
+    /// A synthetic profile materialised with [`CORPUS_SEED`].
+    Profile {
+        /// Constructor of the profile (e.g. [`CubeProfile::s13207`]).
+        profile: fn() -> CubeProfile,
+    },
+}
+
+/// One named corpus entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Unique registry name (what benches/tests/CLI reference).
+    pub name: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+    /// Where the bits come from.
+    pub source: WorkloadSource,
+}
+
+impl Workload {
+    /// The workload's test set.
+    ///
+    /// File workloads parse their embedded cube text; profile
+    /// workloads generate from the profile at [`CORPUS_SEED`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an embedded corpus file is corrupt — impossible for a
+    /// released build, since the `corpus_identity` and `golden_corpus`
+    /// tests parse every entry.
+    pub fn test_set(&self) -> TestSet {
+        match self.source {
+            WorkloadSource::Files { cubes, .. } => TestSet::from_text(cubes)
+                .unwrap_or_else(|e| panic!("corpus entry {:?} is corrupt: {e}", self.name)),
+            WorkloadSource::Profile { profile } => generate_test_set(&profile(), CORPUS_SEED),
+        }
+    }
+
+    /// A prefix of the workload's test set: the first
+    /// `ceil(len * factor)` cubes (at least one; `factor` is clamped
+    /// to `(0, 1]`).
+    ///
+    /// For profile workloads this equals generating the scaled profile
+    /// directly ([`CubeProfile::scaled`]) because cube generation is
+    /// sequential in the RNG stream — a property pinned by a registry
+    /// test — so scaled benches and golden tests stay bit-comparable
+    /// with full-size runs.
+    pub fn test_set_scaled(&self, factor: f64) -> TestSet {
+        let total = self.cube_count();
+        let keep =
+            ((total as f64 * factor.clamp(0.0, 1.0)).round() as usize).clamp(1, total.max(1));
+        self.test_set_prefix(keep)
+    }
+
+    /// The first `n` cubes of the workload's test set (the whole set
+    /// when `n` is larger). Same prefix contract as
+    /// [`test_set_scaled`](Workload::test_set_scaled), keyed by count
+    /// instead of fraction — what `ss-bench` uses to honour a scaled
+    /// [`CubeProfile::cube_count`]. Profile workloads generate only
+    /// the `n` cubes asked for (the prefix property makes that exact,
+    /// not approximate); file workloads truncate the parsed set.
+    pub fn test_set_prefix(&self, n: usize) -> TestSet {
+        match self.source {
+            WorkloadSource::Profile { profile } => {
+                let mut p = profile();
+                p.cube_count = p.cube_count.min(n);
+                generate_test_set(&p, CORPUS_SEED)
+            }
+            WorkloadSource::Files { .. } => prefix_of(self.test_set(), n),
+        }
+    }
+
+    /// Number of cubes in the workload, without materialising a
+    /// profile workload's cube set.
+    pub fn cube_count(&self) -> usize {
+        match self.source {
+            WorkloadSource::Files { .. } => self.test_set().len(),
+            WorkloadSource::Profile { profile } => profile().cube_count,
+        }
+    }
+
+    /// The embedded `.bench` netlist text, for file workloads.
+    pub fn bench_text(&self) -> Option<&'static str> {
+        match self.source {
+            WorkloadSource::Files { bench, .. } => Some(bench),
+            WorkloadSource::Profile { .. } => None,
+        }
+    }
+
+    /// The embedded cube-set file text, for file workloads.
+    pub fn cubes_text(&self) -> Option<&'static str> {
+        match self.source {
+            WorkloadSource::Files { cubes, .. } => Some(cubes),
+            WorkloadSource::Profile { .. } => None,
+        }
+    }
+
+    /// The regeneration recipe, for file workloads.
+    pub fn provenance(&self) -> Option<FileProvenance> {
+        match self.source {
+            WorkloadSource::Files { provenance, .. } => Some(provenance),
+            WorkloadSource::Profile { .. } => None,
+        }
+    }
+
+    /// The underlying cube profile, for profile workloads.
+    pub fn profile(&self) -> Option<CubeProfile> {
+        match self.source {
+            WorkloadSource::Files { .. } => None,
+            WorkloadSource::Profile { profile } => Some(profile()),
+        }
+    }
+}
+
+/// The first `keep` cubes of `full` as a new set (all of them when
+/// `keep` exceeds the set).
+fn prefix_of(full: TestSet, keep: usize) -> TestSet {
+    if keep >= full.len() {
+        return full;
+    }
+    let mut set = TestSet::new(full.config());
+    for cube in full.cubes().iter().take(keep) {
+        set.push(cube.clone()).expect("same geometry");
+    }
+    set
+}
+
+/// Every corpus entry, in registry order: the file workloads first,
+/// then the five paper profiles.
+static WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "tiny-1",
+        description: "12-input generated circuit, Podem cubes on 4 scan chains",
+        source: WorkloadSource::Files {
+            bench: include_str!("../workloads/tiny-1.bench"),
+            cubes: include_str!("../workloads/tiny-1.cubes"),
+            provenance: FileProvenance {
+                spec: "tiny",
+                circuit_seed: 1,
+                atpg_seed: 1,
+                chains: 4,
+            },
+        },
+    },
+    Workload {
+        name: "tiny-pad",
+        description: "12-input generated circuit on 5 chains (15 cells, 3 padding)",
+        source: WorkloadSource::Files {
+            bench: include_str!("../workloads/tiny-pad.bench"),
+            cubes: include_str!("../workloads/tiny-pad.cubes"),
+            provenance: FileProvenance {
+                spec: "tiny",
+                circuit_seed: 3,
+                atpg_seed: 3,
+                chains: 5,
+            },
+        },
+    },
+    Workload {
+        name: "mini-7",
+        description: "64-input generated circuit, Podem cubes on 8 scan chains",
+        source: WorkloadSource::Files {
+            bench: include_str!("../workloads/mini-7.bench"),
+            cubes: include_str!("../workloads/mini-7.cubes"),
+            provenance: FileProvenance {
+                spec: "mini",
+                circuit_seed: 7,
+                atpg_seed: 7,
+                chains: 8,
+            },
+        },
+    },
+    Workload {
+        name: "mini-13",
+        description: "64-input generated circuit (different seed), 8 scan chains",
+        source: WorkloadSource::Files {
+            bench: include_str!("../workloads/mini-13.bench"),
+            cubes: include_str!("../workloads/mini-13.cubes"),
+            provenance: FileProvenance {
+                spec: "mini",
+                circuit_seed: 13,
+                atpg_seed: 13,
+                chains: 8,
+            },
+        },
+    },
+    Workload {
+        name: "s9234",
+        description: "paper profile: 247 cells, 410 cubes, 44-bit LFSR",
+        source: WorkloadSource::Profile {
+            profile: CubeProfile::s9234,
+        },
+    },
+    Workload {
+        name: "s13207",
+        description: "paper profile: 700 cells, 620 cubes, 24-bit LFSR",
+        source: WorkloadSource::Profile {
+            profile: CubeProfile::s13207,
+        },
+    },
+    Workload {
+        name: "s15850",
+        description: "paper profile: 611 cells, 505 cubes, 39-bit LFSR",
+        source: WorkloadSource::Profile {
+            profile: CubeProfile::s15850,
+        },
+    },
+    Workload {
+        name: "s38417",
+        description: "paper profile: 1664 cells, 1165 cubes, 85-bit LFSR",
+        source: WorkloadSource::Profile {
+            profile: CubeProfile::s38417,
+        },
+    },
+    Workload {
+        name: "s38584",
+        description: "paper profile: 1464 cells, 687 cubes, 56-bit LFSR",
+        source: WorkloadSource::Profile {
+            profile: CubeProfile::s38584,
+        },
+    },
+];
+
+/// The named workload corpus.
+///
+/// File workloads are checked-in `.bench` + cube pairs with recorded
+/// provenance; profile workloads are the five paper circuits
+/// materialised at [`CORPUS_SEED`]. Look up entries with
+/// [`WorkloadRegistry::find`] or iterate [`WorkloadRegistry::all`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRegistry;
+
+impl WorkloadRegistry {
+    /// Every workload, in registry order.
+    pub fn all() -> &'static [Workload] {
+        WORKLOADS
+    }
+
+    /// Looks a workload up by name.
+    pub fn find(name: &str) -> Option<&'static Workload> {
+        WORKLOADS.iter().find(|w| w.name == name)
+    }
+
+    /// All registry names, in order.
+    pub fn names() -> Vec<&'static str> {
+        WORKLOADS.iter().map(|w| w.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let names = WorkloadRegistry::names();
+        for (i, name) in names.iter().enumerate() {
+            assert!(!names[i + 1..].contains(name), "duplicate name {name}");
+            assert_eq!(WorkloadRegistry::find(name).unwrap().name, *name);
+        }
+        assert!(WorkloadRegistry::find("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn file_workloads_parse_and_match_their_provenance_geometry() {
+        for w in WorkloadRegistry::all() {
+            let Some(prov) = w.provenance() else { continue };
+            let set = w.test_set();
+            assert!(!set.is_empty(), "{}: empty corpus cube set", w.name);
+            assert_eq!(
+                set.config().chains(),
+                prov.chains,
+                "{}: chain count drifted from provenance",
+                w.name
+            );
+            assert!(w.bench_text().unwrap().contains("INPUT("), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn profile_workloads_generate_their_full_profile() {
+        let w = WorkloadRegistry::find("s13207").unwrap();
+        let profile = w.profile().unwrap();
+        let set = w.test_set();
+        assert_eq!(set.len(), profile.cube_count);
+        assert_eq!(set.smax(), profile.smax);
+        assert_eq!(set, generate_test_set(&profile, CORPUS_SEED));
+    }
+
+    #[test]
+    fn profile_prefix_is_a_true_prefix() {
+        // test_set_prefix generates only n cubes for profiles; the
+        // result must still be an exact prefix of the full generation
+        let w = WorkloadRegistry::find("s13207").unwrap();
+        let full = w.test_set();
+        let prefix = w.test_set_prefix(10);
+        assert_eq!(prefix.cubes(), &full.cubes()[..10]);
+        assert_eq!(w.cube_count(), full.len());
+        assert_eq!(w.test_set_prefix(usize::MAX), full);
+    }
+
+    #[test]
+    fn scaled_prefix_equals_scaled_generation() {
+        // the documented contract behind test_set_scaled: generating a
+        // scaled profile equals truncating the full generation
+        let w = WorkloadRegistry::find("s9234").unwrap();
+        let profile = w.profile().unwrap();
+        let scaled = w.test_set_scaled(0.25);
+        assert_eq!(
+            scaled,
+            generate_test_set(&profile.scaled(0.25), CORPUS_SEED)
+        );
+        // file workloads truncate too
+        let f = WorkloadRegistry::find("tiny-1").unwrap();
+        let half = f.test_set_scaled(0.5);
+        assert_eq!(
+            half.len(),
+            (f.test_set().len() as f64 * 0.5).round() as usize
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Corpus provenance: every checked-in file workload under
+//! `crates/testdata/workloads/` is bit-identical to what its recorded
+//! [`FileProvenance`] regenerates.
+//!
+//! This is the acceptance property of the workload corpus: the
+//! on-disk `.bench` + cube files are not hand-maintained artifacts but
+//! a deterministic function of (generator spec, circuit seed, ATPG
+//! seed, chain count). Run with `SS_REGEN_CORPUS=1` to rewrite the
+//! files from provenance (after intentionally changing a seed or the
+//! generator), then commit the result:
+//!
+//! ```text
+//! SS_REGEN_CORPUS=1 cargo test --test corpus_identity
+//! ```
+
+use std::path::PathBuf;
+
+use ss_circuit::{
+    generate_uncompacted_test_set, random_circuit, write_bench, AtpgConfig, CircuitSpec, Netlist,
+};
+use ss_testdata::{ScanConfig, TestCube, TestSet, WorkloadRegistry};
+
+/// Rebuilds a file workload's circuit and cube set from provenance.
+fn regenerate(
+    spec: &CircuitSpec,
+    circuit_seed: u64,
+    atpg_seed: u64,
+    chains: usize,
+) -> (Netlist, TestSet) {
+    let circuit = random_circuit(spec, circuit_seed);
+    let outcome = generate_uncompacted_test_set(&circuit, &AtpgConfig::default(), atpg_seed);
+    let scan = ScanConfig::for_cells(chains, circuit.input_count())
+        .expect("provenance chain counts are nonzero");
+    let mut set = TestSet::new(scan);
+    for cube in &outcome.cubes {
+        let mut padded = TestCube::all_x(scan.cells());
+        for (i, bit) in cube.iter_specified() {
+            padded.set(i, bit);
+        }
+        set.push(padded).expect("padded cubes match the geometry");
+    }
+    (circuit, set)
+}
+
+fn workloads_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("crates")
+        .join("testdata")
+        .join("workloads")
+}
+
+#[test]
+fn corpus_files_match_their_provenance() {
+    let regen = std::env::var("SS_REGEN_CORPUS").is_ok_and(|v| !v.is_empty() && v != "0");
+    for w in WorkloadRegistry::all() {
+        let Some(prov) = w.provenance() else { continue };
+        let spec = CircuitSpec::by_name(prov.spec)
+            .unwrap_or_else(|| panic!("{}: unknown spec {:?}", w.name, prov.spec));
+        let (circuit, set) = regenerate(&spec, prov.circuit_seed, prov.atpg_seed, prov.chains);
+        let bench_text = write_bench(&circuit, w.name);
+        let cubes_text = format!(
+            "# {} (spec {}, atpg seed {})\n{}",
+            w.name,
+            prov.spec,
+            prov.atpg_seed,
+            set.to_text()
+        );
+
+        if regen {
+            let dir = workloads_dir();
+            std::fs::write(dir.join(format!("{}.bench", w.name)), &bench_text)
+                .expect("corpus dir is writable");
+            std::fs::write(dir.join(format!("{}.cubes", w.name)), &cubes_text)
+                .expect("corpus dir is writable");
+            continue;
+        }
+
+        assert_eq!(
+            w.bench_text().unwrap(),
+            bench_text,
+            "{}: checked-in .bench drifted from provenance (SS_REGEN_CORPUS=1 to rewrite)",
+            w.name
+        );
+        assert_eq!(
+            w.cubes_text().unwrap(),
+            cubes_text,
+            "{}: checked-in cube set drifted from provenance (SS_REGEN_CORPUS=1 to rewrite)",
+            w.name
+        );
+    }
+}
+
+/// The embedded files round-trip through the parsers back to the exact
+/// generator-built structures — the "bit-identical to the
+/// generator-built equivalents" acceptance criterion.
+#[test]
+fn corpus_files_parse_back_to_generator_structures() {
+    for w in WorkloadRegistry::all() {
+        let Some(prov) = w.provenance() else { continue };
+        let spec = CircuitSpec::by_name(prov.spec).unwrap();
+        let (circuit, set) = regenerate(&spec, prov.circuit_seed, prov.atpg_seed, prov.chains);
+        let parsed = ss_circuit::parse_bench(w.bench_text().unwrap())
+            .unwrap_or_else(|e| panic!("{}: embedded .bench does not parse: {e}", w.name));
+        assert_eq!(parsed.netlist, circuit, "{}: netlist drifted", w.name);
+        assert_eq!(
+            parsed.dff_count, 0,
+            "{}: corpus circuits are full-scan",
+            w.name
+        );
+        assert_eq!(w.test_set(), set, "{}: cube set drifted", w.name);
+    }
+}
