@@ -22,7 +22,7 @@ use ss_gf2::{primitive_poly, IncrementalSolver, SolveOutcome};
 use ss_lfsr::{Lfsr, PhaseShifter, SkipCircuit};
 use ss_testdata::{ScanConfig, TestSet};
 
-use crate::builder::EngineConfig;
+use crate::builder::{resolve_threads, EngineConfig};
 use crate::cost::{DecompressorCost, DecompressorCostInputs};
 use crate::embedding::EmbeddingMap;
 use crate::encoder::{EncodingResult, WindowEncoder};
@@ -132,12 +132,16 @@ impl HardwareCtx {
     pub fn encodable_subset(&self, set: &TestSet) -> (TestSet, Vec<usize>) {
         let mut keep = TestSet::new(set.config());
         let mut dropped = Vec::new();
+        let mut solver = IncrementalSolver::new(self.table.vars());
+        let empty = solver.checkpoint();
         for (ci, cube) in set.iter().enumerate() {
-            let mut solver = IncrementalSolver::new(self.table.vars());
+            solver.rollback(empty);
             let mut ok = true;
             for (cell, bit) in cube.iter_specified() {
-                let expr = self.table.cell_expr(0, cell);
-                if solver.insert(&expr, bit) == SolveOutcome::Conflict {
+                // borrowed word-slice path: the expression row is
+                // consumed straight out of the table
+                let expr = self.table.cell_expr_words(0, cell);
+                if solver.insert_words(expr, bit) == SolveOutcome::Conflict {
                     ok = false;
                     break;
                 }
@@ -168,7 +172,10 @@ impl<'a> Encoded<'a> {
     ///
     /// [`SchemeError::Encode`] when a cube cannot be encoded.
     pub fn from_ctx(set: &'a TestSet, ctx: HardwareCtx) -> Result<Self, SchemeError> {
-        let encoding = WindowEncoder::new(set, ctx.table())?.encode(ctx.config().fill_seed)?;
+        let encoding = WindowEncoder::new(set, ctx.table())?.encode_with_threads(
+            ctx.config().fill_seed,
+            resolve_threads(ctx.config().threads),
+        )?;
         Ok(Encoded {
             set,
             ctx: Cow::Owned(ctx),
@@ -183,7 +190,10 @@ impl<'a> Encoded<'a> {
     ///
     /// [`SchemeError::Encode`] when a cube cannot be encoded.
     pub fn from_ctx_ref(set: &'a TestSet, ctx: &'a HardwareCtx) -> Result<Self, SchemeError> {
-        let encoding = WindowEncoder::new(set, ctx.table())?.encode(ctx.config().fill_seed)?;
+        let encoding = WindowEncoder::new(set, ctx.table())?.encode_with_threads(
+            ctx.config().fill_seed,
+            resolve_threads(ctx.config().threads),
+        )?;
         Ok(Encoded {
             set,
             ctx: Cow::Borrowed(ctx),
@@ -222,13 +232,15 @@ impl<'a> Encoded<'a> {
     }
 
     /// Stage 2: detects fortuitous embeddings of every cube across all
-    /// windows.
+    /// windows (parallel over seeds, honouring the engine's thread
+    /// budget).
     pub fn embed(self) -> Embedded<'a> {
-        let embedding = EmbeddingMap::build(
+        let embedding = EmbeddingMap::build_threaded(
             self.set,
             &self.encoding,
             self.ctx.lfsr(),
             self.ctx.shifter(),
+            resolve_threads(self.ctx.config().threads),
         );
         Embedded {
             set: self.set,

@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! state-skip stats     <test_set.txt>
-//! state-skip run       <test_set.txt> [L] [S] [k]
-//! state-skip run       --bench <f.bench> --cubes <f.cubes> [L] [S] [k]
-//! state-skip compare   <test_set.txt> [L] [S] [k]   # all three schemes
+//! state-skip run       <test_set.txt> [L] [S] [k] [--threads N]
+//! state-skip run       --bench <f.bench> --cubes <f.cubes> [L] [S] [k] [--threads N]
+//! state-skip compare   <test_set.txt> [L] [S] [k] [--threads N]
 //! state-skip sweep     <test_set.txt> [L]
 //! state-skip rtl       <test_set.txt> [k]
 //! state-skip gen       <profile> <seed>             # emit a synthetic set
@@ -42,31 +42,39 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   state-skip stats     <test_set.txt>
-  state-skip run       <test_set.txt> [L=100] [S=5] [k=10]
-  state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10]
-  state-skip compare   <test_set.txt> [L=100] [S=5] [k=10]
+  state-skip run       <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
+  state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10] [--threads N]
+  state-skip compare   <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
   state-skip sweep     <test_set.txt> [L=100]
   state-skip rtl       <test_set.txt> [k=10]
   state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
-  state-skip workloads";
+  state-skip workloads
+
+--threads N caps the engine's worker threads (default: all hardware
+threads); results are bit-identical at every thread count.";
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args)?;
     let command = args.first().map(String::as_str).ok_or("missing command")?;
     match command {
         "stats" => stats(args.get(1).ok_or("missing test set path")?),
-        "run" if args.iter().any(|a| a == "--bench" || a == "--cubes") => run_files(&args[1..]),
+        "run" if args.iter().any(|a| a == "--bench" || a == "--cubes") => {
+            run_files(&args[1..], threads)
+        }
         "run" => cmd_run(
             args.get(1).ok_or("missing test set path")?,
             parse_or(args.get(2), 100)?,
             parse_or(args.get(3), 5)?,
             parse_or(args.get(4), 10)? as u64,
+            threads,
         ),
         "compare" => compare(
             args.get(1).ok_or("missing test set path")?,
             parse_or(args.get(2), 100)?,
             parse_or(args.get(3), 5)?,
             parse_or(args.get(4), 10)? as u64,
+            threads,
         ),
         "sweep" => sweep(
             args.get(1).ok_or("missing test set path")?,
@@ -83,6 +91,24 @@ fn run() -> Result<(), String> {
         "workloads" => workloads(),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Extracts a `--threads N` flag from anywhere in the argument list.
+fn take_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(at) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err("--threads needs a count".into());
+    }
+    let n: usize = args[at + 1]
+        .parse()
+        .map_err(|_| format!("not a thread count: {:?}", args[at + 1]))?;
+    if n == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    args.drain(at..=at + 1);
+    Ok(Some(n))
 }
 
 /// Splits `--bench <path> --cubes <path>` out of a flag/positional mix,
@@ -130,13 +156,20 @@ fn stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn engine_for(window: usize, segment: usize, speedup: u64) -> Result<Engine, String> {
-    Engine::builder()
+fn engine_for(
+    window: usize,
+    segment: usize,
+    speedup: u64,
+    threads: Option<usize>,
+) -> Result<Engine, String> {
+    let mut builder = Engine::builder()
         .window(window)
         .segment(segment)
-        .speedup(speedup)
-        .build()
-        .map_err(|e| e.to_string())
+        .speedup(speedup);
+    if let Some(n) = threads {
+        builder = builder.threads(n);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 /// Drops intrinsically unencodable cubes with a note on stderr and
@@ -159,9 +192,15 @@ fn encodable(engine: &Engine, set: &TestSet) -> Result<(Engine, TestSet), String
     Ok((pinned, encodable))
 }
 
-fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
+fn cmd_run(
+    path: &str,
+    window: usize,
+    segment: usize,
+    speedup: u64,
+    threads: Option<usize>,
+) -> Result<(), String> {
     let set = load(path)?;
-    let engine = engine_for(window, segment, speedup)?;
+    let engine = engine_for(window, segment, speedup, threads)?;
     let (engine, set) = encodable(&engine, &set)?;
     let report = engine.run(&set).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
@@ -177,7 +216,7 @@ fn cmd_run(path: &str, window: usize, segment: usize, speedup: u64) -> Result<()
 /// `run --bench <f> --cubes <f>`: ingest a circuit + cube-set pair,
 /// run the full State Skip flow, and fault-simulate the decompressed
 /// sequences against the circuit.
-fn run_files(args: &[String]) -> Result<(), String> {
+fn run_files(args: &[String], threads: Option<usize>) -> Result<(), String> {
     let (bench_path, cubes_path, rest) = split_flags(args)?;
     let window = parse_or(rest.first().copied(), 100)?;
     let segment = parse_or(rest.get(1).copied(), 5)?;
@@ -206,7 +245,7 @@ fn run_files(args: &[String]) -> Result<(), String> {
         stats.mean_specified
     );
 
-    let engine = engine_for(window, segment, speedup)?;
+    let engine = engine_for(window, segment, speedup, threads)?;
     let (engine, set) = encodable(&engine, &workload.set)?;
     let report = engine.run(&set).map_err(|e| e.to_string())?;
     println!("{}", report.summary());
@@ -251,9 +290,15 @@ fn workloads() -> Result<(), String> {
     Ok(())
 }
 
-fn compare(path: &str, window: usize, segment: usize, speedup: u64) -> Result<(), String> {
+fn compare(
+    path: &str,
+    window: usize,
+    segment: usize,
+    speedup: u64,
+    threads: Option<usize>,
+) -> Result<(), String> {
     let set = load(path)?;
-    let engine = engine_for(window, segment, speedup)?;
+    let engine = engine_for(window, segment, speedup, threads)?;
     let (engine, set) = encodable(&engine, &set)?;
     let schemes: Vec<Box<dyn CompressionScheme>> = vec![
         Box::new(StateSkip),
@@ -268,7 +313,7 @@ fn compare(path: &str, window: usize, segment: usize, speedup: u64) -> Result<()
 
 fn sweep(path: &str, window: usize) -> Result<(), String> {
     let set = load(path)?;
-    let engine = engine_for(window, 5, 10)?;
+    let engine = engine_for(window, 5, 10, None)?;
     let (engine, set) = encodable(&engine, &set)?;
     // encode and embed once; re-plan per (S, k) through the staged
     // artifacts
@@ -299,7 +344,7 @@ fn sweep(path: &str, window: usize) -> Result<(), String> {
 
 fn rtl(path: &str, speedup: u64) -> Result<(), String> {
     let set = load(path)?;
-    let engine = engine_for(1, 1, speedup)?;
+    let engine = engine_for(1, 1, speedup, None)?;
     let ctx = engine.synthesize(&set).map_err(|e| e.to_string())?;
     let skip = SkipCircuit::new(ctx.lfsr(), speedup).map_err(|e| e.to_string())?;
     print!(

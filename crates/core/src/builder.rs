@@ -44,6 +44,12 @@ pub struct EngineConfig {
     pub hw_seed: u64,
     /// RNG seed for the pseudorandom fill of free seed variables.
     pub fill_seed: u64,
+    /// Worker-thread budget for the parallel stages (candidate
+    /// probing, embedding detection, [`Engine::run_all`],
+    /// [`SocPlan::run_batch`](crate::SocPlan::run_batch)); `None`
+    /// uses [`std::thread::available_parallelism`]. Results are
+    /// bit-identical at every thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -61,8 +67,18 @@ impl Default for EngineConfig {
             // PipelineConfig::default
             hw_seed: 0x14A2_4108_A00E_3508,
             fill_seed: 1,
+            threads: None,
         }
     }
+}
+
+/// Resolves a [`EngineConfig::threads`] knob to a concrete worker
+/// count: the explicit value, or the machine's available parallelism
+/// (falling back to 1 when that is unknowable).
+pub(crate) fn resolve_threads(threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+        .max(1)
 }
 
 /// Fluent construction of an [`Engine`].
@@ -137,6 +153,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker-thread budget for the parallel stages (default: the
+    /// machine's [`std::thread::available_parallelism`]). Must be at
+    /// least 1; results are bit-identical at every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
     /// Validates the knobs and produces the [`Engine`].
     ///
     /// # Errors
@@ -183,12 +207,22 @@ impl Engine {
         if config.ps_taps == 0 {
             return Err(SchemeError::bad_config("ps_taps must be >= 1"));
         }
+        if config.threads == Some(0) {
+            return Err(SchemeError::bad_config("threads must be >= 1"));
+        }
         Ok(Engine { config })
     }
 
     /// The validated configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The concrete worker-thread count the engine's parallel stages
+    /// run with: the configured knob, or the machine's available
+    /// parallelism when unset.
+    pub fn threads(&self) -> usize {
+        resolve_threads(self.config.threads)
     }
 
     /// Synthesises the hardware context (LFSR, phase shifter,
@@ -259,9 +293,10 @@ impl Engine {
     }
 
     /// Batch driver: synthesises the hardware once, then runs every
-    /// scheme **in parallel** (one thread per scheme via
-    /// [`std::thread::scope`]) and returns their reports in input
-    /// order — ready for [`comparison_table`](crate::comparison_table).
+    /// scheme **in parallel** over a [`std::thread::scope`] worker
+    /// pool capped at the configured [`threads`](Engine::threads) and
+    /// returns their reports in input order — ready for
+    /// [`comparison_table`](crate::comparison_table).
     ///
     /// # Errors
     ///
@@ -274,20 +309,60 @@ impl Engine {
     ) -> Result<Vec<SchemeReport>, SchemeError> {
         let ctx = self.synthesize(set)?;
         let ctx = &ctx;
-        thread::scope(|scope| {
-            let handles: Vec<_> = schemes
-                .iter()
-                .map(|scheme| scope.spawn(move || scheme.compress(set, ctx)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| match handle.join() {
-                    Ok(result) => result,
-                    Err(payload) => panic::resume_unwind(payload),
-                })
-                .collect()
-        })
+        let results = run_pool(self.threads(), schemes.len(), |i| {
+            schemes[i].compress(set, ctx)
+        });
+        results.into_iter().collect()
     }
+}
+
+/// Runs `count` independent jobs over a scoped worker pool of at most
+/// `threads` threads (inline when one suffices), returning results in
+/// job order. Panics in workers are propagated.
+pub(crate) fn run_pool<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    thread::scope(|scope| {
+        let next = &next;
+        let job = &job;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        done.push((i, job(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(done) => {
+                    for (i, result) in done {
+                        results[i] = Some(result);
+                    }
+                }
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job index is claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -303,7 +378,20 @@ mod tests {
         assert!(bad(Engine::builder().window(10).segment(11)));
         assert!(bad(Engine::builder().speedup(0)));
         assert!(bad(Engine::builder().ps_taps(0)));
+        assert!(bad(Engine::builder().threads(0)));
         assert!(Engine::builder().window(10).segment(10).build().is_ok());
+        let engine = Engine::builder().threads(3).build().unwrap();
+        assert_eq!(engine.threads(), 3);
+        assert!(Engine::builder().build().unwrap().threads() >= 1);
+    }
+
+    #[test]
+    fn run_pool_preserves_order_at_any_width() {
+        for threads in [1usize, 2, 7, 64] {
+            let results = crate::builder::run_pool(threads, 23, |i| i * i);
+            assert_eq!(results, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(crate::builder::run_pool(4, 0, |i| i).is_empty());
     }
 
     #[test]

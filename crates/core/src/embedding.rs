@@ -48,29 +48,68 @@ impl EmbeddingMap {
         lfsr: &Lfsr,
         shifter: &PhaseShifter,
     ) -> Self {
-        let mut matches = vec![Vec::new(); set.len()];
+        Self::build_threaded(set, result, lfsr, shifter, 1)
+    }
+
+    /// [`build`](Self::build) with the seeds partitioned across up to
+    /// `threads` scoped worker threads. Each worker expands and
+    /// matches a contiguous seed range against the shared (read-only)
+    /// expander with its own packed scratch buffer; per-cube match
+    /// lists are concatenated in seed-range order, so the map is
+    /// **bit-identical at every thread count**.
+    pub fn build_threaded(
+        set: &TestSet,
+        result: &EncodingResult,
+        lfsr: &Lfsr,
+        shifter: &PhaseShifter,
+        threads: usize,
+    ) -> Self {
         let expander = PackedWindowExpander::new(lfsr, shifter, set.config(), result.window)
             .expect("encoding and hardware share one geometry");
-        let mut packed = ss_gf2::PackedPatterns::zeros(0, 0);
-        for (si, enc) in result.seeds.iter().enumerate() {
-            expander
-                .expand_into(&enc.seed, &mut packed)
-                .expect("encoded seeds match the LFSR width");
-            for (ci, cube) in set.iter().enumerate() {
-                for block in 0..packed.block_count() {
-                    let mut mask = cube.match_mask(&packed, block);
-                    while mask != 0 {
-                        let v = block * PATTERNS_PER_BLOCK + mask.trailing_zeros() as usize;
-                        matches[ci].push((si, v));
-                        mask &= mask - 1;
+        let seed_count = result.seeds.len();
+        let threads = threads.clamp(1, seed_count.max(1));
+        let match_range = |range: std::ops::Range<usize>| {
+            let mut matches = vec![Vec::new(); set.len()];
+            let mut packed = ss_gf2::PackedPatterns::zeros(0, 0);
+            for si in range {
+                expander
+                    .expand_into(&result.seeds[si].seed, &mut packed)
+                    .expect("encoded seeds match the LFSR width");
+                for (ci, cube) in set.iter().enumerate() {
+                    for block in 0..packed.block_count() {
+                        let mut mask = cube.match_mask(&packed, block);
+                        while mask != 0 {
+                            let v = block * PATTERNS_PER_BLOCK + mask.trailing_zeros() as usize;
+                            matches[ci].push((si, v));
+                            mask &= mask - 1;
+                        }
                     }
                 }
             }
-        }
+            matches
+        };
+        let matches = if threads <= 1 {
+            match_range(0..seed_count)
+        } else {
+            // contiguous seed ranges per worker; concatenating the
+            // per-cube lists in range order preserves the sequential
+            // (seed, position) ordering exactly
+            let chunk = seed_count.div_ceil(threads);
+            let partials = crate::builder::run_pool(threads, threads, |w| {
+                match_range(w * chunk..((w + 1) * chunk).min(seed_count))
+            });
+            let mut matches = vec![Vec::new(); set.len()];
+            for partial in partials {
+                for (ci, mut list) in partial.into_iter().enumerate() {
+                    matches[ci].append(&mut list);
+                }
+            }
+            matches
+        };
         EmbeddingMap {
             matches,
             window: result.window,
-            seed_count: result.seeds.len(),
+            seed_count,
         }
     }
 
@@ -219,6 +258,18 @@ mod tests {
             EmbeddingMap::build_scalar(&set, encoded.encoding(), ctx.lfsr(), ctx.shifter());
         assert_eq!(packed, scalar, "embedding maps must agree bit for bit");
         assert!(packed.validate());
+        // the threaded build is the same map at every worker count,
+        // including widths beyond the seed count
+        for threads in [2usize, 3, 64] {
+            let threaded = EmbeddingMap::build_threaded(
+                &set,
+                encoded.encoding(),
+                ctx.lfsr(),
+                ctx.shifter(),
+                threads,
+            );
+            assert_eq!(threaded, scalar, "threads={threads}");
+        }
     }
 
     #[test]

@@ -19,15 +19,68 @@
 //!
 //! Conflicts are monotone in the growing basis, so each seed keeps a
 //! per-cube cache of still-viable positions that only ever shrinks.
+//!
+//! # The incremental hot path
+//!
+//! [`WindowEncoder::encode`] keeps the greedy decisions of the search
+//! above but replaces its probing engine. Whether a candidate
+//! `(cube, position)` system is solvable — and how much rank it would
+//! add — is a mathematical invariant of the equation sets involved, so
+//! any probing engine that computes those two facts yields exactly the
+//! same placements, seed for seed and bit for bit. The overhauled
+//! engine computes them **incrementally**, in the basis's free
+//! subspace:
+//!
+//! * **Free-space projection.** After the seed's first commit the
+//!   solver's solution set is captured as an affine space
+//!   `x0 + span(N)` ([`IncrementalSolver::affine_space`]) of dimension
+//!   `f = n - rank` — tiny, because the first (largest) cube consumed
+//!   most of the rank. Probing happens entirely in that `f`-bit
+//!   coordinate frame instead of the `n`-bit ambient space.
+//! * **A streamed projected expression table.** Expression-table row
+//!   `t+1` is row `t` advanced by the LFSR transition matrix
+//!   ([`ExprTable::transition`]), so the whole table's projection into
+//!   the frame is *streamed* once per seed — `O(n)` words per cycle —
+//!   rather than projected row by row. One probed equation then costs
+//!   one table lookup.
+//! * **Residue caching with a high-water mark.** Each viable
+//!   `(cube, position)` candidate caches its locally-eliminated
+//!   projected system. Later rounds do not re-eliminate it: committed
+//!   rows accumulate in an append-only log, and a stale residue is
+//!   *resumed* by folding in only the log suffix past its high-water
+//!   mark — sound because the basis (and hence the log) only ever
+//!   grows, and conflicts are monotone. In the smallest spaces
+//!   (`f <= 10`) the residue degenerates to a bitmask of the `2^f`
+//!   candidate seeds that satisfy the system, probing one equation is
+//!   a word-AND against the row's satisfying-seed truth table, and
+//!   resuming a residue is one intersection with the global constraint
+//!   mask.
+//! * **Parallel candidate probing.** Probing is read-only against the
+//!   shared per-seed engine, so first-visit candidates are initialised
+//!   across a [`std::thread::scope`] worker pool, in level batches
+//!   sized to the thread count (deeper levels are probed
+//!   speculatively — their caches would be needed later in the seed
+//!   anyway, and probe outcomes are invariants, so speculation can
+//!   never change the result). The winning placement is the minimum
+//!   of the strict total order `(rank, count, position, cube)` within
+//!   the shallowest level that has one, making the result
+//!   **bit-identical at every thread count**.
+//!
+//! The pre-overhaul search survives as
+//! [`WindowEncoder::encode_reference`]; property tests and the
+//! `encode_scaling` bench pin the cached and parallel paths to it,
+//! placement for placement and seed bit for seed bit.
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::panic;
+use std::thread;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use ss_gf2::{BitVec, IncrementalSolver, SolveOutcome};
+use ss_gf2::{words, AffineSpace, BitVec, IncrementalSolver, SolveOutcome};
 use ss_testdata::TestSet;
 
 use crate::expr_table::ExprTable;
@@ -119,6 +172,661 @@ impl fmt::Display for EncodeError {
 
 impl Error for EncodeError {}
 
+/// Candidate key in the paper's selection order:
+/// `(added rank, viable positions, position, cube)`.
+type Key = (usize, usize, usize, usize);
+
+/// One parallel probing work item: `(batch index, cube, its cache)`.
+type WorkItem<'a> = (usize, usize, &'a mut CubeCache);
+
+/// Serial levels before a parallel descent sweep is considered.
+const DESCENT_LEVELS: usize = 4;
+
+/// Estimated first-visit equation volume that justifies a worker-pool
+/// dispatch.
+const PAR_EQS: usize = 100_000;
+
+/// The cached residue of one candidate `(cube, position)` system, in
+/// the representation of the seed's probing tier:
+///
+/// * truth-table tier — `rows` is the bitmask of candidate seeds that
+///   satisfy the system (`rhs` unused);
+/// * fixed-frame tier — `rows`/`rhs` is the Gauss-Jordan eliminated
+///   system *including* the committed-row log up to `watermark`
+///   (one `u64` per row);
+/// * general tier — `rows`/`rhs` is the eliminated projected system
+///   in multi-word coordinates.
+#[derive(Debug, Default)]
+struct PosResidue {
+    position: usize,
+    /// Committed-log rows already folded in (fixed-frame tier).
+    watermark: usize,
+    rows: Vec<u64>,
+    /// Reduced right-hand side per row (unused by the truth-table
+    /// tier).
+    rhs: Vec<bool>,
+}
+
+/// Per-cube probing state for the current seed: the still-viable
+/// positions (monotonically shrinking, like the reference search's
+/// `viable` map) with their cached residues.
+#[derive(Debug, Default)]
+struct CubeCache {
+    init: bool,
+    entries: Vec<PosResidue>,
+    /// Retired entries whose buffers are reused by later seeds — each
+    /// cube is probed by one worker at a time, so the pool never
+    /// contends across threads (and steady-state probing never hits
+    /// the allocator).
+    spare: Vec<PosResidue>,
+}
+
+impl CubeCache {
+    fn reset(&mut self) {
+        self.init = false;
+        self.spare.append(&mut self.entries);
+    }
+
+    fn take_entry(&mut self) -> PosResidue {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// `retain_mut` that recycles dropped entries into the pool
+    /// (entry order is irrelevant: selection takes minima).
+    fn prune(&mut self, mut keep: impl FnMut(&mut PosResidue) -> bool) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            if keep(&mut self.entries[i]) {
+                i += 1;
+            } else {
+                let entry = self.entries.swap_remove(i);
+                self.spare.push(entry);
+            }
+        }
+    }
+}
+
+/// Reusable per-worker buffers so steady-state probing allocates
+/// almost nothing.
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    /// Projection / mask target row (general + truth-table tiers).
+    tmp: Vec<u64>,
+    /// Elimination target rows (general tier).
+    rows: Vec<u64>,
+    /// Right-hand sides matching `rows`.
+    rhs: Vec<bool>,
+    /// Pivot of each row in `rows`.
+    pivots: Vec<usize>,
+}
+
+/// Outcome of folding one row into a local residue elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalOutcome {
+    Added,
+    Redundant,
+    Conflict,
+}
+
+/// Reduces the `width`-word row `tmp`/`e` against the eliminated rows
+/// accumulated in `rows`/`rhs`/`pivots` and appends it unless it
+/// vanished. The row is built in place at the tail of `rows` — no
+/// temporary buffer. (General-width path; the one-word tiers use
+/// [`FastElim`].)
+fn fold_row(
+    tmp: &[u64],
+    e: bool,
+    width: usize,
+    rows: &mut Vec<u64>,
+    rhs: &mut Vec<bool>,
+    pivots: &mut Vec<usize>,
+) -> LocalOutcome {
+    let base = rows.len();
+    rows.extend_from_slice(tmp);
+    let (done, fresh) = rows.split_at_mut(base);
+    let row = &mut fresh[..width];
+    let mut r = e;
+    for (j, &p) in pivots.iter().enumerate() {
+        if words::get_bit(row, p) {
+            words::xor_in(row, &done[j * width..(j + 1) * width]);
+            r ^= rhs[j];
+        }
+    }
+    match words::first_one(row) {
+        None => {
+            rows.truncate(base);
+            if r {
+                LocalOutcome::Conflict
+            } else {
+                LocalOutcome::Redundant
+            }
+        }
+        Some(p) => {
+            pivots.push(p);
+            rhs.push(r);
+            LocalOutcome::Added
+        }
+    }
+}
+
+/// Single-word Gauss-Jordan eliminator for free spaces of dimension
+/// `<= 63`: every row is one `u64` with the right-hand side packed
+/// into bit 63, rows are indexed by their pivot bit and kept mutually
+/// reduced, so folding an equation is a couple of register XORs (the
+/// rhs bit rides along in the same XORs).
+#[derive(Clone)]
+struct FastElim {
+    rows: [u64; 64],
+    pivot_mask: u64,
+}
+
+impl FastElim {
+    /// Coordinate bits of a packed row (bit 63 is the rhs).
+    const ROW_MASK: u64 = (1u64 << 63) - 1;
+
+    fn new() -> FastElim {
+        FastElim {
+            rows: [0u64; 64],
+            pivot_mask: 0,
+        }
+    }
+
+    fn rank(&self) -> usize {
+        self.pivot_mask.count_ones() as usize
+    }
+
+    /// Forward-reduces a row against the eliminated rows without
+    /// inserting; rhs travels in bit 63. Jordan rows carry no pivot
+    /// bit but their own, so one pass over the initial pivot overlap
+    /// is a complete reduction.
+    #[inline]
+    fn reduce_packed(&self, mut packed: u64) -> u64 {
+        let mut m = packed & self.pivot_mask;
+        while m != 0 {
+            packed ^= self.rows[m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+        packed
+    }
+
+    /// [`reduce_packed`](Self::reduce_packed) with an unpacked rhs.
+    #[inline]
+    fn reduce(&self, row: u64, e: bool) -> (u64, bool) {
+        let packed = self.reduce_packed(row | (u64::from(e) << 63));
+        (packed & Self::ROW_MASK, packed >> 63 == 1)
+    }
+
+    /// Inserts an already-reduced, non-zero row, maintaining the
+    /// Jordan invariant (the new pivot is cleared from every existing
+    /// row). The maintenance loop is branchless — the XOR is masked by
+    /// whether the row holds the new pivot — because its branch is
+    /// data-dependent and mispredicts dominate otherwise.
+    #[inline]
+    fn insert_reduced(&mut self, row: u64, e: bool) {
+        debug_assert!(row != 0 && row & self.pivot_mask == 0);
+        let packed = row | (u64::from(e) << 63);
+        let p = row.trailing_zeros() as usize;
+        let mut mm = self.pivot_mask;
+        while mm != 0 {
+            let q = mm.trailing_zeros() as usize;
+            let hit = 0u64.wrapping_sub((self.rows[q] >> p) & 1);
+            self.rows[q] ^= packed & hit;
+            mm &= mm - 1;
+        }
+        self.rows[p] = packed;
+        self.pivot_mask |= 1 << p;
+    }
+
+    #[inline]
+    fn fold_packed(&mut self, packed: u64) -> LocalOutcome {
+        let packed = self.reduce_packed(packed);
+        let row = packed & Self::ROW_MASK;
+        if row == 0 {
+            return if packed >> 63 == 1 {
+                LocalOutcome::Conflict
+            } else {
+                LocalOutcome::Redundant
+            };
+        }
+        self.insert_reduced(row, packed >> 63 == 1);
+        LocalOutcome::Added
+    }
+
+    /// Stores the eliminated rows (packed) into `out`, ascending by
+    /// pivot.
+    fn store_packed(&self, out: &mut Vec<u64>) {
+        out.clear();
+        let mut m = self.pivot_mask;
+        while m != 0 {
+            out.push(self.rows[m.trailing_zeros() as usize]);
+            m &= m - 1;
+        }
+    }
+}
+
+/// Per-encode constants for streaming projected tables: the sparse
+/// transition-matrix rows and the phase-shifter tap columns of every
+/// chain (the cycle-0 table rows, since `T^0 = I`).
+struct StreamConsts {
+    /// `t_rows[i]` = ones of row `i` of the transition matrix `T`.
+    t_rows: Vec<Vec<u32>>,
+    /// `ps_taps[chain]` = ones of the chain's phase-shifter row.
+    ps_taps: Vec<Vec<u32>>,
+}
+
+impl StreamConsts {
+    fn build(table: &ExprTable) -> StreamConsts {
+        let t = table.transition();
+        let t_rows = (0..t.row_count())
+            .map(|i| t.row(i).iter_ones().map(|k| k as u32).collect())
+            .collect();
+        let ps_taps = (0..table.chains())
+            .map(|chain| {
+                let mut taps = Vec::new();
+                for (wi, &w) in table.expr_words(0, chain).iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        taps.push((wi * 64 + w.trailing_zeros() as usize) as u32);
+                        w &= w - 1;
+                    }
+                }
+                taps
+            })
+            .collect();
+        StreamConsts { t_rows, ps_taps }
+    }
+}
+
+/// Truth-table probing engine for free spaces of dimension
+/// `<= MAX_DIM`: the space holds at most `2^10` candidate seeds, so
+/// every expression-table row is materialised as the **truth table**
+/// of its output over all of them (streamed once via the transition
+/// matrix). A candidate system's cached residue is simply the *mask
+/// of seeds that satisfy it*:
+///
+/// * probing one equation = one word-AND with the row's truth table;
+/// * the committed basis is one global constraint mask `C` (each
+///   commit intersects it with the winner's cached mask);
+/// * resuming a cached residue after commits = `mask &= C` — the
+///   high-water-mark delta reduction collapses to an intersection,
+///   because masks live in one fixed per-seed frame;
+/// * added rank = `log2 |C| - log2 |mask|` (affine subspaces have
+///   power-of-two sizes), conflict = empty mask — exactly the
+///   invariants the reference search computes.
+struct TtEngine {
+    /// Words per mask (`2^dim / 64`, at least 1).
+    w0: usize,
+    /// `log2` of the current constraint-mask population (the solver's
+    /// free-variable count).
+    f_log: usize,
+    /// Truth table of every expression-table row over the engine's
+    /// frame, `w0` words per row.
+    pt: Vec<u64>,
+    /// The full frame's mask (`2^dim` low bits set).
+    ones: Vec<u64>,
+    /// Solution mask of everything committed since the frame was
+    /// taken.
+    c_mask: Vec<u64>,
+}
+
+impl TtEngine {
+    /// Largest free dimension the truth-table tier handles (16 words
+    /// per mask); larger spaces use the fixed-frame or general tiers.
+    const MAX_DIM: usize = 10;
+
+    fn build(
+        space: &AffineSpace,
+        table: &ExprTable,
+        consts: &StreamConsts,
+        recycle: Option<Vec<u64>>,
+    ) -> TtEngine {
+        let dim = space.dim();
+        debug_assert!(dim <= Self::MAX_DIM);
+        let w0 = ((1usize << dim) / 64).max(1);
+        let n = space.vars();
+        let chains = table.chains();
+        let cycles = table.cycles();
+        let mut ones = vec![!0u64; w0];
+        if dim < 6 {
+            ones[0] = (1u64 << (1usize << dim)) - 1;
+        }
+        // truth table of coordinate bit y_j over all y
+        const PAT: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        let var_mask = |j: usize, m: &mut [u64]| {
+            if j < 6 {
+                m.fill(PAT[j]);
+            } else {
+                for (wi, w) in m.iter_mut().enumerate() {
+                    *w = if (wi >> (j - 6)) & 1 == 1 { !0 } else { 0 };
+                }
+            }
+            for (a, b) in m.iter_mut().zip(&ones) {
+                *a &= *b;
+            }
+        };
+        // TT[i] = truth table of ambient variable i over x0 + N y
+        let mut tt = vec![0u64; n * w0];
+        let mut vm = vec![0u64; w0];
+        for j in 0..dim {
+            var_mask(j, &mut vm);
+            for (wi, &word) in space.null_row(j).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let i = wi * 64 + word.trailing_zeros() as usize;
+                    words::xor_in(&mut tt[i * w0..(i + 1) * w0], &vm);
+                    word &= word - 1;
+                }
+            }
+        }
+        for (wi, &word) in space.x0_words().iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let i = wi * 64 + word.trailing_zeros() as usize;
+                let row = &mut tt[i * w0..(i + 1) * w0];
+                for (a, b) in row.iter_mut().zip(&ones) {
+                    *a ^= *b;
+                }
+                word &= word - 1;
+            }
+        }
+        // stream the table: row (c+1) is row c advanced by T
+        let mut pt = recycle.unwrap_or_default();
+        pt.clear();
+        pt.resize(cycles * chains * w0, 0);
+        let mut tt_next = vec![0u64; n * w0];
+        for c in 0..cycles {
+            let base = c * chains * w0;
+            for (ch, taps) in consts.ps_taps.iter().enumerate() {
+                let out = &mut pt[base + ch * w0..base + (ch + 1) * w0];
+                for &tap in taps {
+                    let src = &tt[tap as usize * w0..(tap as usize + 1) * w0];
+                    words::xor_in(out, src);
+                }
+            }
+            if c + 1 < cycles {
+                for (i, trow) in consts.t_rows.iter().enumerate() {
+                    let out = &mut tt_next[i * w0..(i + 1) * w0];
+                    out.fill(0);
+                    for &k in trow {
+                        let src = &tt[k as usize * w0..(k as usize + 1) * w0];
+                        for (a, b) in out.iter_mut().zip(src) {
+                            *a ^= *b;
+                        }
+                    }
+                }
+                std::mem::swap(&mut tt, &mut tt_next);
+            }
+        }
+        let c_mask = ones.clone();
+        TtEngine {
+            w0,
+            f_log: dim,
+            pt,
+            ones,
+            c_mask,
+        }
+    }
+
+    /// Intersects the constraint mask with the committed winner's
+    /// solution mask; `free_vars` is the solver's post-commit
+    /// free-variable count (= `log2` of the new population).
+    fn commit_update(&mut self, winner: &[u64], free_vars: usize) {
+        self.c_mask.copy_from_slice(winner);
+        self.f_log = free_vars;
+        debug_assert_eq!(
+            self.c_mask
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>(),
+            1usize << free_vars,
+            "constraint mask population must match solver free vars"
+        );
+    }
+}
+
+/// Fixed-frame probing engine for free spaces of dimension
+/// `11..=63`: the frame (affine space + streamed projected table) is
+/// taken once per seed. Every table row is packed as
+/// `projection | rhs << 63`, and — the crucial part — the table is
+/// kept **pre-reduced modulo the committed rows**: each commit sweeps
+/// its (few) new Jordan rows through the table, so a probed equation
+/// only reduces against the candidate's own few local rows, and an
+/// equation inconsistent with the committed basis alone dies on a
+/// single load. Cached residues are the *local* rows (the rank the
+/// candidate would add); commits append to a row log and a stale
+/// residue is resumed by folding in only the log suffix past its
+/// high-water mark.
+struct FixedEngine {
+    dim: usize,
+    /// Packed per-row projection, pre-reduced mod `g`: bits `0..dim` =
+    /// coordinates, bit 63 = right-hand side.
+    pt: Vec<u64>,
+    /// Eliminated committed rows (everything since the frame).
+    g: FastElim,
+    /// Append-only log of the committed rows as inserted — the replay
+    /// source for high-water-mark resumption (packed form).
+    g_log: Vec<u64>,
+}
+
+impl FixedEngine {
+    /// Largest dimension the packed one-word representation handles
+    /// (bit 63 carries the right-hand side).
+    const MAX_DIM: usize = 63;
+
+    fn build(
+        space: &AffineSpace,
+        table: &ExprTable,
+        consts: &StreamConsts,
+        recycle: Option<Vec<u64>>,
+    ) -> FixedEngine {
+        let dim = space.dim();
+        debug_assert!(dim <= Self::MAX_DIM);
+        let n = space.vars();
+        let stride = space.stride();
+        let chains = table.chains();
+        let cycles = table.cycles();
+        // W[i] bit j = (T^c N_j)[i], transposed so a chain's
+        // projection is an XOR over its taps; starts as N itself
+        let mut w = vec![0u64; n];
+        for j in 0..dim {
+            for (wi, &word) in space.null_row(j).iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    w[wi * 64 + word.trailing_zeros() as usize] |= 1u64 << j;
+                    word &= word - 1;
+                }
+            }
+        }
+        // z = T^c x0 drives the packed rhs bit
+        let mut z: Vec<u64> = space.x0_words().to_vec();
+        let mut w_next = vec![0u64; n];
+        let mut z_next = vec![0u64; stride];
+        let mut pt = recycle.unwrap_or_default();
+        pt.clear();
+        pt.resize(cycles * chains, 0);
+        for c in 0..cycles {
+            let base = c * chains;
+            for (ch, taps) in consts.ps_taps.iter().enumerate() {
+                let mut row = 0u64;
+                let mut e = false;
+                for &tap in taps {
+                    row ^= w[tap as usize];
+                    e ^= words::get_bit(&z, tap as usize);
+                }
+                pt[base + ch] = row | (u64::from(e) << 63);
+            }
+            if c + 1 < cycles {
+                z_next.fill(0);
+                for (i, trow) in consts.t_rows.iter().enumerate() {
+                    let mut acc = 0u64;
+                    let mut zb = false;
+                    for &k in trow {
+                        acc ^= w[k as usize];
+                        zb ^= words::get_bit(&z, k as usize);
+                    }
+                    w_next[i] = acc;
+                    if zb {
+                        z_next[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+                std::mem::swap(&mut w, &mut w_next);
+                std::mem::swap(&mut z, &mut z_next);
+            }
+        }
+        FixedEngine {
+            dim,
+            pt,
+            g: FastElim::new(),
+            g_log: Vec::new(),
+        }
+    }
+
+    /// Folds the committed winner's local residue rows (packed) into
+    /// the global eliminator, the replay log, and the pre-reduced
+    /// table.
+    fn commit_update(&mut self, rows: &[u64]) {
+        let mut by_pivot = [0u64; 64];
+        let mut new_mask = 0u64;
+        for &packed in rows {
+            let (row, e) = self
+                .g
+                .reduce(packed & FastElim::ROW_MASK, packed >> 63 == 1);
+            if row == 0 {
+                debug_assert!(!e, "committed system cannot conflict");
+                continue;
+            }
+            self.g.insert_reduced(row, e);
+            let packed = row | (u64::from(e) << 63);
+            self.g_log.push(packed);
+            let p = row.trailing_zeros() as usize;
+            by_pivot[p] = packed;
+            new_mask |= 1u64 << p;
+        }
+        if new_mask == 0 {
+            return;
+        }
+        // one sweep of the new basis rows through the projected table
+        // so probing never reduces against committed rows again (the
+        // rows are mutually Jordan, so one pivot pass per entry is a
+        // complete reduction)
+        for entry in &mut self.pt {
+            let mut m = *entry & new_mask;
+            while m != 0 {
+                *entry ^= by_pivot[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+        }
+    }
+
+    /// Brings one cached residue up to the current log, dropping it on
+    /// conflict: the stored local rows are reduced against the unseen
+    /// log suffix and re-eliminated.
+    fn refresh_entry(&self, entry: &mut PosResidue) -> bool {
+        if entry.watermark == self.g_log.len() {
+            return true;
+        }
+        let mut elim = FastElim::new();
+        for &stored in &entry.rows {
+            let mut row = stored;
+            for &basis in &self.g_log[entry.watermark..] {
+                if row
+                    & FastElim::ROW_MASK
+                    & (1u64 << (basis & FastElim::ROW_MASK).trailing_zeros())
+                    != 0
+                {
+                    row ^= basis;
+                }
+            }
+            if elim.fold_packed(row) == LocalOutcome::Conflict {
+                return false;
+            }
+        }
+        elim.store_packed(&mut entry.rows);
+        entry.watermark = self.g_log.len();
+        true
+    }
+}
+
+/// General-width probing context (free dimension beyond 63): the
+/// affine snapshot is rebuilt per round and candidates are projected
+/// lazily; cached residues are resumed across rounds by an explicit
+/// change of coordinates ([`Delta`]). This tier only runs for
+/// pathological configurations (an LFSR grossly oversized for its
+/// cubes) — as soon as commits shrink the space it hands over to the
+/// word-sized tiers.
+struct GeneralCtx {
+    space: AffineSpace,
+}
+
+/// Change of coordinates between the free spaces before and after a
+/// commit (general width): column `j'` is the old-space coordinate
+/// vector of the new space's null basis vector `j'`, and `y0` the
+/// old-space coordinates of the particular-solution shift. A cached
+/// residue row `rho` maps to the new space as
+/// `rho'[j'] = rho . kcol[j']`, `e' = e ^ (rho . y0)` — the per-round
+/// delta that resumes each cached reduction instead of restarting it.
+#[derive(Debug)]
+struct Delta {
+    /// `new_dim` columns, `old_fw` words each.
+    kcols: Vec<u64>,
+    /// Old-space coordinates of `x0_new ^ x0_old`, `old_fw` words.
+    y0: Vec<u64>,
+    old_fw: usize,
+    new_dim: usize,
+    new_fw: usize,
+}
+
+impl Delta {
+    fn between(old: &AffineSpace, new: &AffineSpace) -> Delta {
+        let old_fw = old.coord_stride();
+        let new_dim = new.dim();
+        let mut kcols = vec![0u64; new_dim * old_fw];
+        for j in 0..new_dim {
+            old.coords_of(new.null_row(j), &mut kcols[j * old_fw..(j + 1) * old_fw]);
+        }
+        let mut shift: Vec<u64> = old.x0_words().to_vec();
+        words::xor_in(&mut shift, new.x0_words());
+        let mut y0 = vec![0u64; old_fw];
+        old.coords_of(&shift, &mut y0);
+        Delta {
+            kcols,
+            y0,
+            old_fw,
+            new_dim,
+            new_fw: new.coord_stride(),
+        }
+    }
+
+    /// Re-expresses one cached row in the new space's coordinates,
+    /// writing `new_fw` words into `out`; returns the new right-hand
+    /// side.
+    fn apply(&self, row: &[u64], e: bool, out: &mut [u64]) -> bool {
+        out.fill(0);
+        for j in 0..self.new_dim {
+            if words::dot(row, &self.kcols[j * self.old_fw..(j + 1) * self.old_fw]) {
+                out[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        e ^ words::dot(row, &self.y0)
+    }
+}
+
+/// The per-seed probing engine, picked (and later upgraded) by the
+/// free dimension of the solution space.
+#[allow(clippy::large_enum_variant)] // one prober exists per seed
+enum Prober {
+    Tt(TtEngine),
+    Fixed(FixedEngine),
+    General(GeneralCtx),
+}
+
 /// The window-based reseeding encoder.
 ///
 /// # Example
@@ -167,11 +875,699 @@ impl<'a> WindowEncoder<'a> {
     /// free seed variables (and nothing else), so results are fully
     /// deterministic.
     ///
+    /// This is the incremental projected-residue search on a single
+    /// thread — bit-identical to
+    /// [`encode_reference`](Self::encode_reference) and to
+    /// [`encode_with_threads`](Self::encode_with_threads) at any
+    /// thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`EncodeError::CubeUnencodable`] if some cube cannot be
     /// encoded even alone in an empty window.
     pub fn encode(&self, fill_seed: u64) -> Result<EncodingResult, EncodeError> {
+        self.encode_with_threads(fill_seed, 1)
+    }
+
+    /// [`encode`](Self::encode) with candidate probing parallelised
+    /// across up to `threads` scoped worker threads (clamped to at
+    /// least 1). The winning placement each round is the minimum of
+    /// the strict total order `(added rank, viable-position count,
+    /// position, cube index)` within the shallowest solvable level,
+    /// so the output is **bit-identical for every thread count** — a
+    /// contract the workspace property tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::CubeUnencodable`] if some cube cannot be
+    /// encoded even alone in an empty window.
+    pub fn encode_with_threads(
+        &self,
+        fill_seed: u64,
+        threads: usize,
+    ) -> Result<EncodingResult, EncodeError> {
+        // more workers than hardware threads cannot help (the
+        // speculative descent sweep only pays off when it really runs
+        // concurrently), so excess requests take the cheaper lazy path;
+        // results are identical either way
+        let hw = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.encode_tuned(fill_seed, threads.clamp(1, hw), DESCENT_LEVELS, PAR_EQS)
+    }
+
+    /// [`encode_with_threads`](Self::encode_with_threads) with the
+    /// dispatch thresholds exposed: tests force tiny thresholds so the
+    /// parallel machinery is exercised (and pinned bit-identical) even
+    /// on small workloads and single-CPU machines.
+    fn encode_tuned(
+        &self,
+        fill_seed: u64,
+        threads: usize,
+        descent_levels: usize,
+        par_eqs: usize,
+    ) -> Result<EncodingResult, EncodeError> {
+        let n = self.table.vars();
+        let window = self.table.window();
+        let threads = threads.max(1);
+        let mut rng = SmallRng::seed_from_u64(fill_seed ^ 0x454e_434f_4445_5253); // "ENCODERS"
+        let mut remaining: Vec<bool> = vec![true; self.set.len()];
+        let mut remaining_count = self.set.len();
+        let order = self.set.indices_by_specified_desc();
+        let specified: Vec<usize> = (0..self.set.len())
+            .map(|ci| self.set.cube(ci).specified_count())
+            .collect();
+        let mut caches: Vec<CubeCache> =
+            (0..self.set.len()).map(|_| CubeCache::default()).collect();
+        let mut level_order: Vec<usize> = Vec::with_capacity(self.set.len());
+        let consts = StreamConsts::build(self.table);
+        // per-cube equations as (position-independent row offset, bit),
+        // sorted by offset: the scan-geometry arithmetic and care-bit
+        // iteration are paid once per cube, and probing walks each
+        // position's table block in ascending address order
+        // (equation order cannot change probe outcomes)
+        let cube_eqs: Vec<Vec<(u32, bool)>> = (0..self.set.len())
+            .map(|ci| {
+                let mut eqs: Vec<(u32, bool)> = self
+                    .set
+                    .cube(ci)
+                    .iter_specified()
+                    .map(|(cell, bit)| (self.table.row_offset(cell) as u32, bit))
+                    .collect();
+                eqs.sort_unstable_by_key(|&(off, _)| off);
+                eqs
+            })
+            .collect();
+        let cube_eqs = &cube_eqs;
+        let mut scratch = ProbeScratch::default();
+        let mut recycled_pt: Option<Vec<u64>> = None;
+        let mut seeds = Vec::new();
+
+        while remaining_count > 0 {
+            let mut solver = IncrementalSolver::new(n);
+            let mut placements = Vec::new();
+            for cache in &mut caches {
+                cache.reset();
+            }
+
+            // 1. seed the window with the biggest remaining cube at
+            //    position 0 (position choice is irrelevant for
+            //    solvability; see encode_reference).
+            let first = order
+                .iter()
+                .copied()
+                .find(|&ci| remaining[ci])
+                .expect("remaining_count > 0");
+            if !self.commit(&mut solver, first, 0) {
+                return Err(EncodeError::CubeUnencodable {
+                    cube: first,
+                    specified: specified[first],
+                    lfsr_size: n,
+                });
+            }
+            placements.push(Placement {
+                cube: first,
+                position: 0,
+            });
+            remaining[first] = false;
+            remaining_count -= 1;
+
+            // 2. greedy fill over cached residues (tier picked by the
+            //    free dimension the first commit left)
+            let mut prober = {
+                let space = solver.affine_space();
+                if space.dim() <= TtEngine::MAX_DIM {
+                    Prober::Tt(TtEngine::build(
+                        &space,
+                        self.table,
+                        &consts,
+                        recycled_pt.take(),
+                    ))
+                } else if space.dim() <= FixedEngine::MAX_DIM {
+                    Prober::Fixed(FixedEngine::build(
+                        &space,
+                        self.table,
+                        &consts,
+                        recycled_pt.take(),
+                    ))
+                } else {
+                    Prober::General(GeneralCtx { space })
+                }
+            };
+            while solver.rank() < n {
+                level_order.clear();
+                level_order.extend(order.iter().copied().filter(|&ci| remaining[ci]));
+                let Some(pick) = self.select_cached(
+                    &mut caches,
+                    &level_order,
+                    &specified,
+                    cube_eqs,
+                    &prober,
+                    threads,
+                    descent_levels,
+                    par_eqs,
+                    &mut scratch,
+                ) else {
+                    break;
+                };
+                // the word-sized tiers consume the winner's cached
+                // residue at commit time, before its cache is cleared
+                let winner: Option<(Vec<u64>, Vec<bool>)> = match &prober {
+                    Prober::Tt(engine) => {
+                        let entry = caches[pick.cube]
+                            .entries
+                            .iter()
+                            .find(|e| e.position == pick.position)
+                            .expect("picked placement has a cached residue");
+                        Some((
+                            entry
+                                .rows
+                                .iter()
+                                .zip(&engine.c_mask)
+                                .map(|(a, b)| a & b)
+                                .collect(),
+                            Vec::new(),
+                        ))
+                    }
+                    Prober::Fixed(_) => {
+                        let entry = caches[pick.cube]
+                            .entries
+                            .iter()
+                            .find(|e| e.position == pick.position)
+                            .expect("picked placement has a cached residue");
+                        Some((entry.rows.clone(), Vec::new()))
+                    }
+                    Prober::General(_) => None,
+                };
+                let rank_before = solver.rank();
+                let committed = self.commit(&mut solver, pick.cube, pick.position);
+                debug_assert!(committed, "selected system must still be solvable");
+                placements.push(pick);
+                remaining[pick.cube] = false;
+                remaining_count -= 1;
+                caches[pick.cube].reset();
+                if solver.rank() == n {
+                    break;
+                }
+                match &mut prober {
+                    Prober::Tt(engine) => {
+                        // delta reduction in the fixed frame: cached
+                        // masks simply intersect the new constraint
+                        let (mask, _) = winner.expect("tt tier captured the winner");
+                        engine.commit_update(&mask, solver.free_vars());
+                    }
+                    Prober::Fixed(engine) => {
+                        let (rows, _) = winner.expect("fixed tier captured the winner");
+                        engine.commit_update(&rows);
+                        debug_assert_eq!(engine.g.rank(), engine.dim - solver.free_vars());
+                    }
+                    Prober::General(ctx) => {
+                        if solver.rank() > rank_before {
+                            // resume every cached residue in the
+                            // shrunken free space: per-round delta
+                            let new_space = solver.affine_space();
+                            let delta = Delta::between(&ctx.space, &new_space);
+                            for cache in &mut caches {
+                                if cache.init {
+                                    refresh_cache_general(cache, &delta, &mut scratch);
+                                }
+                            }
+                            ctx.space = new_space;
+                        }
+                    }
+                }
+                // hand over to a cheaper tier once the free space has
+                // shrunk into its range. Caches restart — viability is
+                // an invariant of the basis, so the re-probe
+                // reproduces exactly the same sets.
+                let free = solver.free_vars();
+                let upgrade = match &prober {
+                    Prober::Tt(_) => false,
+                    Prober::Fixed(_) => free <= TtEngine::MAX_DIM,
+                    Prober::General(_) => free <= FixedEngine::MAX_DIM,
+                };
+                if upgrade {
+                    let space = solver.affine_space();
+                    let recycle = match &mut prober {
+                        Prober::Tt(engine) => Some(std::mem::take(&mut engine.pt)),
+                        Prober::Fixed(engine) => Some(std::mem::take(&mut engine.pt)),
+                        Prober::General(_) => recycled_pt.take(),
+                    };
+                    prober = if free <= TtEngine::MAX_DIM {
+                        Prober::Tt(TtEngine::build(&space, self.table, &consts, recycle))
+                    } else {
+                        Prober::Fixed(FixedEngine::build(&space, self.table, &consts, recycle))
+                    };
+                    for cache in &mut caches {
+                        if cache.init {
+                            cache.reset();
+                        }
+                    }
+                }
+            }
+            match prober {
+                Prober::Tt(engine) => recycled_pt = Some(engine.pt),
+                Prober::Fixed(engine) => recycled_pt = Some(engine.pt),
+                Prober::General(_) => {}
+            }
+
+            // 3. fast path: at full rank the window is *uniquely*
+            //    determined, so "solvable" degenerates to "already
+            //    embedded" — one concrete matching pass places every
+            //    remaining embedded cube at once.
+            let seed = solver.solve_with(|_| rng.gen());
+            debug_assert!(solver.check(&seed));
+            if solver.rank() == n {
+                let vectors = self.table.expand(&seed);
+                for &ci in &order {
+                    if !remaining[ci] {
+                        continue;
+                    }
+                    let cube = self.set.cube(ci);
+                    if let Some(v) = vectors.iter().position(|vec| cube.matches(vec)) {
+                        placements.push(Placement {
+                            cube: ci,
+                            position: v,
+                        });
+                        remaining[ci] = false;
+                        remaining_count -= 1;
+                    }
+                }
+            }
+            seeds.push(EncodedSeed { seed, placements });
+        }
+
+        Ok(EncodingResult {
+            seeds,
+            window,
+            lfsr_size: n,
+            encoded_cubes: self.set.len(),
+        })
+    }
+
+    /// Applies the selection criteria over the remaining cubes
+    /// (`level_order`: remaining cubes, most specified bits first):
+    /// probe level by level and hand back the best candidate of the
+    /// shallowest level that has one — exactly the reference search's
+    /// early-exit structure. The first levels are probed serially
+    /// (lazy probing against the most-constrained basis is cheapest);
+    /// once a round descends past them without finding a candidate it
+    /// is almost always a full sweep of every remaining cube, so with
+    /// threads available the whole remainder is probed as one
+    /// parallel batch. Deeper-than-needed probes are cached and
+    /// reused by the seed's later rounds, and probe outcomes are
+    /// invariants of the basis, so neither batching nor scheduling
+    /// can change the selected placement.
+    #[allow(clippy::too_many_arguments)] // internal hot path, all context-bound
+    fn select_cached(
+        &self,
+        caches: &mut [CubeCache],
+        level_order: &[usize],
+        specified: &[usize],
+        cube_eqs: &[Vec<(u32, bool)>],
+        prober: &Prober,
+        threads: usize,
+        descent_levels: usize,
+        par_eqs: usize,
+        scratch: &mut ProbeScratch,
+    ) -> Option<Placement> {
+        let window = self.table.window();
+        let mut i = 0;
+        let mut levels_done = 0usize;
+        while i < level_order.len() {
+            if threads > 1 && levels_done >= descent_levels {
+                // deep descent: sweep everything left in one batch
+                let batch = &level_order[i..];
+                let fresh_eqs: usize = batch
+                    .iter()
+                    .filter(|&&ci| !caches[ci].init)
+                    .map(|&ci| specified[ci] * window)
+                    .sum();
+                if fresh_eqs >= par_eqs {
+                    let keys =
+                        self.probe_batch(batch, caches, cube_eqs, prober, threads, true, scratch);
+                    let mut k = 0;
+                    while k < batch.len() {
+                        let level = specified[batch[k]];
+                        let mut best: Option<Key> = None;
+                        while k < batch.len() && specified[batch[k]] == level {
+                            if let Some(key) = keys[k] {
+                                if best.is_none_or(|b| key < b) {
+                                    best = Some(key);
+                                }
+                            }
+                            k += 1;
+                        }
+                        if let Some((_, _, position, cube)) = best {
+                            return Some(Placement { cube, position });
+                        }
+                    }
+                    return None;
+                }
+            }
+            let mut j = i;
+            let level = specified[level_order[i]];
+            while j < level_order.len() && specified[level_order[j]] == level {
+                j += 1;
+            }
+            let batch = &level_order[i..j];
+            let keys = self.probe_batch(batch, caches, cube_eqs, prober, threads, false, scratch);
+            let mut best: Option<Key> = None;
+            for key in keys.into_iter().flatten() {
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            if let Some((_, _, position, cube)) = best {
+                return Some(Placement { cube, position });
+            }
+            i = j;
+            levels_done += 1;
+        }
+        None
+    }
+
+    /// Probes one batch of cubes (initialising first-visit caches, in
+    /// parallel when the caller judged the first-visit equation volume
+    /// worth a dispatch) and returns each cube's candidate key,
+    /// aligned with `batch`. Serial probing reuses the per-encode
+    /// scratch; parallel workers carry their own.
+    #[allow(clippy::too_many_arguments)] // internal hot path, all context-bound
+    fn probe_batch(
+        &self,
+        batch: &[usize],
+        caches: &mut [CubeCache],
+        cube_eqs: &[Vec<(u32, bool)>],
+        prober: &Prober,
+        threads: usize,
+        parallel: bool,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Option<Key>> {
+        if !parallel {
+            return batch
+                .iter()
+                .map(|&ci| self.probe_cube(ci, &mut caches[ci], cube_eqs, prober, scratch))
+                .collect();
+        }
+        // hand each worker a disjoint set of (cube, cache) pairs;
+        // workers only read the shared engine and mutate their own
+        // caches, and results are merged back by batch index, so
+        // scheduling cannot influence the outcome
+        let mut sorted: Vec<(usize, usize)> = batch.iter().copied().enumerate().collect();
+        sorted.sort_unstable_by_key(|&(_, ci)| ci);
+        let mut work: Vec<WorkItem<'_>> = Vec::with_capacity(sorted.len());
+        let mut next = sorted.iter().copied().peekable();
+        for (ci, cache) in caches.iter_mut().enumerate() {
+            if next.peek().map(|&(_, c)| c) == Some(ci) {
+                let (bi, _) = next.next().expect("peeked");
+                work.push((bi, ci, cache));
+            }
+        }
+        // many small chunks claimed through an atomic index: the
+        // per-cube probing cost is wildly uneven (fresh vs cached,
+        // conflict depth), so static chunking leaves workers idle
+        let n_chunks = (threads * 8).clamp(1, work.len().max(1));
+        let chunk_size = work.len().div_ceil(n_chunks);
+        let chunks: Vec<std::sync::Mutex<&mut [WorkItem<'_>]>> = work
+            .chunks_mut(chunk_size)
+            .map(std::sync::Mutex::new)
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut keys: Vec<Option<Key>> = vec![None; batch.len()];
+        thread::scope(|scope| {
+            let chunks = &chunks;
+            let next = &next;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = ProbeScratch::default();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= chunks.len() {
+                                break;
+                            }
+                            let mut chunk = chunks[i].lock().expect("chunk claimed once");
+                            for (bi, ci, cache) in chunk.iter_mut() {
+                                out.push((
+                                    *bi,
+                                    self.probe_cube(*ci, cache, cube_eqs, prober, &mut scratch),
+                                ));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => {
+                        for (bi, key) in done {
+                            keys[bi] = key;
+                        }
+                    }
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        });
+        keys
+    }
+
+    /// Initialises one cube's residue caches on first visit, resumes
+    /// stale residues on revisits (high-water mark / constraint
+    /// intersection), and returns the cube's candidate key.
+    fn probe_cube(
+        &self,
+        ci: usize,
+        cache: &mut CubeCache,
+        cube_eqs: &[Vec<(u32, bool)>],
+        prober: &Prober,
+        scratch: &mut ProbeScratch,
+    ) -> Option<Key> {
+        match prober {
+            Prober::Tt(engine) => {
+                if !cache.init {
+                    cache.init = true;
+                    self.init_cube_tt(cache, &cube_eqs[ci], engine, scratch);
+                } else {
+                    // delta reduction: intersect every cached mask
+                    // with the constraint accumulated since the last
+                    // visit, pruning emptied (conflicted) positions
+                    cache.prune(|entry| {
+                        let mut any = 0u64;
+                        for (m, &c) in entry.rows.iter_mut().zip(&engine.c_mask) {
+                            *m &= c;
+                            any |= *m;
+                        }
+                        any != 0
+                    });
+                }
+                let count = cache.entries.len();
+                let mut best: Option<(usize, usize)> = None; // (rank, pos)
+                for entry in &cache.entries {
+                    let pop: usize = entry.rows.iter().map(|w| w.count_ones() as usize).sum();
+                    debug_assert!(pop.is_power_of_two(), "affine subspaces have 2^k points");
+                    let rank = engine.f_log - pop.trailing_zeros() as usize;
+                    let key = (rank, entry.position);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(rank, pos)| (rank, count, pos, ci))
+            }
+            Prober::Fixed(engine) => {
+                if !cache.init {
+                    cache.init = true;
+                    self.init_cube_fixed(cache, &cube_eqs[ci], engine);
+                } else {
+                    // high-water-mark resumption against the committed
+                    // row log
+                    cache.prune(|entry| engine.refresh_entry(entry));
+                }
+                let count = cache.entries.len();
+                let mut best: Option<(usize, usize)> = None; // (rank, pos)
+                for entry in &cache.entries {
+                    let key = (entry.rows.len(), entry.position);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(rank, pos)| (rank, count, pos, ci))
+            }
+            Prober::General(ctx) => {
+                if !cache.init {
+                    cache.init = true;
+                    self.init_cube_general(cache, &cube_eqs[ci], &ctx.space, scratch);
+                }
+                let count = cache.entries.len();
+                let mut best: Option<(usize, usize)> = None; // (rank, pos)
+                for entry in &cache.entries {
+                    let key = (entry.rhs.len(), entry.position);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(rank, pos)| (rank, count, pos, ci))
+            }
+        }
+    }
+
+    /// First-visit probe of every window position, truth-table tier:
+    /// start from the current constraint mask and AND in each
+    /// equation's satisfying-seed table row; surviving masks are the
+    /// cached residues.
+    fn init_cube_tt(
+        &self,
+        cache: &mut CubeCache,
+        eqs: &[(u32, bool)],
+        engine: &TtEngine,
+        scratch: &mut ProbeScratch,
+    ) {
+        let w0 = engine.w0;
+        let per_position = self.table.rows_per_position();
+        for position in 0..self.table.window() {
+            let pos_base = position * per_position;
+            scratch.tmp.clear();
+            scratch.tmp.extend_from_slice(&engine.c_mask);
+            let mut live = true;
+            for &(off, bit) in eqs {
+                let idx = (pos_base + off as usize) * w0;
+                let pt = &engine.pt[idx..idx + w0];
+                let mut any = 0u64;
+                if bit {
+                    for (m, &p) in scratch.tmp.iter_mut().zip(pt) {
+                        *m &= p;
+                        any |= *m;
+                    }
+                } else {
+                    for ((m, &p), &o) in scratch.tmp.iter_mut().zip(pt).zip(&engine.ones) {
+                        *m &= p ^ o;
+                        any |= *m;
+                    }
+                }
+                if any == 0 {
+                    live = false;
+                    break;
+                }
+            }
+            if live {
+                let mut entry = cache.take_entry();
+                entry.position = position;
+                entry.watermark = 0;
+                entry.rows.clear();
+                entry.rows.extend_from_slice(&scratch.tmp);
+                entry.rhs.clear();
+                cache.entries.push(entry);
+            }
+        }
+    }
+
+    /// First-visit probe of every window position, fixed-frame tier:
+    /// fold each equation's packed, committed-row-reduced table row
+    /// into a local elimination — the surviving rows are exactly the
+    /// rank the candidate would add, and equations inconsistent with
+    /// the committed basis alone conflict on a single load.
+    fn init_cube_fixed(&self, cache: &mut CubeCache, eqs: &[(u32, bool)], engine: &FixedEngine) {
+        let per_position = self.table.rows_per_position();
+        for position in 0..self.table.window() {
+            let pos_base = position * per_position;
+            let mut elim = FastElim::new();
+            let mut viable = true;
+            for &(off, bit) in eqs {
+                // table bit 63 is the x0 offset; the equation's rhs is
+                // that offset xor the cube bit
+                let packed = engine.pt[pos_base + off as usize] ^ (u64::from(bit) << 63);
+                if elim.fold_packed(packed) == LocalOutcome::Conflict {
+                    viable = false;
+                    break;
+                }
+            }
+            if viable {
+                let mut entry = cache.take_entry();
+                entry.position = position;
+                entry.watermark = engine.g_log.len();
+                entry.rhs.clear();
+                elim.store_packed(&mut entry.rows);
+                cache.entries.push(entry);
+            }
+        }
+    }
+
+    /// First-visit probe of every window position, general-width tier
+    /// (free dimension beyond 63): lazy projection per equation.
+    fn init_cube_general(
+        &self,
+        cache: &mut CubeCache,
+        eqs: &[(u32, bool)],
+        space: &AffineSpace,
+        scratch: &mut ProbeScratch,
+    ) {
+        let fw = space.coord_stride();
+        let per_position = self.table.rows_per_position();
+        scratch.tmp.resize(fw, 0);
+        for position in 0..self.table.window() {
+            let pos_base = position * per_position;
+            scratch.rows.clear();
+            scratch.rhs.clear();
+            scratch.pivots.clear();
+            let mut viable = true;
+            for &(off, bit) in eqs {
+                let coeffs = self.table.row_words(pos_base + off as usize);
+                let e = space.project(coeffs, bit, &mut scratch.tmp);
+                if fold_row(
+                    &scratch.tmp,
+                    e,
+                    fw,
+                    &mut scratch.rows,
+                    &mut scratch.rhs,
+                    &mut scratch.pivots,
+                ) == LocalOutcome::Conflict
+                {
+                    viable = false;
+                    break;
+                }
+            }
+            if viable {
+                let mut entry = cache.take_entry();
+                entry.position = position;
+                entry.watermark = 0;
+                entry.rows.clear();
+                entry.rows.extend_from_slice(&scratch.rows);
+                entry.rhs.clear();
+                entry.rhs.extend_from_slice(&scratch.rhs);
+                cache.entries.push(entry);
+            }
+        }
+    }
+
+    /// Tries the full system of `cube` at window `position` through the
+    /// solver's borrowed word-slice path; commits on success, rolls
+    /// back and returns `false` on conflict. Insertion order matches
+    /// the reference search, so the committed basis — and therefore the
+    /// solved seed bits — are identical.
+    fn commit(&self, solver: &mut IncrementalSolver, cube: usize, position: usize) -> bool {
+        let cp = solver.checkpoint();
+        for (cell, bit) in self.set.cube(cube).iter_specified() {
+            let expr = self.table.cell_expr_words(position, cell);
+            if solver.insert_words(expr, bit) == SolveOutcome::Conflict {
+                solver.rollback(cp);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The pre-overhaul greedy search, kept verbatim as the reference
+    /// oracle: it re-eliminates every candidate system from scratch
+    /// each round (O(candidates x specified bits x rank) per round) and
+    /// materialises a [`BitVec`] per probed equation. Property tests
+    /// and the `encode_scaling` bench pin [`encode`](Self::encode) and
+    /// [`encode_with_threads`](Self::encode_with_threads) bit-identical
+    /// to this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::CubeUnencodable`] if some cube cannot be
+    /// encoded even alone in an empty window.
+    pub fn encode_reference(&self, fill_seed: u64) -> Result<EncodingResult, EncodeError> {
         let n = self.table.vars();
         let window = self.table.window();
         let mut rng = SmallRng::seed_from_u64(fill_seed ^ 0x454e_434f_4445_5253); // "ENCODERS"
@@ -269,7 +1665,7 @@ impl<'a> WindowEncoder<'a> {
     ) -> Option<Placement> {
         let window = self.table.window();
         let mut level = usize::MAX; // specified count of the current level
-        let mut best: Option<(usize, usize, usize, usize)> = None; // (rank, count, pos, cube)
+        let mut best: Option<Key> = None;
 
         for &ci in order {
             if !remaining[ci] {
@@ -345,6 +1741,38 @@ impl<'a> WindowEncoder<'a> {
     }
 }
 
+/// Re-expresses every cached residue of one cube in the post-commit
+/// free space and re-eliminates it there, dropping positions whose
+/// system became inconsistent — the general tier's delta reduction.
+fn refresh_cache_general(cache: &mut CubeCache, delta: &Delta, scratch: &mut ProbeScratch) {
+    let old_fw = delta.old_fw;
+    let new_fw = delta.new_fw;
+    cache.entries.retain_mut(|entry| {
+        scratch.tmp.resize(new_fw, 0);
+        scratch.rows.clear();
+        scratch.rhs.clear();
+        scratch.pivots.clear();
+        for idx in 0..entry.rhs.len() {
+            let row = &entry.rows[idx * old_fw..(idx + 1) * old_fw];
+            let e = delta.apply(row, entry.rhs[idx], &mut scratch.tmp);
+            if fold_row(
+                &scratch.tmp,
+                e,
+                new_fw,
+                &mut scratch.rows,
+                &mut scratch.rhs,
+                &mut scratch.pivots,
+            ) == LocalOutcome::Conflict
+            {
+                return false;
+            }
+        }
+        std::mem::swap(&mut entry.rows, &mut scratch.rows);
+        std::mem::swap(&mut entry.rhs, &mut scratch.rhs);
+        true
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +1846,84 @@ mod tests {
     }
 
     #[test]
+    fn cached_search_matches_the_reference_bit_for_bit() {
+        for window in [1usize, 4, 12, 20] {
+            let (set, table) = mini_setup(window);
+            let enc = WindowEncoder::new(&set, &table).unwrap();
+            let reference = enc.encode_reference(7).unwrap();
+            assert_eq!(
+                enc.encode(7).unwrap(),
+                reference,
+                "cached search diverged at L={window}"
+            );
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    enc.encode_with_threads(7, threads).unwrap(),
+                    reference,
+                    "parallel search diverged at L={window}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_dispatch_matches_the_reference() {
+        // tiny thresholds force the worker-pool and descent-sweep
+        // paths even on small workloads and single-CPU machines
+        for window in [6usize, 16] {
+            let (set, table) = mini_setup(window);
+            let enc = WindowEncoder::new(&set, &table).unwrap();
+            let reference = enc.encode_reference(11).unwrap();
+            for threads in [2usize, 4] {
+                assert_eq!(
+                    enc.encode_tuned(11, threads, 0, 0).unwrap(),
+                    reference,
+                    "forced parallel diverged at L={window}, {threads} threads"
+                );
+            }
+        }
+        // and for the fixed-frame tier
+        let profile = CubeProfile::mini();
+        let set = generate_test_set(&profile, 5);
+        let table = build_table(30, set.config(), 8, 2);
+        let enc = WindowEncoder::new(&set, &table).unwrap();
+        assert_eq!(
+            enc.encode_tuned(3, 4, 0, 0).unwrap(),
+            enc.encode_reference(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn fixed_frame_tier_matches_the_reference() {
+        // an LFSR in the 11..=63 free-dimension band after the first
+        // commit exercises the fixed-frame tier (and its mid-seed
+        // hand-off to the truth-table tier as the space shrinks)
+        let profile = CubeProfile::mini();
+        let set = generate_test_set(&profile, 5);
+        for n in [30usize, 48] {
+            let table = build_table(n, set.config(), 8, 2);
+            let enc = WindowEncoder::new(&set, &table).unwrap();
+            let reference = enc.encode_reference(3).unwrap();
+            assert_eq!(enc.encode(3).unwrap(), reference, "n={n}");
+            assert_eq!(enc.encode_with_threads(3, 4).unwrap(), reference, "n={n}");
+        }
+    }
+
+    #[test]
+    fn general_width_path_matches_the_reference_beyond_63_free_dims() {
+        // a deliberately oversized LFSR leaves > 63 free dimensions
+        // after the first commit, forcing the multi-word probing path
+        // (and its mid-seed hand-off to the word-sized tiers)
+        let profile = CubeProfile::mini();
+        let set = generate_test_set(&profile, 5);
+        let table = build_table(90, set.config(), 6, 2);
+        let enc = WindowEncoder::new(&set, &table).unwrap();
+        let reference = enc.encode_reference(3).unwrap();
+        assert_eq!(enc.encode(3).unwrap(), reference);
+        assert_eq!(enc.encode_with_threads(3, 4).unwrap(), reference);
+    }
+
+    #[test]
     fn larger_windows_never_need_more_seeds() {
         let (set, table_small) = mini_setup(4);
         let profile = CubeProfile::mini();
@@ -460,14 +1966,13 @@ mod tests {
         let profile = CubeProfile::mini(); // smax = 12
         let set = generate_test_set(&profile, 5);
         let table = build_table(8, set.config(), 4, 11); // 8-bit LFSR < smax
-        let err = WindowEncoder::new(&set, &table)
-            .unwrap()
-            .encode(5)
-            .unwrap_err();
+        let enc = WindowEncoder::new(&set, &table).unwrap();
+        let err = enc.encode(5).unwrap_err();
         assert!(matches!(
             err,
             EncodeError::CubeUnencodable { lfsr_size: 8, .. }
         ));
+        assert_eq!(err, enc.encode_reference(5).unwrap_err());
     }
 
     #[test]

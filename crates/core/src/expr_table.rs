@@ -8,7 +8,7 @@
 //! by every seed. Rows are stored in one flat word array to keep the
 //! table cache-friendly (an s38417-sized table is ~13 MB).
 
-use ss_gf2::BitVec;
+use ss_gf2::{BitMatrix, BitVec};
 use ss_lfsr::{ExpressionStream, Lfsr, PhaseShifter};
 use ss_testdata::ScanConfig;
 
@@ -43,6 +43,11 @@ pub struct ExprTable {
     cycles: usize,
     scan: ScanConfig,
     window: usize,
+    /// The LFSR's transition matrix `T` (`state(t+1) = T * state(t)`):
+    /// row `t+1` of the table is row `t` advanced by `T`, which lets
+    /// derived per-round tables (the encoder's projected expressions)
+    /// be *streamed* cycle by cycle instead of recomputed per row.
+    transition: BitMatrix,
 }
 
 impl ExprTable {
@@ -85,7 +90,64 @@ impl ExprTable {
             cycles,
             scan,
             window,
+            transition: lfsr.transition_matrix(),
         }
+    }
+
+    /// The LFSR transition matrix `T` the table was built from
+    /// (`expr(t+1, c) = expr(t, c) * T`, i.e. `state(t+1) = T *
+    /// state(t)`).
+    pub fn transition(&self) -> &BitMatrix {
+        &self.transition
+    }
+
+    /// Number of scan chains (rows per cycle).
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Flat row index of the expression feeding scan cell `cell` of
+    /// the vector at window position `position` — the same row
+    /// [`cell_expr_words`](Self::cell_expr_words) returns, as an index
+    /// `cycle * chains() + chain` into any per-row side table. Equal
+    /// to `position * rows_per_position() + row_offset(cell)`, which
+    /// is how hot loops amortise the scan-geometry arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= window()` or `cell` is outside the scan
+    /// geometry.
+    pub fn row_index(&self, position: usize, cell: usize) -> usize {
+        assert!(position < self.window, "window position out of range");
+        position * self.rows_per_position() + self.row_offset(cell)
+    }
+
+    /// Table rows per window position (`depth * chains`).
+    pub fn rows_per_position(&self) -> usize {
+        self.scan.depth() * self.chains
+    }
+
+    /// The position-independent part of [`row_index`](Self::row_index)
+    /// for `cell`: precompute once per cube, add
+    /// `position * rows_per_position()` per probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the scan geometry.
+    pub fn row_offset(&self, cell: usize) -> usize {
+        let (chain, pos) = self.scan.chain_of(cell);
+        self.scan.load_cycle(pos) * self.chains + chain
+    }
+
+    /// Raw words of table row `index` (as produced by
+    /// [`row_index`](Self::row_index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cycles() * chains()`.
+    pub fn row_words(&self, index: usize) -> &[u64] {
+        assert!(index < self.cycles * self.chains, "row index out of range");
+        &self.words[index * self.stride..(index + 1) * self.stride]
     }
 
     /// Number of seed variables (LFSR size).
@@ -129,6 +191,13 @@ impl ExprTable {
         BitVec::from_words(self.vars, self.expr_words(cycle, chain))
     }
 
+    /// Words per expression row (`vars()` rounded up to whole `u64`s) —
+    /// the slice length of [`expr_words`](Self::expr_words) /
+    /// [`cell_expr_words`](Self::cell_expr_words) rows.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// The expression feeding scan *cell* `cell` of the vector at
     /// window position `position`: chain `c` of the cell, at the cycle
     /// within the load where that position is shifted in.
@@ -138,10 +207,26 @@ impl ExprTable {
     /// Panics if `position >= window()` or `cell` is outside the scan
     /// geometry.
     pub fn cell_expr(&self, position: usize, cell: usize) -> BitVec {
+        BitVec::from_words(self.vars, self.cell_expr_words(position, cell))
+    }
+
+    /// Raw words of [`cell_expr`](Self::cell_expr), borrowed straight
+    /// from the table — the allocation-free row the solver's
+    /// word-slice API ([`IncrementalSolver::insert_words`]
+    /// [`probe_words`]) consumes directly.
+    ///
+    /// [`IncrementalSolver::insert_words`]: ss_gf2::IncrementalSolver::insert_words
+    /// [`probe_words`]: ss_gf2::IncrementalSolver::probe_words
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= window()` or `cell` is outside the scan
+    /// geometry.
+    pub fn cell_expr_words(&self, position: usize, cell: usize) -> &[u64] {
         assert!(position < self.window, "window position out of range");
         let (chain, pos) = self.scan.chain_of(cell);
         let cycle = position * self.scan.depth() + self.scan.load_cycle(pos);
-        self.expr(cycle, chain)
+        self.expr_words(cycle, chain)
     }
 
     /// Evaluates the whole window for a concrete seed: the `L` test
@@ -256,6 +341,22 @@ mod tests {
                 concrete,
                 "cell {cell} (chain {chain}, pos {pos})"
             );
+        }
+    }
+
+    #[test]
+    fn cell_expr_words_borrows_the_same_row() {
+        let (lfsr, shifter, scan) = setup();
+        let table = ExprTable::build(&lfsr, &shifter, scan, 3);
+        assert_eq!(table.stride(), 1);
+        for position in 0..3 {
+            for cell in 0..scan.cells() {
+                assert_eq!(
+                    BitVec::from_words(table.vars(), table.cell_expr_words(position, cell)),
+                    table.cell_expr(position, cell),
+                    "position {position} cell {cell}"
+                );
+            }
         }
     }
 

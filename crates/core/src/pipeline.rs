@@ -339,6 +339,9 @@ impl From<PipelineConfig> for EngineConfig {
             ps_taps: c.ps_taps,
             hw_seed: c.hw_seed,
             fill_seed: c.fill_seed,
+            // the legacy API predates the knob; results are
+            // thread-count-invariant, so the default is safe
+            threads: None,
         }
     }
 }

@@ -7,9 +7,6 @@
 //! segments) is replicated. [`SocPlan`] aggregates per-core pipeline
 //! results into that area accounting.
 
-use std::panic;
-use std::thread;
-
 use ss_lfsr::CostModel;
 use ss_testdata::TestSet;
 
@@ -52,9 +49,10 @@ impl SocPlan {
     }
 
     /// Runs the full State Skip flow for every core **in parallel**
-    /// (one scoped thread per core, [`std::thread::scope`]) under one
-    /// shared engine configuration, and aggregates the reports into a
-    /// plan — the paper's Section 4 five-core experiment as one call.
+    /// (a [`std::thread::scope`] worker pool capped at the engine's
+    /// [`threads`](Engine::threads) budget) under one shared engine
+    /// configuration, and aggregates the reports into a plan — the
+    /// paper's Section 4 five-core experiment as one call.
     ///
     /// Cores are `(name, test set)` pairs; reports are aggregated in
     /// input order, so the plan is deterministic regardless of thread
@@ -65,19 +63,8 @@ impl SocPlan {
     /// The first per-core [`SchemeError`] in input order. Panics in
     /// core threads are propagated.
     pub fn run_batch(engine: &Engine, cores: &[(String, TestSet)]) -> Result<SocPlan, SchemeError> {
-        let reports: Vec<Result<PipelineReport, SchemeError>> = thread::scope(|scope| {
-            let handles: Vec<_> = cores
-                .iter()
-                .map(|(_, set)| scope.spawn(move || engine.run(set)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| match handle.join() {
-                    Ok(result) => result,
-                    Err(payload) => panic::resume_unwind(payload),
-                })
-                .collect()
-        });
+        let reports: Vec<Result<PipelineReport, SchemeError>> =
+            crate::builder::run_pool(engine.threads(), cores.len(), |i| engine.run(&cores[i].1));
         let mut plan = SocPlan::new();
         for ((name, _), report) in cores.iter().zip(reports) {
             plan.add_core(name.clone(), &report?);

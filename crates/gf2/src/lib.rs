@@ -55,10 +55,11 @@ mod packed;
 mod poly;
 mod proptests;
 mod solver;
+pub mod words;
 
 pub use berlekamp::berlekamp_massey;
 pub use bitvec::BitVec;
 pub use matrix::BitMatrix;
 pub use packed::{PackedPatterns, PATTERNS_PER_BLOCK};
 pub use poly::{primitive_poly, Gf2Poly, PrimitivePolyError};
-pub use solver::{IncrementalSolver, SolveOutcome, SolverCheckpoint};
+pub use solver::{AffineSpace, FrozenBasis, IncrementalSolver, SolveOutcome, SolverCheckpoint};

@@ -199,12 +199,34 @@ impl BitMatrix {
         result
     }
 
-    /// Transpose.
+    /// Transpose, word-parallel: the matrix is processed as 64x64 bit
+    /// tiles, each transposed in-register with the masked-swap network
+    /// (6 rounds of shift/XOR on whole words) instead of one
+    /// `get`/`set` pair per set bit. Dense `n x n` transposes — the
+    /// expression-table and packed-lane-init path — drop from
+    /// O(ones) bit pokes to O(n^2/64 * log 64) word ops.
     pub fn transpose(&self) -> BitMatrix {
-        let mut t = BitMatrix::zeros(self.cols, self.rows.len());
-        for (r, row) in self.rows.iter().enumerate() {
-            for c in row.iter_ones() {
-                t.rows[c].set(r, true);
+        let rows = self.rows.len();
+        let cols = self.cols;
+        let mut t = BitMatrix::zeros(cols, rows);
+        let mut tile = [0u64; 64];
+        for rb in 0..rows.div_ceil(64) {
+            let rcount = (rows - rb * 64).min(64);
+            for cb in 0..cols.div_ceil(64) {
+                for (i, lane) in tile.iter_mut().enumerate() {
+                    *lane = if i < rcount {
+                        self.rows[rb * 64 + i].word(cb)
+                    } else {
+                        0
+                    };
+                }
+                transpose64(&mut tile);
+                let ccount = (cols - cb * 64).min(64);
+                for (j, &lane) in tile.iter().enumerate().take(ccount) {
+                    // set_word masks the ragged tail, preserving the
+                    // zero-tail invariant on the last word
+                    t.rows[cb * 64 + j].set_word(rb, lane);
+                }
             }
         }
         t
@@ -306,6 +328,26 @@ impl BitMatrix {
             basis.push(v);
         }
         basis
+    }
+}
+
+/// In-place transpose of a 64x64 bit tile (`a[i]` bit `j` swaps with
+/// `a[j]` bit `i`): the classic masked-swap network — six rounds, each
+/// exchanging 2^k x 2^k sub-blocks with two shifts and three XORs per
+/// word pair.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k | j] << j)) & !m;
+            a[k] ^= t;
+            a[k | j] ^= t >> j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
     }
 }
 
@@ -416,6 +458,31 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(23);
         let m = BitMatrix::random(5, 9, &mut rng);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_elementwise_oracle_across_tile_shapes() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        // shapes straddling 64-bit tile boundaries, both ragged and exact
+        for (rows, cols) in [
+            (1, 1),
+            (7, 130),
+            (63, 64),
+            (64, 63),
+            (65, 65),
+            (128, 40),
+            (200, 3),
+        ] {
+            let m = BitMatrix::random(rows, cols, &mut rng);
+            let t = m.transpose();
+            assert_eq!(t.row_count(), cols);
+            assert_eq!(t.col_count(), rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(t.get(c, r), m.get(r, c), "({rows}x{cols}) at ({r},{c})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,27 @@
 //! a forward-reduced row-echelon basis to which rows are only ever
 //! appended; a checkpoint is just the basis length and rollback is a
 //! truncation.
+//!
+//! Two layers of API exist:
+//!
+//! * the [`BitVec`] layer ([`insert`](IncrementalSolver::insert),
+//!   [`probe`](IncrementalSolver::probe)) — convenient, one clone per
+//!   call;
+//! * the borrowed word-slice layer
+//!   ([`insert_words`](IncrementalSolver::insert_words),
+//!   [`probe_words`](IncrementalSolver::probe_words),
+//!   [`freeze`](IncrementalSolver::freeze)) — allocation-free, fed
+//!   directly from precomputed expression tables. [`FrozenBasis`] is a
+//!   read-only snapshot of the basis that can be shared across threads
+//!   for parallel candidate probing, and supports *resumable* forward
+//!   reduction ([`FrozenBasis::reduce_row_from`]): because rows are
+//!   only appended, a row reduced against the first `m` basis rows can
+//!   later be re-reduced against rows `m..` only, yielding bit-exactly
+//!   the row a from-scratch reduction would produce.
 
 use rand::Rng;
 
+use crate::words;
 use crate::BitVec;
 
 /// Result of inserting one equation into an [`IncrementalSolver`].
@@ -36,13 +54,6 @@ pub struct SolverCheckpoint {
     basis_len: usize,
 }
 
-#[derive(Debug, Clone)]
-struct BasisRow {
-    coeffs: BitVec,
-    rhs: bool,
-    pivot: usize,
-}
-
 /// An incremental solver for systems of linear equations over GF(2).
 ///
 /// Equations are inserted one at a time; the solver maintains a
@@ -50,6 +61,10 @@ struct BasisRow {
 /// *not* back-substituted against each other until [`solve_with`] is
 /// called). Because insertion never mutates existing rows, rolling back
 /// to a [`checkpoint`] is O(1) amortised.
+///
+/// Rows are stored in one flat word array (`stride` words per row), so
+/// reduction is straight-line word arithmetic with no per-row pointer
+/// chasing and no per-insert allocation in steady state.
 ///
 /// [`solve_with`]: IncrementalSolver::solve_with
 /// [`checkpoint`]: IncrementalSolver::checkpoint
@@ -71,7 +86,16 @@ struct BasisRow {
 #[derive(Debug, Clone)]
 pub struct IncrementalSolver {
     vars: usize,
-    basis: Vec<BasisRow>,
+    stride: usize,
+    /// Basis row coefficients, flattened: row `i` occupies words
+    /// `i*stride .. (i+1)*stride`.
+    row_words: Vec<u64>,
+    /// Pivot column of each basis row.
+    pivots: Vec<usize>,
+    /// Right-hand side of each basis row.
+    rhs: Vec<bool>,
+    /// Reusable reduction buffer for `insert_words`.
+    scratch: Vec<u64>,
 }
 
 impl IncrementalSolver {
@@ -79,7 +103,11 @@ impl IncrementalSolver {
     pub fn new(vars: usize) -> Self {
         IncrementalSolver {
             vars,
-            basis: Vec::new(),
+            stride: vars.div_ceil(64),
+            row_words: Vec::new(),
+            pivots: Vec::new(),
+            rhs: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -88,15 +116,21 @@ impl IncrementalSolver {
         self.vars
     }
 
+    /// Words per equation row (`vars` rounded up to whole `u64`s) —
+    /// the slice length [`insert_words`](Self::insert_words) expects.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// Number of independent equations inserted so far (the dimension of
     /// the constrained subspace).
     pub fn rank(&self) -> usize {
-        self.basis.len()
+        self.pivots.len()
     }
 
     /// Number of still-free variables.
     pub fn free_vars(&self) -> usize {
-        self.vars - self.basis.len()
+        self.vars - self.pivots.len()
     }
 
     /// Inserts the equation `coeffs · a = rhs`.
@@ -109,17 +143,40 @@ impl IncrementalSolver {
     /// Panics if `coeffs.len()` differs from the solver's variable count.
     pub fn insert(&mut self, coeffs: &BitVec, rhs: bool) -> SolveOutcome {
         assert_eq!(coeffs.len(), self.vars, "equation width mismatch");
-        let mut row = coeffs.clone();
+        self.insert_words(coeffs.as_words(), rhs)
+    }
+
+    /// Inserts the equation `coeffs · a = rhs` from a borrowed word
+    /// slice (bit `i` of the equation is bit `i % 64` of word
+    /// `i / 64`). Bits beyond the variable count must be zero — which
+    /// is guaranteed when the slice comes from a [`BitVec`] or an
+    /// expression table.
+    ///
+    /// This is the allocation-free insertion path: the expression rows
+    /// of `ss_core::ExprTable` are consumed directly, with no
+    /// intermediate `BitVec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from [`stride`](Self::stride).
+    pub fn insert_words(&mut self, coeffs: &[u64], rhs: bool) -> SolveOutcome {
+        assert_eq!(coeffs.len(), self.stride, "equation width mismatch");
+        let mut row = std::mem::take(&mut self.scratch);
+        row.clear();
+        row.extend_from_slice(coeffs);
         let mut r = rhs;
         // Forward-reduce against the existing basis. Basis rows are in
         // insertion order; each has a distinct pivot.
-        for b in &self.basis {
-            if row.get(b.pivot) {
-                row.xor_with(&b.coeffs);
-                r ^= b.rhs;
+        for (i, &pivot) in self.pivots.iter().enumerate() {
+            if words::get_bit(&row, pivot) {
+                words::xor_in(
+                    &mut row,
+                    &self.row_words[i * self.stride..(i + 1) * self.stride],
+                );
+                r ^= self.rhs[i];
             }
         }
-        match row.first_one() {
+        let outcome = match words::first_one(&row) {
             None => {
                 if r {
                     SolveOutcome::Conflict
@@ -128,14 +185,14 @@ impl IncrementalSolver {
                 }
             }
             Some(pivot) => {
-                self.basis.push(BasisRow {
-                    coeffs: row,
-                    rhs: r,
-                    pivot,
-                });
+                self.row_words.extend_from_slice(&row);
+                self.pivots.push(pivot);
+                self.rhs.push(r);
                 SolveOutcome::Added
             }
-        }
+        };
+        self.scratch = row;
+        outcome
     }
 
     /// Tests whether the equation would be insertable without a
@@ -147,25 +204,45 @@ impl IncrementalSolver {
     /// Panics if `coeffs.len()` differs from the solver's variable count.
     pub fn probe(&self, coeffs: &BitVec, rhs: bool) -> SolveOutcome {
         assert_eq!(coeffs.len(), self.vars, "equation width mismatch");
-        let mut row = coeffs.clone();
+        self.probe_words(coeffs.as_words(), rhs)
+    }
+
+    /// [`probe`](Self::probe) over a borrowed word slice; same contract
+    /// as [`insert_words`](Self::insert_words) but read-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from [`stride`](Self::stride).
+    pub fn probe_words(&self, coeffs: &[u64], rhs: bool) -> SolveOutcome {
+        assert_eq!(coeffs.len(), self.stride, "equation width mismatch");
+        let mut row = coeffs.to_vec();
         let mut r = rhs;
-        for b in &self.basis {
-            if row.get(b.pivot) {
-                row.xor_with(&b.coeffs);
-                r ^= b.rhs;
-            }
-        }
-        match row.first_one() {
+        self.freeze().reduce_row_from(&mut row, &mut r, 0);
+        match words::first_one(&row) {
             None if r => SolveOutcome::Conflict,
             None => SolveOutcome::Redundant,
             Some(_) => SolveOutcome::Added,
         }
     }
 
+    /// A read-only, shareable view of the current basis, for parallel
+    /// probing and resumable reduction. The view borrows the solver, so
+    /// the basis cannot change while views are alive — exactly the
+    /// append-only window the resumable-reduction invariant needs.
+    pub fn freeze(&self) -> FrozenBasis<'_> {
+        FrozenBasis {
+            vars: self.vars,
+            stride: self.stride,
+            row_words: &self.row_words,
+            pivots: &self.pivots,
+            rhs: &self.rhs,
+        }
+    }
+
     /// Takes a snapshot that [`rollback`](Self::rollback) can restore.
     pub fn checkpoint(&self) -> SolverCheckpoint {
         SolverCheckpoint {
-            basis_len: self.basis.len(),
+            basis_len: self.pivots.len(),
         }
     }
 
@@ -177,10 +254,12 @@ impl IncrementalSolver {
     /// was taken from a different or longer-lived solver).
     pub fn rollback(&mut self, cp: SolverCheckpoint) {
         assert!(
-            cp.basis_len <= self.basis.len(),
+            cp.basis_len <= self.pivots.len(),
             "rollback to a checkpoint from the future"
         );
-        self.basis.truncate(cp.basis_len);
+        self.row_words.truncate(cp.basis_len * self.stride);
+        self.pivots.truncate(cp.basis_len);
+        self.rhs.truncate(cp.basis_len);
     }
 
     /// Solves the system, assigning every free variable with `fill`
@@ -192,8 +271,8 @@ impl IncrementalSolver {
     pub fn solve_with<F: FnMut(usize) -> bool>(&self, mut fill: F) -> BitVec {
         let mut solution = BitVec::zeros(self.vars);
         let mut pinned = BitVec::zeros(self.vars);
-        for b in &self.basis {
-            pinned.set(b.pivot, true);
+        for &p in &self.pivots {
+            pinned.set(p, true);
         }
         for i in 0..self.vars {
             if !pinned.get(i) {
@@ -203,12 +282,18 @@ impl IncrementalSolver {
         // The basis is only forward-reduced (early rows may still carry
         // later pivots), so complete the elimination Gauss-Jordan style
         // on a copy before reading the pivot values off.
-        let mut rows: Vec<(BitVec, bool)> = self
-            .basis
-            .iter()
-            .map(|b| (b.coeffs.clone(), b.rhs))
+        let mut rows: Vec<(BitVec, bool)> = (0..self.pivots.len())
+            .map(|i| {
+                (
+                    BitVec::from_words(
+                        self.vars,
+                        &self.row_words[i * self.stride..(i + 1) * self.stride],
+                    ),
+                    self.rhs[i],
+                )
+            })
             .collect();
-        let pivots: Vec<usize> = self.basis.iter().map(|b| b.pivot).collect();
+        let pivots = &self.pivots;
         // Eliminate every pivot from every other row (Jordan step).
         for i in 0..rows.len() {
             let (row_i, rhs_i) = rows[i].clone();
@@ -244,7 +329,270 @@ impl IncrementalSolver {
     /// Panics if `assignment.len()` differs from the variable count.
     pub fn check(&self, assignment: &BitVec) -> bool {
         assert_eq!(assignment.len(), self.vars, "assignment width mismatch");
-        self.basis.iter().all(|b| b.coeffs.dot(assignment) == b.rhs)
+        (0..self.pivots.len()).all(|i| {
+            let row = &self.row_words[i * self.stride..(i + 1) * self.stride];
+            let mut acc = 0u64;
+            for (a, b) in row.iter().zip(assignment.as_words()) {
+                acc ^= a & b;
+            }
+            (acc.count_ones() % 2 == 1) == self.rhs[i]
+        })
+    }
+
+    /// The solver's current solution set as an explicit **affine
+    /// space** `x0 + span(N)`: one particular solution (every free
+    /// variable zero) plus a null-space basis with one vector per free
+    /// variable.
+    ///
+    /// This is the probing-side dual of the row basis: whether a new
+    /// equation system is consistent with the basis — and how much rank
+    /// it would add — depends only on the system's **projection into
+    /// the free subspace** ([`AffineSpace::project`]), which has
+    /// dimension `free_vars()` instead of `vars()`. Hot search loops
+    /// (the encoder's candidate probing) exploit exactly that: probing
+    /// against the space costs `O(free_vars)` word-dots per equation
+    /// where probing against the row basis costs `O(rank)` row
+    /// reductions.
+    ///
+    /// The returned space is an owned snapshot: freely shareable
+    /// across threads, valid until more equations are inserted.
+    pub fn affine_space(&self) -> AffineSpace {
+        let m = self.pivots.len();
+        let stride = self.stride;
+        // Jordan-complete a copy of the forward-reduced basis so every
+        // row touches only its own pivot and free columns.
+        let mut rows = self.row_words.clone();
+        let mut rhs = self.rhs.clone();
+        let mut tmp = vec![0u64; stride];
+        for i in 0..m {
+            tmp.copy_from_slice(&rows[i * stride..(i + 1) * stride]);
+            let rhs_i = rhs[i];
+            let pivot = self.pivots[i];
+            for j in 0..m {
+                if j != i && words::get_bit(&rows[j * stride..(j + 1) * stride], pivot) {
+                    words::xor_in(&mut rows[j * stride..(j + 1) * stride], &tmp);
+                    rhs[j] ^= rhs_i;
+                }
+            }
+        }
+        let mut is_pivot = vec![false; self.vars];
+        for &p in &self.pivots {
+            is_pivot[p] = true;
+        }
+        let free_cols: Vec<usize> = (0..self.vars).filter(|&c| !is_pivot[c]).collect();
+        // particular solution with zero free variables: x[p_i] = rhs_i
+        let mut x0 = vec![0u64; stride];
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if rhs[i] {
+                x0[p / 64] ^= 1u64 << (p % 64);
+            }
+        }
+        // null vector per free column c: x[c] = 1, x[p_i] = row_i[c]
+        let mut null_rows = vec![0u64; free_cols.len() * stride];
+        for (j, &c) in free_cols.iter().enumerate() {
+            let row = &mut null_rows[j * stride..(j + 1) * stride];
+            row[c / 64] |= 1u64 << (c % 64);
+            for (i, &p) in self.pivots.iter().enumerate() {
+                if words::get_bit(&rows[i * stride..(i + 1) * stride], c) {
+                    row[p / 64] ^= 1u64 << (p % 64);
+                }
+            }
+        }
+        AffineSpace {
+            vars: self.vars,
+            stride,
+            x0,
+            null_rows,
+            free_cols,
+        }
+    }
+}
+
+/// The solution set of an [`IncrementalSolver`] basis as an explicit
+/// affine space `x0 + span(N)`, produced by
+/// [`IncrementalSolver::affine_space`].
+///
+/// The null-space basis is in **free-column form**: vector `j` has a 1
+/// at the `j`-th free (non-pivot) column and 0 at every other free
+/// column. Consequently the coordinates of any vector of the span are
+/// just its restriction to the free columns
+/// ([`coords_of`](AffineSpace::coords_of)) — which is what makes
+/// change-of-coordinates between successive spaces (as the basis
+/// grows) a cheap extraction instead of a solve.
+#[derive(Debug, Clone)]
+pub struct AffineSpace {
+    vars: usize,
+    stride: usize,
+    /// Particular solution (free variables zero), `stride` words.
+    x0: Vec<u64>,
+    /// Null-space basis, one row per free column, `stride` words each.
+    null_rows: Vec<u64>,
+    /// The free (non-pivot) columns, ascending; `len` = space dim.
+    free_cols: Vec<usize>,
+}
+
+impl AffineSpace {
+    /// Dimension of the space (the solver's free-variable count).
+    pub fn dim(&self) -> usize {
+        self.free_cols.len()
+    }
+
+    /// Number of ambient variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Words per ambient row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Words per coordinate row (`dim` rounded up to whole `u64`s) —
+    /// the slice length [`project`](Self::project) writes.
+    pub fn coord_stride(&self) -> usize {
+        self.free_cols.len().div_ceil(64)
+    }
+
+    /// The particular solution's words.
+    pub fn x0_words(&self) -> &[u64] {
+        &self.x0
+    }
+
+    /// Null-space basis vector `j` (ambient, `stride` words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dim()`.
+    pub fn null_row(&self, j: usize) -> &[u64] {
+        &self.null_rows[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// The free columns, ascending.
+    pub fn free_cols(&self) -> &[usize] {
+        &self.free_cols
+    }
+
+    /// Projects the ambient equation `coeffs · x = rhs` into the
+    /// space's coordinates: writes the `dim()`-bit row `M` (bit `j` =
+    /// `coeffs · N_j`) into `out` and returns the reduced right-hand
+    /// side `rhs ^ (coeffs · x0)`.
+    ///
+    /// The equation is consistent with / adds rank to the underlying
+    /// basis exactly as `M · y = returned rhs` does in the
+    /// `dim()`-dimensional coordinate space — the invariant the
+    /// encoder's projected probing is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != stride()` or
+    /// `out.len() != coord_stride()`.
+    pub fn project(&self, coeffs: &[u64], rhs: bool, out: &mut [u64]) -> bool {
+        assert_eq!(coeffs.len(), self.stride, "equation width mismatch");
+        assert_eq!(out.len(), self.coord_stride(), "coordinate width mismatch");
+        out.fill(0);
+        for j in 0..self.free_cols.len() {
+            if words::dot(coeffs, self.null_row(j)) {
+                out[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        rhs ^ words::dot(coeffs, &self.x0)
+    }
+
+    /// Coordinates of an ambient vector **known to lie in the span**
+    /// (e.g. a null vector of a later, larger basis, or the difference
+    /// of two particular solutions): its restriction to the free
+    /// columns. Writes `coord_stride()` words into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != stride()` or `out.len() != coord_stride()`.
+    pub fn coords_of(&self, v: &[u64], out: &mut [u64]) {
+        assert_eq!(v.len(), self.stride, "vector width mismatch");
+        assert_eq!(out.len(), self.coord_stride(), "coordinate width mismatch");
+        out.fill(0);
+        for (j, &c) in self.free_cols.iter().enumerate() {
+            if words::get_bit(v, c) {
+                out[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+    }
+}
+
+/// A read-only snapshot of an [`IncrementalSolver`] basis, created by
+/// [`IncrementalSolver::freeze`].
+///
+/// The view is `Copy` and freely shareable across threads (everything
+/// is a shared borrow), which is what makes *parallel* candidate
+/// probing sound: workers reduce their own scratch rows against one
+/// frozen basis without ever touching solver state.
+///
+/// Because basis rows are only ever appended and each row is zero at
+/// every earlier row's pivot, forward reduction is *resumable*: a row
+/// reduced against rows `..m` and later re-reduced against rows `m..`
+/// equals the row reduced against all rows from scratch, bit for bit
+/// (the residual of a row modulo a forward-reduced basis is unique).
+/// [`reduce_row_from`](FrozenBasis::reduce_row_from) exposes exactly
+/// that delta step; incremental residue caches are built on it.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenBasis<'a> {
+    vars: usize,
+    stride: usize,
+    row_words: &'a [u64],
+    pivots: &'a [usize],
+    rhs: &'a [bool],
+}
+
+impl FrozenBasis<'_> {
+    /// Number of basis rows (the solver's rank at freeze time).
+    pub fn len(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// `true` when the basis has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.pivots.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Words per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Pivot column of basis row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn pivot(&self, i: usize) -> usize {
+        self.pivots[i]
+    }
+
+    /// Forward-reduces `row` (with right-hand side `rhs`) against basis
+    /// rows `from..len()`, in insertion order.
+    ///
+    /// Calling with `from = 0` performs a full reduction. Calling with
+    /// the row's previous high-water mark resumes it: appended rows are
+    /// zero at all earlier pivots, so the delta reduction lands on the
+    /// same unique residual a from-scratch reduction produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from [`stride`](Self::stride) or
+    /// `from > len()`.
+    pub fn reduce_row_from(&self, row: &mut [u64], rhs: &mut bool, from: usize) {
+        assert_eq!(row.len(), self.stride, "row width mismatch");
+        assert!(from <= self.pivots.len(), "reduction start out of range");
+        for i in from..self.pivots.len() {
+            if words::get_bit(row, self.pivots[i]) {
+                words::xor_in(row, &self.row_words[i * self.stride..(i + 1) * self.stride]);
+                *rhs ^= self.rhs[i];
+            }
+        }
     }
 }
 
@@ -296,6 +644,25 @@ mod tests {
         assert_eq!(s.rank(), 1, "probe must not insert");
         assert_eq!(s.probe(&row(&[0], 3), true), SolveOutcome::Redundant);
         assert_eq!(s.probe(&row(&[0], 3), false), SolveOutcome::Conflict);
+    }
+
+    #[test]
+    fn word_slice_api_matches_bitvec_api() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let vars = 70; // two words, ragged tail
+        let mut a = IncrementalSolver::new(vars);
+        let mut b = IncrementalSolver::new(vars);
+        for _ in 0..40 {
+            let coeffs = BitVec::random(vars, &mut rng);
+            let rhs = rand::Rng::gen(&mut rng);
+            assert_eq!(a.probe(&coeffs, rhs), b.probe_words(coeffs.as_words(), rhs));
+            assert_eq!(
+                a.insert(&coeffs, rhs),
+                b.insert_words(coeffs.as_words(), rhs)
+            );
+        }
+        assert_eq!(a.rank(), b.rank());
+        assert_eq!(a.solve_with(|_| false), b.solve_with(|_| false));
     }
 
     #[test]
@@ -392,6 +759,121 @@ mod tests {
         assert_eq!(spec.rank(), direct.rank());
         let sol = spec.solve_with(|_| false);
         assert!(direct.check(&sol));
+    }
+
+    #[test]
+    fn resumed_reduction_is_bit_identical_to_scratch_reduction() {
+        // The residue-cache invariant: reduce a row against the first m
+        // basis rows, append more rows, resume from m — the result must
+        // equal a full reduction against the final basis.
+        let mut rng = SmallRng::seed_from_u64(4242);
+        for trial in 0..30 {
+            let vars = 90;
+            let mut s = IncrementalSolver::new(vars);
+            for _ in 0..20 {
+                let c = BitVec::random(vars, &mut rng);
+                let r = rand::Rng::gen(&mut rng);
+                s.insert(&c, r);
+            }
+            let mid = s.rank();
+            let target = BitVec::random(vars, &mut rng);
+            let mut resumed = target.as_words().to_vec();
+            let mut resumed_rhs = rand::Rng::gen(&mut rng);
+            let scratch_rhs_0 = resumed_rhs;
+            s.freeze()
+                .reduce_row_from(&mut resumed, &mut resumed_rhs, 0);
+
+            for _ in 0..15 {
+                let c = BitVec::random(vars, &mut rng);
+                let r = rand::Rng::gen(&mut rng);
+                s.insert(&c, r);
+            }
+            // resume from the watermark
+            s.freeze()
+                .reduce_row_from(&mut resumed, &mut resumed_rhs, mid);
+            // from-scratch reference
+            let mut scratch = target.as_words().to_vec();
+            let mut scratch_rhs = scratch_rhs_0;
+            s.freeze()
+                .reduce_row_from(&mut scratch, &mut scratch_rhs, 0);
+            assert_eq!(resumed, scratch, "trial {trial}");
+            assert_eq!(resumed_rhs, scratch_rhs, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn affine_space_describes_the_solution_set_exactly() {
+        let mut rng = SmallRng::seed_from_u64(777);
+        for trial in 0..25 {
+            let vars = 70; // ragged two-word rows
+            let mut s = IncrementalSolver::new(vars);
+            let truth = BitVec::random(vars, &mut rng);
+            for _ in 0..40 {
+                let c = BitVec::random(vars, &mut rng);
+                let r = c.dot(&truth);
+                s.insert(&c, r);
+            }
+            let space = s.affine_space();
+            assert_eq!(space.dim(), s.free_vars(), "trial {trial}");
+            assert_eq!(space.vars(), vars);
+            // x0 solves the system
+            let x0 = BitVec::from_words(vars, space.x0_words());
+            assert!(s.check(&x0), "trial {trial}: x0 must satisfy the basis");
+            // every null vector is annihilated by every basis equation,
+            // and has the free-column unit structure
+            for j in 0..space.dim() {
+                let nj = BitVec::from_words(vars, space.null_row(j));
+                let mut shifted = x0.clone();
+                shifted.xor_with(&nj);
+                assert!(s.check(&shifted), "trial {trial}: x0 + N_{j} must solve");
+                for (k, &c) in space.free_cols().iter().enumerate() {
+                    assert_eq!(nj.get(c), k == j, "free-column form");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_predicts_probe_outcomes() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let vars = 48;
+            let mut s = IncrementalSolver::new(vars);
+            let truth = BitVec::random(vars, &mut rng);
+            for _ in 0..30 {
+                let c = BitVec::random(vars, &mut rng);
+                s.insert(&c, c.dot(&truth));
+            }
+            let space = s.affine_space();
+            let mut out = vec![0u64; space.coord_stride()];
+            for _ in 0..10 {
+                let c = BitVec::random(vars, &mut rng);
+                let r: bool = rand::Rng::gen(&mut rng);
+                let e = space.project(c.as_words(), r, &mut out);
+                let projected_zero = out.iter().all(|&w| w == 0);
+                let expected = s.probe(&c, r);
+                let via_projection = match (projected_zero, e) {
+                    (true, true) => SolveOutcome::Conflict,
+                    (true, false) => SolveOutcome::Redundant,
+                    (false, _) => SolveOutcome::Added,
+                };
+                assert_eq!(via_projection, expected, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_basis_reports_dimensions() {
+        let mut s = IncrementalSolver::new(10);
+        assert!(s.freeze().is_empty());
+        s.insert(&row(&[3], 10), true);
+        s.insert(&row(&[3, 7], 10), false);
+        let view = s.freeze();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.vars(), 10);
+        assert_eq!(view.stride(), 1);
+        assert_eq!(view.pivot(0), 3);
+        assert_eq!(view.pivot(1), 7);
     }
 
     #[test]

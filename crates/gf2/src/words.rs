@@ -1,0 +1,83 @@
+//! Word-slice primitives for GF(2) rows stored as borrowed `&[u64]`.
+//!
+//! The hot encoder/solver paths operate on rows borrowed straight from
+//! flat word arrays (expression tables, solver bases, residue caches)
+//! without materialising a [`BitVec`](crate::BitVec) per row. These
+//! free functions are the shared vocabulary of that discipline; bit `i`
+//! of a row is bit `i % 64` of word `i / 64`, matching
+//! [`BitVec::as_words`](crate::BitVec::as_words).
+
+/// The bit at `index` of a word-slice row.
+///
+/// # Panics
+///
+/// Panics if `index / 64` is outside the slice.
+#[inline]
+pub fn get_bit(row: &[u64], index: usize) -> bool {
+    (row[index / 64] >> (index % 64)) & 1 == 1
+}
+
+/// XORs `src` into `dst` (GF(2) row addition over the common prefix —
+/// the slices are expected to have equal length).
+#[inline]
+pub fn xor_in(dst: &mut [u64], src: &[u64]) {
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a ^= b;
+    }
+}
+
+/// Index of the lowest set bit, or `None` if the row is zero.
+#[inline]
+pub fn first_one(row: &[u64]) -> Option<usize> {
+    for (wi, &w) in row.iter().enumerate() {
+        if w != 0 {
+            return Some(wi * 64 + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// GF(2) dot product of two rows: parity of the AND over the common
+/// prefix.
+#[inline]
+pub fn dot(a: &[u64], b: &[u64]) -> bool {
+    let mut acc = 0u64;
+    for (x, y) in a.iter().zip(b) {
+        acc ^= x & y;
+    }
+    acc.count_ones() % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_bitvec_operations() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let a = BitVec::random(130, &mut rng);
+            let b = BitVec::random(130, &mut rng);
+            assert_eq!(first_one(a.as_words()), a.first_one());
+            assert_eq!(dot(a.as_words(), b.as_words()), a.dot(&b));
+            for i in [0, 63, 64, 129] {
+                assert_eq!(get_bit(a.as_words(), i), a.get(i));
+            }
+            let mut x = a.as_words().to_vec();
+            xor_in(&mut x, b.as_words());
+            let mut y = a.clone();
+            y.xor_with(&b);
+            assert_eq!(x, y.as_words());
+        }
+    }
+
+    #[test]
+    fn zero_row_has_no_first_one() {
+        assert_eq!(first_one(&[0, 0]), None);
+        assert_eq!(first_one(&[]), None);
+        assert_eq!(first_one(&[0, 1 << 7]), Some(71));
+    }
+}
