@@ -1,0 +1,271 @@
+//! `server_stress`: the loopback serving benchmark — cold vs cached
+//! latency per registry workload, and throughput as concurrent clients
+//! fan over the corpus at several worker-pool widths.
+//!
+//! Two measurements, both against a real `ss-server` over loopback
+//! TCP at the golden-conformance knobs (`L=24, S=4, k=6`):
+//!
+//! * **cold vs cached** — every registry workload is submitted cold
+//!   (cache miss: synthesis + encode + embed + segment) and then
+//!   repeatedly warm (cache hit: embed + segment only). The bench
+//!   *asserts* the warm result is flagged cached, digests equal to the
+//!   cold run, and strictly faster — so a regression in the
+//!   content-addressed cache fails CI loudly.
+//! * **throughput vs workers** — N concurrent clients each stream the
+//!   whole corpus through one server; wall-clock jobs/sec is recorded
+//!   per worker-pool width. Every job must come back `Done` with the
+//!   digest its workload produced cold — the server may never drop or
+//!   corrupt a job under concurrent load.
+//!
+//! Results land in `BENCH_server.json` at the workspace root, next to
+//! `BENCH_packed.json` and `BENCH_encode.json`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ss_core::{Engine, Table};
+use ss_server::{Client, JobSpec, ServeOptions, Server};
+use ss_testdata::{Workload, WorkloadRegistry};
+
+const WINDOW: usize = 24;
+const SEGMENT: usize = 4;
+const SPEEDUP: u64 = 6;
+const CACHED_REPEATS: usize = 3;
+const CLIENTS: usize = 8;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+/// Profile workloads run at the golden scale in the throughput fan-out
+/// so one round of the corpus is milliseconds, not minutes.
+const THROUGHPUT_PROFILE_SCALE: f64 = 0.1;
+
+/// The spec a registry workload submits: profiles at `scale` with
+/// their paper LFSR size, file workloads full size with the default
+/// (smax-derived) LFSR — the same shapes the golden corpus pins.
+fn spec_for(w: &Workload, scale: f64) -> JobSpec {
+    let set = if w.profile().is_some() {
+        w.test_set_scaled(scale)
+    } else {
+        w.test_set()
+    };
+    let mut builder = Engine::builder()
+        .window(WINDOW)
+        .segment(SEGMENT)
+        .speedup(SPEEDUP);
+    if let Some(profile) = w.profile() {
+        builder = builder.lfsr_size(profile.lfsr_size);
+    }
+    let engine = builder.build().expect("bench knobs are valid");
+    JobSpec::new(&set, engine.config())
+}
+
+struct LatencyRow {
+    name: String,
+    cubes: u64,
+    cold_s: f64,
+    cached_s: f64,
+}
+
+impl LatencyRow {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.cached_s
+    }
+}
+
+/// Cold-vs-cached pass: one server, every workload submitted once
+/// cold and `CACHED_REPEATS` times warm (best warm time kept).
+fn measure_latency() -> Vec<LatencyRow> {
+    let handle = Server::bind(&ServeOptions::default())
+        .expect("bind loopback")
+        .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut rows = Vec::new();
+    for w in WorkloadRegistry::all() {
+        let spec = spec_for(w, ss_bench::scale());
+        let (_, cold) = client.run(&spec).expect("cold run");
+        assert!(!cold.cached, "{}: first submission hit the cache", w.name);
+        let mut best_cached = u64::MAX;
+        for _ in 0..CACHED_REPEATS {
+            let (_, warm) = client.run(&spec).expect("warm run");
+            assert!(
+                warm.cached,
+                "{}: repeat submission missed the cache",
+                w.name
+            );
+            assert_eq!(
+                warm.digest, cold.digest,
+                "{}: cached result diverged from cold",
+                w.name
+            );
+            best_cached = best_cached.min(warm.service_micros);
+        }
+        rows.push(LatencyRow {
+            name: w.name.to_string(),
+            cubes: cold.cubes,
+            cold_s: cold.service_micros as f64 / 1e6,
+            cached_s: best_cached as f64 / 1e6,
+        });
+    }
+    handle.shutdown();
+    rows
+}
+
+struct ThroughputRow {
+    workers: usize,
+    jobs: usize,
+    wall_s: f64,
+}
+
+impl ThroughputRow {
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall_s
+    }
+}
+
+/// Fan-out pass: `CLIENTS` threads each submit the whole corpus
+/// against a fresh server with `workers` workers; every result is
+/// checked against the workload's cold digest.
+fn measure_throughput(workers: usize) -> ThroughputRow {
+    let handle = Server::bind(&ServeOptions {
+        workers,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback")
+    .spawn();
+    let specs: Vec<(String, JobSpec)> = WorkloadRegistry::all()
+        .iter()
+        .map(|w| (w.name.to_string(), spec_for(w, THROUGHPUT_PROFILE_SCALE)))
+        .collect();
+    let digests: Mutex<HashMap<String, u64>> = Mutex::new(HashMap::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let specs = &specs;
+            let digests = &digests;
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // stagger start positions so clients collide on the
+                // cache from different directions
+                for i in 0..specs.len() {
+                    let (name, spec) = &specs[(i + c) % specs.len()];
+                    let (_, report) = client.run(spec).expect("fan-out job");
+                    let mut digests = digests.lock().expect("digest map");
+                    let seen = digests.entry(name.clone()).or_insert(report.digest);
+                    assert_eq!(
+                        *seen, report.digest,
+                        "{name}: concurrent submissions disagreed"
+                    );
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let jobs = CLIENTS * specs.len();
+    let stats = handle.stats();
+    assert_eq!(
+        stats.jobs_done, jobs as u64,
+        "server dropped jobs under concurrent load"
+    );
+    handle.shutdown();
+    ThroughputRow {
+        workers,
+        jobs,
+        wall_s,
+    }
+}
+
+fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow]) {
+    let mut workloads = String::new();
+    for (i, row) in latency.iter().enumerate() {
+        if i > 0 {
+            workloads.push_str(",\n");
+        }
+        workloads.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cubes\": {}, \"cold_s\": {:.6e}, \"cached_s\": {:.6e}, \"speedup\": {:.2}}}",
+            row.name, row.cubes, row.cold_s, row.cached_s, row.speedup()
+        ));
+    }
+    let mut fanout = String::new();
+    for (i, row) in throughput.iter().enumerate() {
+        if i > 0 {
+            fanout.push_str(",\n");
+        }
+        fanout.push_str(&format!(
+            "    {{\"workers\": {}, \"clients\": {}, \"jobs\": {}, \"wall_s\": {:.6e}, \"jobs_per_s\": {:.1}}}",
+            row.workers,
+            CLIENTS,
+            row.jobs,
+            row.wall_s,
+            row.jobs_per_s()
+        ));
+    }
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"available_parallelism\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        WINDOW,
+        SEGMENT,
+        SPEEDUP,
+        ss_bench::scale(),
+        THROUGHPUT_PROFILE_SCALE,
+        parallelism,
+        workloads,
+        fanout
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, json).expect("write BENCH_server.json");
+    println!("\nwrote {path}");
+}
+
+fn bench_server_stress(_c: &mut Criterion) {
+    ss_bench::banner("server stress: content-addressed cache + concurrent fan-out");
+
+    let latency = measure_latency();
+    let mut table = Table::new(["workload", "cubes", "cold", "cached", "speedup"]);
+    for row in &latency {
+        table.add_row([
+            row.name.clone(),
+            row.cubes.to_string(),
+            format!("{:.3} ms", row.cold_s * 1e3),
+            format!("{:.3} ms", row.cached_s * 1e3),
+            format!("{:.1}x", row.speedup()),
+        ]);
+    }
+    println!("{table}");
+
+    let throughput: Vec<ThroughputRow> = WORKER_SWEEP
+        .iter()
+        .map(|&w| measure_throughput(w))
+        .collect();
+    let mut table = Table::new(["workers", "clients", "jobs", "wall", "jobs/s"]);
+    for row in &throughput {
+        table.add_row([
+            row.workers.to_string(),
+            CLIENTS.to_string(),
+            row.jobs.to_string(),
+            format!("{:.3} s", row.wall_s),
+            format!("{:.1}", row.jobs_per_s()),
+        ]);
+    }
+    println!("{table}");
+    write_json(&latency, &throughput);
+
+    // CI contract: a cache hit must beat the cold path on every
+    // registry workload — cached submissions skip synthesis + encode,
+    // so losing this race means the cache is broken, not slow
+    for row in &latency {
+        assert!(
+            row.cached_s < row.cold_s,
+            "{}: cached ({:.3} ms) is not strictly below cold ({:.3} ms)",
+            row.name,
+            row.cached_s * 1e3,
+            row.cold_s * 1e3
+        );
+    }
+}
+
+criterion_group!(benches, bench_server_stress);
+criterion_main!(benches);

@@ -15,6 +15,9 @@
 //! seed counts roughly proportionally but leaves every *trend* (who
 //! wins, how results move with k, S and L) intact.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::time::Instant;
 
 use ss_core::{Engine, PipelineReport};

@@ -201,6 +201,61 @@ impl<'a> Encoded<'a> {
         })
     }
 
+    /// Re-enters the staged flow from an already-computed encoding —
+    /// the cache-hit path of a serving layer: no synthesis, no encode,
+    /// just the cheap later stages (embed → segment → finish).
+    ///
+    /// The caller asserts that `encoding` was produced by exactly this
+    /// `(set, ctx)` pair (e.g. both were stored together under one
+    /// content-addressed key, as `ss-server`'s artifact cache does);
+    /// only the cheap structural invariants are re-checked here.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] when the encoding's LFSR size or
+    /// window disagrees with the context, or its cube count disagrees
+    /// with the set — the signature of pairing artifacts from
+    /// different runs.
+    pub fn from_cached(
+        set: &'a TestSet,
+        ctx: &'a HardwareCtx,
+        encoding: EncodingResult,
+    ) -> Result<Self, SchemeError> {
+        if encoding.lfsr_size != ctx.lfsr_size() {
+            return Err(SchemeError::bad_config(format!(
+                "cached encoding is for a {}-bit LFSR but the context has {} bits",
+                encoding.lfsr_size,
+                ctx.lfsr_size()
+            )));
+        }
+        if encoding.window != ctx.config().window {
+            return Err(SchemeError::bad_config(format!(
+                "cached encoding used window {} but the context was built for {}",
+                encoding.window,
+                ctx.config().window
+            )));
+        }
+        if encoding.encoded_cubes != set.len() {
+            return Err(SchemeError::bad_config(format!(
+                "cached encoding covers {} cubes but the set has {}",
+                encoding.encoded_cubes,
+                set.len()
+            )));
+        }
+        if set.config() != ctx.scan() {
+            return Err(SchemeError::bad_config(format!(
+                "set has scan geometry {} but the context was synthesised for {}",
+                set.config(),
+                ctx.scan()
+            )));
+        }
+        Ok(Encoded {
+            set,
+            ctx: Cow::Borrowed(ctx),
+            encoding,
+        })
+    }
+
     /// The test set this artifact was computed from.
     pub fn set(&self) -> &'a TestSet {
         self.set
@@ -430,6 +485,55 @@ mod tests {
         assert!(fine.tsl().vectors <= coarse.tsl().vectors);
         let segmented = mini_engine().encode(&set).unwrap().embed().segment();
         assert!(segmented.tsl_with(24).vectors <= segmented.tsl_with(2).vectors);
+    }
+
+    #[test]
+    fn from_cached_reproduces_the_fresh_flow_and_validates_pairing() {
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let engine = mini_engine();
+        let ctx = engine.synthesize(&set).unwrap();
+        let fresh = Encoded::from_ctx_ref(&set, &ctx).unwrap();
+        let encoding = fresh.encoding().clone();
+        let fresh_report = fresh.embed().segment().finish().unwrap();
+
+        // the cache-hit path: no re-encode, identical report
+        let cached = Encoded::from_cached(&set, &ctx, encoding.clone()).unwrap();
+        assert_eq!(cached.encoding(), &encoding);
+        let cached_report = cached.embed().segment().finish().unwrap();
+        assert_eq!(cached_report.encoding, fresh_report.encoding);
+        assert_eq!(cached_report.tsl_proposed, fresh_report.tsl_proposed);
+        assert_eq!(cached_report.tdv, fresh_report.tdv);
+
+        // mismatched pairings are rejected (the structural checks:
+        // cube count, scan geometry, window, LFSR size)
+        let mut shorter = TestSet::new(set.config());
+        for cube in set.iter().skip(1) {
+            shorter.push(cube.clone()).unwrap();
+        }
+        assert!(matches!(
+            Encoded::from_cached(&shorter, &ctx, encoding.clone()),
+            Err(SchemeError::BadConfig(_))
+        ));
+        let other_geometry = generate_test_set(&CubeProfile::s13207(), 1);
+        let mut wrong_scan = TestSet::new(other_geometry.config());
+        for cube in other_geometry.iter().take(set.len()) {
+            wrong_scan.push(cube.clone()).unwrap();
+        }
+        assert!(matches!(
+            Encoded::from_cached(&wrong_scan, &ctx, encoding.clone()),
+            Err(SchemeError::BadConfig(_))
+        ));
+        let wide = Engine::builder()
+            .window(32)
+            .segment(4)
+            .speedup(6)
+            .build()
+            .unwrap();
+        let wide_ctx = wide.synthesize(&set).unwrap();
+        assert!(matches!(
+            Encoded::from_cached(&set, &wide_ctx, encoding),
+            Err(SchemeError::BadConfig(_))
+        ));
     }
 
     #[test]

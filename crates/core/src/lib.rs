@@ -98,7 +98,7 @@
 //! same path as `run --bench <f> --cubes <f>` and `workloads`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod artifacts;
 mod baseline11;

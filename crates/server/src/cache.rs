@@ -1,0 +1,391 @@
+//! Content-addressed synthesis cache: FNV keying over `(cube set,
+//! engine config)` and a size-bounded LRU of the expensive artifacts.
+//!
+//! A cache entry stores everything the encode stage produced —
+//! synthesised [`HardwareCtx`], the filtered (encodable) [`TestSet`]
+//! and the [`EncodingResult`] — so a repeated submission of the same
+//! workload/config re-enters the staged flow at
+//! [`Encoded::from_cached`](ss_core::Encoded::from_cached) and pays
+//! only for the cheap later stages (embed → segment → finish), which
+//! are bit-deterministic: a cache hit returns byte-identical results
+//! to a cold run.
+//!
+//! Keys are 64-bit FNV-1a hashes over the canonical workload text and
+//! every result-shaping engine knob (the `threads` knob is excluded —
+//! results are bit-identical at every thread count). The map is
+//! bounded by an approximate byte budget; insertion evicts
+//! least-recently-used entries until the new entry fits, and an entry
+//! larger than the whole budget is simply not cached.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ss_core::{EncodingResult, HardwareCtx};
+use ss_testdata::TestSet;
+
+use crate::protocol::JobSpec;
+
+/// 64-bit FNV-1a, the workspace's stable content hash: no external
+/// deps, identical on every platform and toolchain.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (big-endian bytes) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_be_bytes());
+    }
+
+    /// The hash value so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// The content-addressed key of a job: an FNV-1a hash over the
+/// canonical cube-set text and every result-shaping engine knob.
+///
+/// The spec's `set_text` is hashed as transmitted; the server
+/// canonicalises it (parse → `to_text`) before calling this, so
+/// comment/whitespace variants of the same set share a key.
+pub fn cache_key(spec: &JobSpec) -> u64 {
+    let mut h = Fnv64::new();
+    // version salt: bump if key semantics ever change
+    h.write(b"ss-cache-v1");
+    h.write(spec.set_text.as_bytes());
+    h.write_u64(u64::from(spec.window));
+    h.write_u64(u64::from(spec.segment));
+    h.write_u64(spec.speedup);
+    h.write_u64(u64::from(spec.lfsr_size));
+    h.write_u64(match spec.lfsr_kind {
+        ss_lfsr::LfsrKind::Fibonacci => 0,
+        ss_lfsr::LfsrKind::Galois => 1,
+    });
+    h.write_u64(u64::from(spec.ps_taps));
+    h.write_u64(spec.hw_seed);
+    h.write_u64(spec.fill_seed);
+    h.finish()
+}
+
+/// The artifacts one cold run produces and every warm run reuses.
+#[derive(Debug)]
+pub struct CachedArtifacts {
+    /// The synthesised hardware (LFSR, phase shifter, expression
+    /// table) for the pinned LFSR size.
+    pub ctx: HardwareCtx,
+    /// The encodable subset actually encoded (after dropping
+    /// intrinsically unencodable cubes).
+    pub set: TestSet,
+    /// How many cubes were dropped as intrinsically unencodable.
+    pub dropped: usize,
+    /// The window-based seed encoding.
+    pub encoding: EncodingResult,
+}
+
+impl CachedArtifacts {
+    /// Approximate resident bytes: the expression table dominates
+    /// (`window * cells` rows of `stride` words), plus seeds and the
+    /// cube set. Used for the LRU byte budget — an estimate is enough,
+    /// the budget is a resource bound, not an accounting invariant.
+    pub fn approx_bytes(&self) -> usize {
+        let table = self.ctx.table();
+        let table_bytes = table.window() * table.scan().cells() * table.stride() * 8;
+        let seed_words = self.encoding.lfsr_size.div_ceil(64);
+        let seeds_bytes = self.encoding.seeds.len() * (seed_words * 8 + 48);
+        let set_bytes = self.set.len() * (self.set.config().cells().div_ceil(4) + 48);
+        table_bytes + seeds_bytes + set_bytes + 256
+    }
+}
+
+/// Counters a cache exposes for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently resident.
+    pub bytes: usize,
+    /// Byte budget.
+    pub capacity_bytes: usize,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+struct Slot {
+    artifacts: Arc<CachedArtifacts>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Size-bounded LRU of [`CachedArtifacts`], keyed by [`cache_key`].
+///
+/// Not internally synchronised — the server wraps it in a `Mutex`
+/// (lookups are O(1); eviction scans are O(entries), and the byte
+/// budget keeps the entry count small).
+pub struct ArtifactCache {
+    map: HashMap<u64, Slot>,
+    capacity_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ArtifactCache {
+    /// Creates a cache bounded at `capacity_bytes` of approximate
+    /// resident artifact size.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ArtifactCache {
+            map: HashMap::new(),
+            capacity_bytes,
+            bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks a key up, marking the entry most-recently-used and
+    /// counting a hit when found; an absent key counts a miss.
+    pub fn get(&mut self, key: u64) -> Option<Arc<CachedArtifacts>> {
+        let found = self.lookup(key);
+        if found.is_none() {
+            self.record_miss();
+        }
+        found
+    }
+
+    /// [`get`](ArtifactCache::get) without the miss accounting: an
+    /// absent key leaves the counters untouched. For callers that
+    /// retry the lookup — the server's coalesced waiters poll this
+    /// while an identical cold job is in flight, and only the worker
+    /// that actually claims the cold path records the miss (via
+    /// [`record_miss`](ArtifactCache::record_miss)), so the telemetry
+    /// counts jobs, not polls.
+    pub fn lookup(&mut self, key: u64) -> Option<Arc<CachedArtifacts>> {
+        self.clock += 1;
+        match self.map.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&slot.artifacts))
+            }
+            None => None,
+        }
+    }
+
+    /// Counts one miss — the accounting half split off
+    /// [`lookup`](ArtifactCache::lookup).
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Inserts an entry, evicting least-recently-used entries until it
+    /// fits. An entry larger than the whole budget is not cached (the
+    /// call is a no-op); re-inserting an existing key refreshes the
+    /// entry.
+    pub fn insert(&mut self, key: u64, artifacts: Arc<CachedArtifacts>) {
+        let bytes = artifacts.approx_bytes();
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.capacity_bytes {
+            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, slot)| slot.last_used) else {
+                break;
+            };
+            let slot = self.map.remove(&oldest).expect("key came from the map");
+            self.bytes -= slot.bytes;
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.map.insert(
+            key,
+            Slot {
+                artifacts,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            bytes: self.bytes,
+            capacity_bytes: self.capacity_bytes,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{Encoded, Engine};
+    use ss_testdata::{generate_test_set, CubeProfile};
+
+    fn artifacts_for(seed: u64) -> Arc<CachedArtifacts> {
+        let set = generate_test_set(&CubeProfile::mini(), seed);
+        let engine = Engine::builder()
+            .window(16)
+            .segment(4)
+            .speedup(4)
+            .build()
+            .unwrap();
+        let ctx = engine.synthesize(&set).unwrap();
+        let (encodable, dropped) = ctx.encodable_subset(&set);
+        let encoding = Encoded::from_ctx_ref(&encodable, &ctx)
+            .unwrap()
+            .encoding()
+            .clone();
+        Arc::new(CachedArtifacts {
+            ctx,
+            set: encodable,
+            dropped: dropped.len(),
+            encoding,
+        })
+    }
+
+    fn spec_with(window: u32, text: &str) -> JobSpec {
+        JobSpec {
+            set_text: text.to_string(),
+            window,
+            segment: 4,
+            speedup: 6,
+            lfsr_size: 0,
+            lfsr_kind: ss_lfsr::LfsrKind::Fibonacci,
+            ps_taps: 3,
+            hw_seed: 1,
+            fill_seed: 1,
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // published FNV-1a 64 test vectors
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_separates_workloads_and_configs_but_not_threads() {
+        let a = spec_with(24, "chains 1 depth 2\n1X\n");
+        assert_eq!(cache_key(&a), cache_key(&a.clone()));
+        assert_ne!(
+            cache_key(&a),
+            cache_key(&spec_with(25, "chains 1 depth 2\n1X\n"))
+        );
+        assert_ne!(
+            cache_key(&a),
+            cache_key(&spec_with(24, "chains 1 depth 2\n0X\n"))
+        );
+        let mut b = a.clone();
+        b.fill_seed = 2;
+        assert_ne!(cache_key(&a), cache_key(&b));
+        // threads is not even a JobSpec field — the key is structurally
+        // thread-agnostic; this line documents the intent
+        assert_eq!(
+            cache_key(&JobSpec::new(
+                &ss_testdata::TestSet::from_text(&a.set_text).unwrap(),
+                Engine::builder()
+                    .window(24)
+                    .segment(4)
+                    .speedup(6)
+                    .hw_seed(1)
+                    .fill_seed(1)
+                    .threads(7)
+                    .build()
+                    .unwrap()
+                    .config(),
+            )),
+            cache_key(&JobSpec::new(
+                &ss_testdata::TestSet::from_text(&a.set_text).unwrap(),
+                Engine::builder()
+                    .window(24)
+                    .segment(4)
+                    .speedup(6)
+                    .hw_seed(1)
+                    .fill_seed(1)
+                    .threads(1)
+                    .build()
+                    .unwrap()
+                    .config(),
+            ))
+        );
+    }
+
+    #[test]
+    fn lru_bounds_bytes_and_evicts_oldest() {
+        let a = artifacts_for(1);
+        let per_entry = a.approx_bytes();
+        // room for exactly two entries
+        let mut cache = ArtifactCache::new(per_entry * 2 + per_entry / 2);
+        cache.insert(1, Arc::clone(&a));
+        cache.insert(2, artifacts_for(2));
+        assert!(cache.get(1).is_some(), "touch 1 so 2 is the LRU");
+        cache.insert(3, artifacts_for(3));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= stats.capacity_bytes);
+        assert!(cache.get(2).is_none(), "2 was least recently used");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+    }
+
+    #[test]
+    fn oversize_entries_are_skipped_and_hits_share_ownership() {
+        let a = artifacts_for(1);
+        let mut cache = ArtifactCache::new(a.approx_bytes() - 1);
+        cache.insert(1, Arc::clone(&a));
+        assert_eq!(cache.stats().entries, 0, "too big to cache");
+        assert!(cache.get(1).is_none());
+
+        let mut cache = ArtifactCache::new(a.approx_bytes() * 4);
+        cache.insert(1, Arc::clone(&a));
+        let hit = cache.get(1).unwrap();
+        assert!(Arc::ptr_eq(&hit, &a), "hit shares, never clones");
+        // refresh with the same key does not double-count bytes
+        cache.insert(1, Arc::clone(&a));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().bytes, a.approx_bytes());
+    }
+}

@@ -1,0 +1,219 @@
+//! Client side of the compression service: one TCP connection, typed
+//! request/response calls, and a backpressure-aware submit loop.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response, ServerStats,
+    WireError,
+};
+
+/// Error talking to the service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent a frame this build cannot decode.
+    Wire(WireError),
+    /// The server answered a protocol-level error (unknown job,
+    /// malformed request, shutdown).
+    Server(String),
+    /// The job itself ran and failed (bad workload, engine error).
+    Job(String),
+    /// The server answered with a message that makes no sense for the
+    /// request (a peer bug).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Job(m) => write!(f, "job failed: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Outcome of a single submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued under this job id.
+    Accepted(u64),
+    /// The bounded queue was full; retry later.
+    Busy {
+        /// Jobs queued at rejection time.
+        queued: u32,
+        /// Queue capacity.
+        capacity: u32,
+    },
+}
+
+/// A polled job's state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Still in the bounded queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully.
+    Done(JobReport),
+    /// Ran and failed.
+    Failed(String),
+}
+
+/// One synchronous connection to an `ss-server`.
+///
+/// Every call writes one request frame and reads one response frame;
+/// the connection can be reused for any number of calls.
+///
+/// ```no_run
+/// use ss_server::{Client, JobSpec, ServeOptions, Server};
+/// use ss_core::Engine;
+/// use ss_testdata::WorkloadRegistry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let handle = Server::bind(&ServeOptions::default())?.spawn();
+/// let engine = Engine::builder().window(24).segment(4).speedup(6).build()?;
+/// let set = WorkloadRegistry::find("tiny-1").unwrap().test_set();
+///
+/// let mut client = Client::connect(handle.addr())?;
+/// let (job, report) = client.run(&JobSpec::new(&set, engine.config()))?;
+/// println!("job {job}: {} seeds, TSL {}", report.seeds, report.tsl_proposed);
+/// # handle.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Submits a job once; the caller decides what `Busy` means.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, or [`ClientError::Server`] when the
+    /// submission itself was rejected (malformed workload or config).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        match self.call(&Request::Submit(spec.clone()))? {
+            Response::Accepted(id) => Ok(SubmitOutcome::Accepted(id)),
+            Response::Busy { queued, capacity } => Ok(SubmitOutcome::Busy { queued, capacity }),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("submit answered oddly")),
+        }
+    }
+
+    /// Non-blocking job status.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, or [`ClientError::Server`] for an
+    /// unknown job id.
+    pub fn poll(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        match self.call(&Request::Poll(job))? {
+            Response::Phase(JobPhase::Queued) => Ok(JobStatus::Queued),
+            Response::Phase(JobPhase::Running) => Ok(JobStatus::Running),
+            Response::Done(report) => Ok(JobStatus::Done(report)),
+            Response::Failed(m) => Ok(JobStatus::Failed(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("poll answered oddly")),
+        }
+    }
+
+    /// Blocks until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, [`ClientError::Job`] when the job ran
+    /// and failed, [`ClientError::Server`] for an unknown id or server
+    /// shutdown.
+    pub fn wait(&mut self, job: u64) -> Result<JobReport, ClientError> {
+        match self.call(&Request::Wait(job))? {
+            Response::Done(report) => Ok(report),
+            Response::Failed(m) => Err(ClientError::Job(m)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("wait answered oddly")),
+        }
+    }
+
+    /// Aggregate server telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures or a protocol-level server error.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("stats answered oddly")),
+        }
+    }
+
+    /// Submit-and-wait with backpressure handling: `Busy` retries with
+    /// exponential backoff (1 ms doubling to a 256 ms cap, no overall
+    /// deadline — the queue bound guarantees progress as workers
+    /// drain).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`] and [`Client::wait`].
+    pub fn run(&mut self, spec: &JobSpec) -> Result<(u64, JobReport), ClientError> {
+        let mut backoff = Duration::from_millis(1);
+        let job = loop {
+            match self.submit(spec)? {
+                SubmitOutcome::Accepted(id) => break id,
+                SubmitOutcome::Busy { .. } => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(256));
+                }
+            }
+        };
+        Ok((job, self.wait(job)?))
+    }
+}

@@ -1,0 +1,219 @@
+//! `ss-server` — the State Skip compression **service**: a
+//! multi-threaded TCP server with a bounded job queue, explicit
+//! backpressure and a content-addressed cache of synthesis/encode
+//! artifacts, plus the matching client library.
+//!
+//! The rest of the workspace computes; this crate *serves*. A running
+//! `ss-server` accepts workloads over a length-prefixed, versioned
+//! wire protocol ([`protocol`]), executes them on a worker pool
+//! against the staged [`Engine`](ss_core::Engine) flow, and answers
+//! repeated submissions of the same `(cube set, engine config)` pair
+//! from a size-bounded LRU of synthesised hardware and encodings
+//! ([`cache`]) — skipping the two expensive stages entirely while
+//! returning bit-identical results (the flow is deterministic end to
+//! end, so this is an equality, not an approximation).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ss_core::Engine;
+//! use ss_server::{Client, JobSpec, ServeOptions, Server};
+//! use ss_testdata::WorkloadRegistry;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // serve on a loopback ephemeral port
+//! let handle = Server::bind(&ServeOptions::default())?.spawn();
+//!
+//! // submit the same workload twice: cold, then cached
+//! let engine = Engine::builder().window(24).segment(4).speedup(6).build()?;
+//! let set = WorkloadRegistry::find("tiny-1").unwrap().test_set();
+//! let spec = JobSpec::new(&set, engine.config());
+//! let mut client = Client::connect(handle.addr())?;
+//! let (_, cold) = client.run(&spec)?;
+//! let (_, warm) = client.run(&spec)?;
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.digest, warm.digest); // bit-identical result
+//! # handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `state-skip` binary wires this up as `state-skip serve` /
+//! `state-skip submit`; `crates/bench/benches/server_stress.rs` fans
+//! concurrent clients over the whole registry corpus and records
+//! `BENCH_server.json`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+mod server;
+
+pub use cache::{cache_key, ArtifactCache, CacheStats, CachedArtifacts, Fnv64};
+pub use client::{Client, ClientError, JobStatus, SubmitOutcome};
+pub use protocol::{
+    JobPhase, JobReport, JobSpec, Request, Response, ServerStats, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeOptions, Server, ServerHandle};
+
+use ss_core::PipelineReport;
+
+/// Default listen address of `state-skip serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7113";
+
+/// A 64-bit FNV digest over everything a [`PipelineReport`] commits to
+/// — every seed bit, every intentional placement, and the full TSL
+/// accounting. Two reports digest equal iff the encoding and traversal
+/// are bit-identical, so a served result can be checked against a
+/// local `Engine::run` without shipping the seeds themselves.
+pub fn report_digest(report: &PipelineReport) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(report.lfsr_size as u64);
+    h.write_u64(report.window as u64);
+    h.write_u64(report.segment as u64);
+    h.write_u64(report.speedup);
+    h.write_u64(report.encoding.seeds.len() as u64);
+    for seed in &report.encoding.seeds {
+        h.write_u64(seed.seed.len() as u64);
+        for &word in seed.seed.as_words() {
+            h.write_u64(word);
+        }
+        h.write_u64(seed.placements.len() as u64);
+        for placement in &seed.placements {
+            h.write_u64(placement.cube as u64);
+            h.write_u64(placement.position as u64);
+        }
+    }
+    h.write_u64(report.tdv as u64);
+    h.write_u64(report.tsl_original);
+    h.write_u64(report.tsl_truncated);
+    h.write_u64(report.tsl_proposed);
+    h.write_u64(report.tsl_report.vectors);
+    h.write_u64(report.tsl_report.useful_vectors);
+    h.write_u64(report.tsl_report.total_clocks);
+    for &v in &report.tsl_report.per_seed {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::Engine;
+    use ss_testdata::{generate_test_set, CubeProfile, WorkloadRegistry};
+
+    fn spec_for(seed: u64) -> JobSpec {
+        let set = generate_test_set(&CubeProfile::mini(), seed);
+        let engine = Engine::builder()
+            .window(16)
+            .segment(4)
+            .speedup(4)
+            .build()
+            .unwrap();
+        JobSpec::new(&set, engine.config())
+    }
+
+    #[test]
+    fn digest_separates_different_reports() {
+        let engine = Engine::builder()
+            .window(16)
+            .segment(4)
+            .speedup(4)
+            .build()
+            .unwrap();
+        let a = engine
+            .run(&generate_test_set(&CubeProfile::mini(), 1))
+            .unwrap();
+        let b = engine
+            .run(&generate_test_set(&CubeProfile::mini(), 2))
+            .unwrap();
+        assert_eq!(report_digest(&a), report_digest(&a));
+        assert_ne!(report_digest(&a), report_digest(&b));
+    }
+
+    /// Full loopback round-trip: submit → wait → cached resubmit, plus
+    /// poll, stats, and error surfacing for a bad workload.
+    #[test]
+    fn loopback_end_to_end() {
+        let handle = Server::bind(&ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap()
+        .spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let spec = spec_for(1);
+        let (job, cold) = client.run(&spec).unwrap();
+        assert!(!cold.cached);
+        assert!(cold.seeds > 0 && cold.tsl_proposed < cold.tsl_original);
+
+        // the finished job stays pollable on a fresh connection
+        let mut other = Client::connect(handle.addr()).unwrap();
+        match other.poll(job).unwrap() {
+            JobStatus::Done(report) => assert_eq!(report, cold),
+            state => panic!("finished job polled as {state:?}"),
+        }
+
+        let (_, warm) = client.run(&spec).unwrap();
+        assert!(warm.cached, "second submission must hit the cache");
+        assert_eq!(warm.digest, cold.digest);
+        assert_eq!(warm.seeds, cold.seeds);
+
+        // a different workload is a different key
+        let (_, fresh) = client.run(&spec_for(2)).unwrap();
+        assert!(!fresh.cached);
+        assert_ne!(fresh.digest, cold.digest);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.jobs_done, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.workers, 2);
+
+        // a malformed workload is rejected at submit time
+        let mut bad = spec_for(1);
+        bad.set_text = "garbage".to_string();
+        assert!(matches!(client.submit(&bad), Err(ClientError::Server(_))));
+
+        handle.shutdown();
+    }
+
+    /// The registry path the CLI uses: a named workload served equals
+    /// the same workload run locally, digest and all.
+    #[test]
+    fn served_registry_workload_matches_local_engine_run() {
+        let w = WorkloadRegistry::find("tiny-1").unwrap();
+        let set = w.test_set();
+        let engine = Engine::builder()
+            .window(24)
+            .segment(4)
+            .speedup(6)
+            .build()
+            .unwrap();
+
+        // local reference: the CLI `run` path (filter + pinned LFSR)
+        let ctx = engine.synthesize(&set).unwrap();
+        let (encodable, dropped) = ctx.encodable_subset(&set);
+        let mut config = *engine.config();
+        config.lfsr_size = Some(ctx.lfsr_size());
+        let pinned = Engine::from_config(config).unwrap();
+        let local = pinned.run(&encodable).unwrap();
+
+        let handle = Server::bind(&ServeOptions::default()).unwrap().spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let (_, served) = client.run(&JobSpec::new(&set, engine.config())).unwrap();
+        handle.shutdown();
+
+        assert_eq!(served.digest, report_digest(&local));
+        assert_eq!(served.seeds as usize, local.seeds);
+        assert_eq!(served.tdv as usize, local.tdv);
+        assert_eq!(served.tsl_proposed, local.tsl_proposed);
+        assert_eq!(served.lfsr_size as usize, local.lfsr_size);
+        assert_eq!(served.dropped as usize, dropped.len());
+    }
+}

@@ -1,0 +1,746 @@
+//! The `ss-server` wire protocol: length-prefixed, versioned binary
+//! frames over any byte stream.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame    := length payload
+//! length   := u32 BE                  ; bytes in payload, <= 64 MiB
+//! payload  := version tag body
+//! version  := u8                      ; PROTOCOL_VERSION (currently 1)
+//! tag      := u8                      ; message discriminant
+//! body     := tag-specific fields
+//! ```
+//!
+//! Scalar fields are big-endian fixed-width integers; strings are a
+//! `u32` byte length followed by UTF-8 bytes. Every message — request
+//! or response — is exactly one frame, and every request receives
+//! exactly one response on the same connection, so a connection is a
+//! simple synchronous request/response channel that can be reused for
+//! any number of requests.
+//!
+//! The version byte leads the payload so a future protocol bump is
+//! detected before any tag is interpreted; a server that receives an
+//! unknown version replies [`Response::Error`] (whose encoding is
+//! frozen across versions).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use ss_core::EngineConfig;
+use ss_lfsr::LfsrKind;
+use ss_testdata::TestSet;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a single frame's payload, guarding both peers
+/// against unbounded allocation from a hostile or corrupt stream.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Error decoding a frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// The peer speaks a different protocol version.
+    Version(u8),
+    /// Unknown message tag for this version.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Declared frame length exceeds [`MAX_FRAME_BYTES`].
+    Oversize(usize),
+    /// A field held a value outside its domain (enum discriminant out
+    /// of range, trailing bytes, ...).
+    BadField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame payload is truncated"),
+            WireError::Version(v) => write!(
+                f,
+                "peer speaks protocol version {v}, this build speaks {PROTOCOL_VERSION}"
+            ),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Oversize(n) => write!(
+                f,
+                "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            ),
+            WireError::BadField(name) => write!(f, "field {name} holds an invalid value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A compression job as it travels over the wire: the workload (cube
+/// set in the workspace text format) plus every engine knob that
+/// shapes the result.
+///
+/// The `threads` knob deliberately does **not** travel: results are
+/// bit-identical at every thread count, so the server picks its own
+/// per-job parallelism (total capacity divided among workers) and the
+/// cache key stays thread-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The cube set, serialised with `TestSet::to_text` (header +
+    /// one `01X` cube per line).
+    pub set_text: String,
+    /// Window length `L`.
+    pub window: u32,
+    /// Segment size `S`.
+    pub segment: u32,
+    /// State Skip speedup factor `k`.
+    pub speedup: u64,
+    /// Explicit LFSR size, or 0 for the engine default (`smax + 4`).
+    pub lfsr_size: u32,
+    /// LFSR feedback structure.
+    pub lfsr_kind: LfsrKind,
+    /// Phase shifter taps per scan chain.
+    pub ps_taps: u32,
+    /// RNG seed for phase shifter synthesis.
+    pub hw_seed: u64,
+    /// RNG seed for the pseudorandom fill of free seed variables.
+    pub fill_seed: u64,
+}
+
+impl JobSpec {
+    /// Builds a spec from a test set and an engine configuration
+    /// (the `threads` knob is intentionally dropped; see the type
+    /// docs).
+    pub fn new(set: &TestSet, config: &EngineConfig) -> Self {
+        JobSpec {
+            set_text: set.to_text(),
+            window: config.window as u32,
+            segment: config.segment as u32,
+            speedup: config.speedup,
+            lfsr_size: config.lfsr_size.unwrap_or(0) as u32,
+            lfsr_kind: config.lfsr_kind,
+            ps_taps: config.ps_taps as u32,
+            hw_seed: config.hw_seed,
+            fill_seed: config.fill_seed,
+        }
+    }
+}
+
+/// Completed-job numbers the server returns — the serving-layer view
+/// of a `PipelineReport`, plus cache and timing telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobReport {
+    /// LFSR size `n` actually used (pinned before filtering).
+    pub lfsr_size: u32,
+    /// Window length `L`.
+    pub window: u32,
+    /// Segment size `S`.
+    pub segment: u32,
+    /// Speedup factor `k`.
+    pub speedup: u64,
+    /// Cubes in the submitted set (before unencodable filtering).
+    pub cubes: u64,
+    /// Intrinsically unencodable cubes dropped before encoding.
+    pub dropped: u64,
+    /// Seeds stored.
+    pub seeds: u64,
+    /// Test data volume in bits.
+    pub tdv: u64,
+    /// TSL of the plain window-based scheme.
+    pub tsl_original: u64,
+    /// TSL with truncation only (no State Skip).
+    pub tsl_truncated: u64,
+    /// TSL of the proposed State Skip scheme.
+    pub tsl_proposed: u64,
+    /// FNV digest over the full encoding (seed bits, placements) and
+    /// TSL accounting — equal digests mean bit-identical results (see
+    /// [`report_digest`](crate::report_digest)).
+    pub digest: u64,
+    /// Whether the synthesis + encode stages were served from the
+    /// content-addressed artifact cache.
+    pub cached: bool,
+    /// Server-side service time in microseconds (excludes queueing).
+    pub service_micros: u64,
+}
+
+/// Where a job currently is, as answered to [`Request::Poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// In the bounded queue, not yet claimed by a worker.
+    Queued,
+    /// Claimed by a worker, executing.
+    Running,
+}
+
+/// Aggregate server telemetry, answered to [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Worker threads serving the job queue.
+    pub workers: u32,
+    /// Bounded queue capacity.
+    pub queue_capacity: u32,
+    /// Jobs currently queued (not running).
+    pub queued: u32,
+    /// Jobs completed (successfully or not) since startup.
+    pub jobs_done: u64,
+    /// Submissions rejected with `Busy` since startup.
+    pub busy_rejections: u64,
+    /// Artifact-cache hits since startup.
+    pub cache_hits: u64,
+    /// Artifact-cache misses since startup.
+    pub cache_misses: u64,
+    /// Entries resident in the artifact cache.
+    pub cache_entries: u32,
+    /// Approximate bytes resident in the artifact cache.
+    pub cache_bytes: u64,
+    /// Artifact-cache capacity in bytes.
+    pub cache_capacity_bytes: u64,
+    /// Entries evicted by the LRU policy since startup.
+    pub cache_evictions: u64,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job; answered with `Accepted` or `Busy`.
+    Submit(JobSpec),
+    /// Ask where a job is; answered with `Phase`, `Done` or `Failed`.
+    Poll(u64),
+    /// Block until a job finishes; answered with `Done` or `Failed`.
+    Wait(u64),
+    /// Fetch aggregate telemetry; answered with `Stats`.
+    Stats,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was queued under this id.
+    Accepted(u64),
+    /// The bounded queue is full — backpressure, retry later.
+    Busy {
+        /// Jobs currently queued.
+        queued: u32,
+        /// Queue capacity.
+        capacity: u32,
+    },
+    /// The job is still in flight.
+    Phase(JobPhase),
+    /// The job finished.
+    Done(JobReport),
+    /// The job ran and failed (bad workload, engine error, ...).
+    Failed(String),
+    /// Aggregate telemetry.
+    Stats(ServerStats),
+    /// Protocol-level error (unknown job id, malformed frame, version
+    /// mismatch, shutdown).
+    Error(String),
+}
+
+// ---------------------------------------------------------------- tags
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_POLL: u8 = 2;
+const TAG_WAIT: u8 = 3;
+const TAG_STATS: u8 = 4;
+
+const TAG_ACCEPTED: u8 = 101;
+const TAG_BUSY: u8 = 102;
+const TAG_PHASE: u8 = 103;
+const TAG_DONE: u8 = 104;
+const TAG_FAILED: u8 = 105;
+const TAG_STATS_REPLY: u8 = 106;
+const TAG_ERROR: u8 = 107;
+
+// ------------------------------------------------------------- writer
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// ------------------------------------------------------------- reader
+
+/// Forward-only cursor over a frame payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversize(len));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadField("trailing bytes"))
+        }
+    }
+}
+
+fn kind_to_u8(kind: LfsrKind) -> u8 {
+    match kind {
+        LfsrKind::Fibonacci => 0,
+        LfsrKind::Galois => 1,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Result<LfsrKind, WireError> {
+    match v {
+        0 => Ok(LfsrKind::Fibonacci),
+        1 => Ok(LfsrKind::Galois),
+        _ => Err(WireError::BadField("lfsr_kind")),
+    }
+}
+
+fn put_spec(buf: &mut Vec<u8>, spec: &JobSpec) {
+    put_u32(buf, spec.window);
+    put_u32(buf, spec.segment);
+    put_u64(buf, spec.speedup);
+    put_u32(buf, spec.lfsr_size);
+    put_u8(buf, kind_to_u8(spec.lfsr_kind));
+    put_u32(buf, spec.ps_taps);
+    put_u64(buf, spec.hw_seed);
+    put_u64(buf, spec.fill_seed);
+    put_str(buf, &spec.set_text);
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
+    Ok(JobSpec {
+        window: r.u32()?,
+        segment: r.u32()?,
+        speedup: r.u64()?,
+        lfsr_size: r.u32()?,
+        lfsr_kind: kind_from_u8(r.u8()?)?,
+        ps_taps: r.u32()?,
+        hw_seed: r.u64()?,
+        fill_seed: r.u64()?,
+        set_text: r.string()?,
+    })
+}
+
+fn put_report(buf: &mut Vec<u8>, report: &JobReport) {
+    put_u32(buf, report.lfsr_size);
+    put_u32(buf, report.window);
+    put_u32(buf, report.segment);
+    put_u64(buf, report.speedup);
+    put_u64(buf, report.cubes);
+    put_u64(buf, report.dropped);
+    put_u64(buf, report.seeds);
+    put_u64(buf, report.tdv);
+    put_u64(buf, report.tsl_original);
+    put_u64(buf, report.tsl_truncated);
+    put_u64(buf, report.tsl_proposed);
+    put_u64(buf, report.digest);
+    put_u8(buf, u8::from(report.cached));
+    put_u64(buf, report.service_micros);
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<JobReport, WireError> {
+    Ok(JobReport {
+        lfsr_size: r.u32()?,
+        window: r.u32()?,
+        segment: r.u32()?,
+        speedup: r.u64()?,
+        cubes: r.u64()?,
+        dropped: r.u64()?,
+        seeds: r.u64()?,
+        tdv: r.u64()?,
+        tsl_original: r.u64()?,
+        tsl_truncated: r.u64()?,
+        tsl_proposed: r.u64()?,
+        digest: r.u64()?,
+        cached: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::BadField("cached")),
+        },
+        service_micros: r.u64()?,
+    })
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
+    put_u32(buf, s.workers);
+    put_u32(buf, s.queue_capacity);
+    put_u32(buf, s.queued);
+    put_u64(buf, s.jobs_done);
+    put_u64(buf, s.busy_rejections);
+    put_u64(buf, s.cache_hits);
+    put_u64(buf, s.cache_misses);
+    put_u32(buf, s.cache_entries);
+    put_u64(buf, s.cache_bytes);
+    put_u64(buf, s.cache_capacity_bytes);
+    put_u64(buf, s.cache_evictions);
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
+    Ok(ServerStats {
+        workers: r.u32()?,
+        queue_capacity: r.u32()?,
+        queued: r.u32()?,
+        jobs_done: r.u64()?,
+        busy_rejections: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        cache_entries: r.u32()?,
+        cache_bytes: r.u64()?,
+        cache_capacity_bytes: r.u64()?,
+        cache_evictions: r.u64()?,
+    })
+}
+
+impl Request {
+    /// Serialises into a frame payload (version byte included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Submit(spec) => {
+                put_u8(&mut buf, TAG_SUBMIT);
+                put_spec(&mut buf, spec);
+            }
+            Request::Poll(job) => {
+                put_u8(&mut buf, TAG_POLL);
+                put_u64(&mut buf, *job);
+            }
+            Request::Wait(job) => {
+                put_u8(&mut buf, TAG_WAIT);
+                put_u64(&mut buf, *job);
+            }
+            Request::Stats => put_u8(&mut buf, TAG_STATS),
+        }
+        buf
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for a version mismatch, unknown tag, truncated or
+    /// trailing bytes, or an out-of-domain field.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let request = match r.u8()? {
+            TAG_SUBMIT => Request::Submit(read_spec(&mut r)?),
+            TAG_POLL => Request::Poll(r.u64()?),
+            TAG_WAIT => Request::Wait(r.u64()?),
+            TAG_STATS => Request::Stats,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Serialises into a frame payload (version byte included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![PROTOCOL_VERSION];
+        match self {
+            Response::Accepted(job) => {
+                put_u8(&mut buf, TAG_ACCEPTED);
+                put_u64(&mut buf, *job);
+            }
+            Response::Busy { queued, capacity } => {
+                put_u8(&mut buf, TAG_BUSY);
+                put_u32(&mut buf, *queued);
+                put_u32(&mut buf, *capacity);
+            }
+            Response::Phase(phase) => {
+                put_u8(&mut buf, TAG_PHASE);
+                put_u8(
+                    &mut buf,
+                    match phase {
+                        JobPhase::Queued => 0,
+                        JobPhase::Running => 1,
+                    },
+                );
+            }
+            Response::Done(report) => {
+                put_u8(&mut buf, TAG_DONE);
+                put_report(&mut buf, report);
+            }
+            Response::Failed(message) => {
+                put_u8(&mut buf, TAG_FAILED);
+                put_str(&mut buf, message);
+            }
+            Response::Stats(stats) => {
+                put_u8(&mut buf, TAG_STATS_REPLY);
+                put_stats(&mut buf, stats);
+            }
+            Response::Error(message) => {
+                put_u8(&mut buf, TAG_ERROR);
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`], as for [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let response = match r.u8()? {
+            TAG_ACCEPTED => Response::Accepted(r.u64()?),
+            TAG_BUSY => Response::Busy {
+                queued: r.u32()?,
+                capacity: r.u32()?,
+            },
+            TAG_PHASE => Response::Phase(match r.u8()? {
+                0 => JobPhase::Queued,
+                1 => JobPhase::Running,
+                _ => return Err(WireError::BadField("phase")),
+            }),
+            TAG_DONE => Response::Done(read_report(&mut r)?),
+            TAG_FAILED => Response::Failed(r.string()?),
+            TAG_STATS_REPLY => Response::Stats(read_stats(&mut r)?),
+            TAG_ERROR => Response::Error(r.string()?),
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+// -------------------------------------------------------------- frame
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors from the stream; `InvalidData` if the payload exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversize(payload.len()).to_string(),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors from the stream; `InvalidData` for a declared length
+/// above [`MAX_FRAME_BYTES`]; `UnexpectedEof` when the peer closed
+/// mid-frame.
+pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversize(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            set_text: "chains 2 depth 3\n1X0X10\nXX1XXX\n".to_string(),
+            window: 24,
+            segment: 4,
+            speedup: 6,
+            lfsr_size: 0,
+            lfsr_kind: LfsrKind::Fibonacci,
+            ps_taps: 3,
+            hw_seed: 0x14A2_4108_A00E_3508,
+            fill_seed: 1,
+        }
+    }
+
+    fn report() -> JobReport {
+        JobReport {
+            lfsr_size: 38,
+            window: 24,
+            segment: 4,
+            speedup: 6,
+            cubes: 40,
+            dropped: 0,
+            seeds: 25,
+            tdv: 950,
+            tsl_original: 600,
+            tsl_truncated: 400,
+            tsl_proposed: 135,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+            cached: true,
+            service_micros: 12_345,
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let requests = [
+            Request::Submit(spec()),
+            Request::Poll(7),
+            Request::Wait(u64::MAX),
+            Request::Stats,
+        ];
+        for request in requests {
+            assert_eq!(Request::decode(&request.encode()), Ok(request));
+        }
+        let responses = [
+            Response::Accepted(42),
+            Response::Busy {
+                queued: 8,
+                capacity: 8,
+            },
+            Response::Phase(JobPhase::Queued),
+            Response::Phase(JobPhase::Running),
+            Response::Done(report()),
+            Response::Failed("cube file: missing header line".to_string()),
+            Response::Stats(ServerStats {
+                workers: 4,
+                queue_capacity: 16,
+                queued: 3,
+                jobs_done: 100,
+                busy_rejections: 2,
+                cache_hits: 60,
+                cache_misses: 40,
+                cache_entries: 9,
+                cache_bytes: 1 << 20,
+                cache_capacity_bytes: 256 << 20,
+                cache_evictions: 5,
+            }),
+            Response::Error("unknown job id 9".to_string()),
+        ];
+        for response in responses {
+            assert_eq!(Response::decode(&response.encode()), Ok(response));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        // version mismatch
+        let mut bad = Request::Poll(1).encode();
+        bad[0] = 9;
+        assert_eq!(Request::decode(&bad), Err(WireError::Version(9)));
+        // unknown tag
+        assert_eq!(
+            Request::decode(&[PROTOCOL_VERSION, 200]),
+            Err(WireError::BadTag(200))
+        );
+        // truncation at every prefix of a valid frame
+        let full = Request::Submit(spec()).encode();
+        for cut in 0..full.len() {
+            assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // trailing garbage
+        let mut long = Request::Poll(1).encode();
+        long.push(0);
+        assert_eq!(
+            Request::decode(&long),
+            Err(WireError::BadField("trailing bytes"))
+        );
+        // bad enum discriminants
+        let mut resp = Response::Phase(JobPhase::Queued).encode();
+        *resp.last_mut().unwrap() = 7;
+        assert_eq!(Response::decode(&resp), Err(WireError::BadField("phase")));
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap_length() {
+        let payload = Request::Submit(spec()).encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+
+        // a forged oversize header is refused before allocation
+        let forged = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let mut cursor = &forged[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn job_spec_new_mirrors_engine_config() {
+        let engine = ss_core::Engine::builder()
+            .window(24)
+            .segment(4)
+            .speedup(6)
+            .lfsr_size(44)
+            .threads(8)
+            .build()
+            .unwrap();
+        let set = TestSet::from_text("chains 2 depth 3\n1X0X10\n").unwrap();
+        let spec = JobSpec::new(&set, engine.config());
+        assert_eq!(spec.window, 24);
+        assert_eq!(spec.lfsr_size, 44);
+        assert_eq!(spec.set_text, set.to_text());
+        assert_eq!(spec.hw_seed, engine.config().hw_seed);
+    }
+}

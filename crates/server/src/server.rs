@@ -1,0 +1,798 @@
+//! The concurrent compression service: bounded job queue, worker
+//! pool, per-connection protocol handlers and the content-addressed
+//! artifact cache, all over blocking std TCP.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept loop ── one handler thread per connection ──┐
+//!                                                    │ try_enqueue (bounded; Busy when full)
+//!                  worker pool (N threads) ◀─────────┘
+//!                  │  pop → Running → execute → Done/Failed
+//!                  └─ artifact cache (Mutex<ArtifactCache>)
+//! ```
+//!
+//! Backpressure is explicit: the queue never grows past its capacity —
+//! a submission that would overflow is answered [`Response::Busy`] and
+//! nothing is buffered. Waiters block on a condvar with a stop check,
+//! so shutdown cannot deadlock a connection.
+//!
+//! Each job runs with `total parallelism / workers` engine threads, so
+//! the pool saturates the machine without oversubscribing it; results
+//! are bit-identical at every thread count, so this knob never changes
+//! what a client receives.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ss_core::{Encoded, Engine, PipelineReport};
+use ss_testdata::TestSet;
+
+use crate::cache::{cache_key, ArtifactCache, CachedArtifacts};
+use crate::protocol::{
+    read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response, ServerStats,
+};
+use crate::report_digest;
+
+/// How long a connection may sit idle between requests before the
+/// handler closes it (keeps abandoned sockets from pinning threads).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How often blocked waiters re-check the stop flag.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// How many finished jobs stay pollable. The server is long-lived, so
+/// completed states cannot accumulate forever; the oldest finished
+/// entries are dropped past this bound (polling one afterwards answers
+/// "unknown job id"). 4096 is orders of magnitude above any queue
+/// depth, so a client that submitted a job always has ample time to
+/// collect it.
+const FINISHED_RETENTION: usize = 4096;
+
+/// Tunables for [`Server::bind`]. `Default` is a loopback address on
+/// an OS-assigned port, one worker per hardware thread, a 256 MiB
+/// cache and a queue of four jobs per worker.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `"127.0.0.1:7113"`; port 0 lets the OS
+    /// pick (read the result from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means one per hardware thread.
+    pub workers: usize,
+    /// Artifact-cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Bounded queue capacity; 0 means `4 * workers`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            cache_bytes: 256 << 20,
+            queue_depth: 0,
+        }
+    }
+}
+
+/// A job sitting in the bounded queue: pre-parsed and pre-validated,
+/// so workers only ever do compression work.
+struct QueuedJob {
+    id: u64,
+    key: u64,
+    set: TestSet,
+    spec: JobSpec,
+}
+
+/// Lifecycle of a submitted job.
+enum JobState {
+    Queued,
+    Running,
+    Done(JobReport),
+    Failed(String),
+}
+
+/// Every submitted job's state, with bounded retention of finished
+/// entries so a long-lived server cannot grow without bound.
+#[derive(Default)]
+struct JobTable {
+    states: HashMap<u64, JobState>,
+    /// Finished ids in completion order — the eviction queue.
+    finished: VecDeque<u64>,
+}
+
+impl JobTable {
+    /// Records a state; finishing a job enters it into the bounded
+    /// retention window, evicting the oldest finished entries.
+    fn set(&mut self, id: u64, state: JobState) {
+        let finished = matches!(state, JobState::Done(_) | JobState::Failed(_));
+        self.states.insert(id, state);
+        if finished {
+            self.finished.push_back(id);
+            while self.finished.len() > FINISHED_RETENTION {
+                let oldest = self.finished.pop_front().expect("non-empty by len check");
+                self.states.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// State shared by the accept loop, connection handlers and workers.
+struct Shared {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    jobs: Mutex<JobTable>,
+    jobs_cv: Condvar,
+    cache: Mutex<ArtifactCache>,
+    /// Cache keys whose cold computation is in flight — request
+    /// coalescing: a worker holding a duplicate key waits for the
+    /// computer instead of re-running synthesis + encode in parallel.
+    pending: Mutex<HashSet<u64>>,
+    pending_cv: Condvar,
+    next_job: AtomicU64,
+    jobs_done: AtomicU64,
+    busy_rejections: AtomicU64,
+    stop: AtomicBool,
+    workers: usize,
+    queue_capacity: usize,
+    job_threads: usize,
+}
+
+/// What a submission attempt produced.
+#[derive(Debug)]
+enum Enqueue {
+    Accepted(u64),
+    Busy { queued: u32, capacity: u32 },
+}
+
+impl Shared {
+    fn new(workers: usize, queue_capacity: usize, cache_bytes: usize, job_threads: usize) -> Self {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(JobTable::default()),
+            jobs_cv: Condvar::new(),
+            cache: Mutex::new(ArtifactCache::new(cache_bytes)),
+            pending: Mutex::new(HashSet::new()),
+            pending_cv: Condvar::new(),
+            next_job: AtomicU64::new(1),
+            jobs_done: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            workers,
+            queue_capacity,
+            job_threads,
+        }
+    }
+
+    /// Validates a spec, canonicalises its workload text and either
+    /// queues it (`Accepted`) or applies backpressure (`Busy`). The
+    /// error carries a client-facing message.
+    fn try_enqueue(&self, mut spec: JobSpec) -> Result<Enqueue, String> {
+        let set = TestSet::from_text(&spec.set_text).map_err(|e| format!("cube file: {e}"))?;
+        if set.is_empty() {
+            return Err("cube file: test set is empty".to_string());
+        }
+        // canonical text: whitespace/comment variants share a cache key
+        spec.set_text = set.to_text();
+        // reject bad knobs at the door, not in a worker
+        engine_from_spec(&spec, self.job_threads).map_err(|e| format!("config: {e}"))?;
+        let key = cache_key(&spec);
+
+        let mut queue = self.queue.lock().expect("queue mutex");
+        if queue.len() >= self.queue_capacity {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Ok(Enqueue::Busy {
+                queued: queue.len() as u32,
+                capacity: self.queue_capacity as u32,
+            });
+        }
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        // the Queued state must land in the jobs table *before* the
+        // job becomes poppable: a worker finishing it concurrently
+        // would otherwise have its Done state clobbered by this insert
+        // and the job would look queued forever (lock order is always
+        // queue → jobs, never the reverse)
+        self.jobs
+            .lock()
+            .expect("jobs mutex")
+            .set(id, JobState::Queued);
+        queue.push_back(QueuedJob { id, key, set, spec });
+        drop(queue);
+        self.queue_cv.notify_one();
+        Ok(Enqueue::Accepted(id))
+    }
+
+    fn stats(&self) -> ServerStats {
+        let queued = self.queue.lock().expect("queue mutex").len() as u32;
+        let cache = self.cache.lock().expect("cache mutex").stats();
+        ServerStats {
+            workers: self.workers as u32,
+            queue_capacity: self.queue_capacity as u32,
+            queued,
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u32,
+            cache_bytes: cache.bytes as u64,
+            cache_capacity_bytes: cache.capacity_bytes as u64,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
+/// Builds the engine a spec describes, with the server's per-job
+/// thread budget.
+fn engine_from_spec(spec: &JobSpec, threads: usize) -> Result<Engine, String> {
+    let mut builder = Engine::builder()
+        .window(spec.window as usize)
+        .segment(spec.segment as usize)
+        .speedup(spec.speedup)
+        .lfsr_kind(spec.lfsr_kind)
+        .ps_taps(spec.ps_taps as usize)
+        .hw_seed(spec.hw_seed)
+        .fill_seed(spec.fill_seed)
+        .threads(threads);
+    if spec.lfsr_size > 0 {
+        builder = builder.lfsr_size(spec.lfsr_size as usize);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Removes a key from the in-flight set when the cold computation
+/// finishes — in every exit path, including errors and unwinds, so a
+/// failed computer can never wedge its waiters.
+struct PendingGuard<'a> {
+    shared: &'a Shared,
+    key: u64,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .pending
+            .lock()
+            .expect("pending mutex")
+            .remove(&self.key);
+        self.shared.pending_cv.notify_all();
+    }
+}
+
+/// Cache lookup with request coalescing: a hit returns the artifacts;
+/// a miss either claims the key (returning a guard — the caller is
+/// now the computer) or, when another worker is already computing the
+/// same key, blocks until that computation lands and retries. A
+/// computer that fails releases the key, so exactly one waiter
+/// inherits the cold path — progress is guaranteed, never a stampede.
+fn lookup_or_claim<'a>(
+    shared: &'a Shared,
+    key: u64,
+) -> Result<Arc<CachedArtifacts>, PendingGuard<'a>> {
+    loop {
+        // lookup, not get: waiters re-poll this every tick, and only
+        // the claimer below should record the (single) miss
+        if let Some(entry) = shared.cache.lock().expect("cache mutex").lookup(key) {
+            return Ok(entry);
+        }
+        let mut pending = shared.pending.lock().expect("pending mutex");
+        if pending.insert(key) {
+            drop(pending);
+            shared.cache.lock().expect("cache mutex").record_miss();
+            return Err(PendingGuard { shared, key });
+        }
+        // someone else is computing this key: wait for it to land (or
+        // fail), then re-check the cache
+        let (p, _) = shared
+            .pending_cv
+            .wait_timeout(pending, WAIT_TICK)
+            .expect("pending mutex");
+        drop(p);
+    }
+}
+
+/// Runs one job: cache hit (or a coalesced wait on an identical
+/// in-flight job) re-enters the staged flow at the embed stage from
+/// the stored artifacts; a miss runs the full flow (the same
+/// synthesize → filter → encode path as the CLI `run` command) and
+/// populates the cache.
+fn execute(shared: &Shared, job: &QueuedJob) -> Result<JobReport, String> {
+    let start = Instant::now();
+    let (report, dropped, cached) = match lookup_or_claim(shared, job.key) {
+        Ok(entry) => {
+            let encoded = Encoded::from_cached(&entry.set, &entry.ctx, entry.encoding.clone())
+                .map_err(|e| format!("cache pairing: {e}"))?;
+            let report = encoded
+                .embed()
+                .segment()
+                .finish()
+                .map_err(|e| e.to_string())?;
+            (report, entry.dropped, true)
+        }
+        Err(_pending_guard) => {
+            let engine = engine_from_spec(&job.spec, shared.job_threads)?;
+            let ctx = engine.synthesize(&job.set).map_err(|e| e.to_string())?;
+            let (encodable, dropped_idx) = ctx.encodable_subset(&job.set);
+            let encoded = Encoded::from_ctx_ref(&encodable, &ctx).map_err(|e| e.to_string())?;
+            let encoding = encoded.encoding().clone();
+            let report = encoded
+                .embed()
+                .segment()
+                .finish()
+                .map_err(|e| e.to_string())?;
+            let dropped = dropped_idx.len();
+            shared.cache.lock().expect("cache mutex").insert(
+                job.key,
+                Arc::new(CachedArtifacts {
+                    ctx,
+                    set: encodable,
+                    dropped,
+                    encoding,
+                }),
+            );
+            (report, dropped, false)
+        }
+    };
+    Ok(job_report(
+        &report,
+        job.set.len(),
+        dropped,
+        cached,
+        start.elapsed(),
+    ))
+}
+
+/// Projects a full [`PipelineReport`] onto the wire-sized
+/// [`JobReport`].
+fn job_report(
+    report: &PipelineReport,
+    cubes: usize,
+    dropped: usize,
+    cached: bool,
+    service: Duration,
+) -> JobReport {
+    JobReport {
+        lfsr_size: report.lfsr_size as u32,
+        window: report.window as u32,
+        segment: report.segment as u32,
+        speedup: report.speedup,
+        cubes: cubes as u64,
+        dropped: dropped as u64,
+        seeds: report.seeds as u64,
+        tdv: report.tdv as u64,
+        tsl_original: report.tsl_original,
+        tsl_truncated: report.tsl_truncated,
+        tsl_proposed: report.tsl_proposed,
+        digest: report_digest(report),
+        cached,
+        service_micros: service.as_micros() as u64,
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue mutex");
+            loop {
+                // stop beats pop: shutdown abandons the backlog (the
+                // documented ServerHandle contract) instead of
+                // draining arbitrarily many queued jobs first
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, WAIT_TICK)
+                    .expect("queue mutex");
+                queue = q;
+            }
+        };
+        set_state(shared, job.id, JobState::Running);
+        let state = match execute(shared, &job) {
+            Ok(report) => JobState::Done(report),
+            Err(message) => JobState::Failed(message),
+        };
+        {
+            // the counter must be bumped before the final state is
+            // observable (same critical section), or a client that
+            // sees Done could still read a stale jobs_done
+            let mut jobs = shared.jobs.lock().expect("jobs mutex");
+            jobs.set(job.id, state);
+            shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.jobs_cv.notify_all();
+    }
+}
+
+fn set_state(shared: &Shared, id: u64, state: JobState) {
+    shared.jobs.lock().expect("jobs mutex").set(id, state);
+}
+
+/// Answers one decoded request. `Wait` blocks (with a stop check);
+/// everything else is immediate.
+fn respond(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Submit(spec) => match shared.try_enqueue(spec) {
+            Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
+            Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
+            Err(message) => Response::Error(message),
+        },
+        Request::Poll(id) => {
+            let jobs = shared.jobs.lock().expect("jobs mutex");
+            match jobs.states.get(&id) {
+                None => Response::Error(format!("unknown job id {id}")),
+                Some(JobState::Queued) => Response::Phase(JobPhase::Queued),
+                Some(JobState::Running) => Response::Phase(JobPhase::Running),
+                Some(JobState::Done(report)) => Response::Done(*report),
+                Some(JobState::Failed(message)) => Response::Failed(message.clone()),
+            }
+        }
+        Request::Wait(id) => {
+            let mut jobs = shared.jobs.lock().expect("jobs mutex");
+            loop {
+                match jobs.states.get(&id) {
+                    None => return Response::Error(format!("unknown job id {id}")),
+                    Some(JobState::Done(report)) => return Response::Done(*report),
+                    Some(JobState::Failed(message)) => return Response::Failed(message.clone()),
+                    Some(JobState::Queued | JobState::Running) => {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            return Response::Error("server shutting down".to_string());
+                        }
+                        let (j, _) = shared
+                            .jobs_cv
+                            .wait_timeout(jobs, WAIT_TICK)
+                            .expect("jobs mutex");
+                        jobs = j;
+                    }
+                }
+            }
+        }
+        Request::Stats => Response::Stats(shared.stats()),
+    }
+}
+
+/// Serves one connection until the peer closes, errors or idles out.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(_) => return, // closed, idle or malformed length
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => respond(shared, request),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+/// A bound (not yet serving) compression service.
+///
+/// [`Server::run`] serves on the calling thread forever (the CLI
+/// path); [`Server::spawn`] serves on background threads and returns a
+/// [`ServerHandle`] for orderly shutdown (the test/bench path).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and sizes the worker pool, queue and
+    /// cache from `options` (see [`ServeOptions`] for the defaults
+    /// each `0` resolves to).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the address.
+    pub fn bind(options: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let hw = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = if options.workers == 0 {
+            hw
+        } else {
+            options.workers
+        };
+        let queue_capacity = if options.queue_depth == 0 {
+            workers * 4
+        } else {
+            options.queue_depth
+        };
+        let job_threads = (hw / workers).max(1);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared::new(
+                workers,
+                queue_capacity,
+                options.cache_bytes,
+                job_threads,
+            )),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors querying the socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Worker threads this server will run.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Bounded queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_capacity
+    }
+
+    /// Serves forever on the calling thread (workers on background
+    /// threads). Only returns on an accept error.
+    ///
+    /// # Errors
+    ///
+    /// The first fatal `accept` error.
+    pub fn run(self) -> io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        for _ in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || worker_loop(&shared));
+        }
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || handle_connection(&shared, stream));
+        }
+    }
+
+    /// Serves on background threads; the returned handle shuts the
+    /// service down cleanly when asked (or when dropped).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let shared = Arc::clone(&self.shared);
+        let workers: Vec<JoinHandle<()>> = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let listener = self.listener;
+        let accept = thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                if accept_shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let shared = Arc::clone(&accept_shared);
+                thread::spawn(move || handle_connection(&shared, stream));
+            }
+        });
+        ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed service: its address, and orderly
+/// shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Telemetry snapshot, without a round-trip.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains nothing (queued jobs are abandoned;
+    /// running jobs finish), and joins the accept and worker threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // unblock accept with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        self.shared.jobs_cv.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_testdata::{generate_test_set, CubeProfile};
+
+    fn mini_spec() -> JobSpec {
+        let set = generate_test_set(&CubeProfile::mini(), 1);
+        let engine = Engine::builder()
+            .window(16)
+            .segment(4)
+            .speedup(4)
+            .build()
+            .unwrap();
+        JobSpec::new(&set, engine.config())
+    }
+
+    /// Backpressure is deterministic at the queue level: with no
+    /// workers draining, capacity+1 submissions yield exactly one
+    /// `Busy` and nothing is buffered past the bound.
+    #[test]
+    fn bounded_queue_rejects_with_busy_never_buffers() {
+        let shared = Shared::new(1, 2, 1 << 20, 1);
+        let spec = mini_spec();
+        for _ in 0..2 {
+            assert!(matches!(
+                shared.try_enqueue(spec.clone()),
+                Ok(Enqueue::Accepted(_))
+            ));
+        }
+        match shared.try_enqueue(spec.clone()).unwrap() {
+            Enqueue::Busy { queued, capacity } => {
+                assert_eq!((queued, capacity), (2, 2));
+            }
+            Enqueue::Accepted(_) => panic!("queue overflowed its bound"),
+        }
+        assert_eq!(shared.queue.lock().unwrap().len(), 2);
+        assert_eq!(shared.stats().busy_rejections, 1);
+        // ids are distinct and monotone
+        assert_eq!(shared.jobs.lock().unwrap().states.len(), 2);
+    }
+
+    #[test]
+    fn queued_state_is_visible_before_the_job_is_poppable() {
+        // regression: the Queued insert must precede queue visibility,
+        // or a fast worker's finished state gets clobbered by the
+        // submitter and the job hangs as Queued forever
+        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let Enqueue::Accepted(id) = shared.try_enqueue(mini_spec()).unwrap() else {
+            panic!("queue has room");
+        };
+        // simulate the fast worker: pop and finish before the
+        // submitting thread does anything else
+        let job = shared.queue.lock().unwrap().pop_front().unwrap();
+        assert_eq!(job.id, id);
+        set_state(&shared, id, JobState::Failed("finished first".into()));
+        // try_enqueue already returned: nothing may overwrite this
+        assert!(matches!(
+            respond(&shared, Request::Poll(id)),
+            Response::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn finished_retention_is_bounded_and_evicts_oldest() {
+        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let overflow = 50u64;
+        for id in 0..(FINISHED_RETENTION as u64 + overflow) {
+            set_state(&shared, id, JobState::Failed("x".into()));
+        }
+        let jobs = shared.jobs.lock().unwrap();
+        assert_eq!(jobs.states.len(), FINISHED_RETENTION);
+        assert!(
+            !jobs.states.contains_key(&0),
+            "oldest finished entry must be evicted"
+        );
+        assert!(jobs
+            .states
+            .contains_key(&(FINISHED_RETENTION as u64 + overflow - 1)));
+    }
+
+    #[test]
+    fn workers_abandon_the_backlog_on_stop() {
+        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1));
+        shared.try_enqueue(mini_spec()).unwrap();
+        shared.stop.store(true, Ordering::Relaxed);
+        let worker = Arc::clone(&shared);
+        thread::spawn(move || worker_loop(&worker))
+            .join()
+            .expect("worker exits cleanly");
+        assert_eq!(
+            shared.queue.lock().unwrap().len(),
+            1,
+            "stop abandons queued jobs instead of draining them"
+        );
+        assert_eq!(shared.jobs_done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn invalid_submissions_fail_at_the_door() {
+        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let mut bad = mini_spec();
+        bad.set_text = "no header".to_string();
+        assert!(shared.try_enqueue(bad).is_err());
+        let mut bad = mini_spec();
+        bad.segment = 0;
+        assert!(shared.try_enqueue(bad).unwrap_err().starts_with("config:"));
+        let mut empty = mini_spec();
+        empty.set_text = "chains 2 depth 3\n".to_string();
+        assert!(shared.try_enqueue(empty).is_err());
+        assert_eq!(shared.queue.lock().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn poll_and_wait_know_unknown_jobs() {
+        let shared = Shared::new(1, 4, 1 << 20, 1);
+        assert!(matches!(
+            respond(&shared, Request::Poll(99)),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            respond(&shared, Request::Wait(99)),
+            Response::Error(_)
+        ));
+    }
+
+    /// A worker executing a queued job twice hits the cache the second
+    /// time and produces an identical report (modulo telemetry).
+    #[test]
+    fn execute_is_deterministic_and_cache_flags_are_honest() {
+        let shared = Shared::new(1, 4, 64 << 20, 1);
+        let spec = mini_spec();
+        shared.try_enqueue(spec.clone()).unwrap();
+        shared.try_enqueue(spec).unwrap();
+        let mut queue = shared.queue.lock().unwrap();
+        let first = queue.pop_front().unwrap();
+        let second = queue.pop_front().unwrap();
+        drop(queue);
+        assert_eq!(first.key, second.key, "same workload, same key");
+        let cold = execute(&shared, &first).unwrap();
+        let warm = execute(&shared, &second).unwrap();
+        assert!(!cold.cached && warm.cached);
+        assert_eq!(cold.digest, warm.digest);
+        assert_eq!(
+            (cold.seeds, cold.tdv, cold.tsl_proposed),
+            (warm.seeds, warm.tdv, warm.tsl_proposed)
+        );
+        let stats = shared.cache.lock().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+}

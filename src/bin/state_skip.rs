@@ -6,10 +6,13 @@
 //! state-skip run       <test_set.txt> [L] [S] [k] [--threads N]
 //! state-skip run       --bench <f.bench> --cubes <f.cubes> [L] [S] [k] [--threads N]
 //! state-skip compare   <test_set.txt> [L] [S] [k] [--threads N]
+//! state-skip compare   --bench <f.bench> --cubes <f.cubes> [L] [S] [k] [--threads N]
 //! state-skip sweep     <test_set.txt> [L]
 //! state-skip rtl       <test_set.txt> [k]
 //! state-skip gen       <profile> <seed>             # emit a synthetic set
 //! state-skip workloads                              # list the corpus
+//! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N]
+//! state-skip submit    [--addr A] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
@@ -18,7 +21,14 @@
 //! `--bench/--cubes` form runs the engine on a user-supplied circuit +
 //! cube-set pair and closes the loop with fault simulation of the
 //! decompressed sequences.
+//!
+//! `serve` runs the long-lived compression service of `ss_server`
+//! (bounded queue, worker pool, content-addressed artifact cache);
+//! `submit` sends one workload to a running service and waits for the
+//! result. This binary lives in the workspace facade package so it can
+//! see both `ss_core` and `ss_server`.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use ss_core::{
@@ -26,6 +36,7 @@ use ss_core::{
     sequence_coverage, Baseline11, ClassicalReseeding, CompressionScheme, Engine, StateSkip, Table,
 };
 use ss_lfsr::SkipCircuit;
+use ss_server::{Client, JobSpec, ServeOptions, Server};
 use ss_testdata::{generate_test_set, CubeProfile, TestSet, WorkloadRegistry};
 
 fn main() -> ExitCode {
@@ -45,19 +56,35 @@ const USAGE: &str = "usage:
   state-skip run       <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
   state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10] [--threads N]
   state-skip compare   <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
+  state-skip compare   --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10] [--threads N]
   state-skip sweep     <test_set.txt> [L=100]
   state-skip rtl       <test_set.txt> [k=10]
   state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
   state-skip workloads
+  state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers]
+  state-skip submit    [--addr A=127.0.0.1:7113] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
 
 --threads N caps the engine's worker threads (default: all hardware
-threads); results are bit-identical at every thread count.";
+threads); results are bit-identical at every thread count.
+
+serve answers repeated submissions of the same workload/config from a
+content-addressed artifact cache (bit-identical results, synthesis and
+encode skipped); a full queue is answered with an explicit Busy that
+submit retries with backoff. submit --workload names a corpus entry
+from `state-skip workloads` (paper profiles use their paper LFSR
+size).";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args)?;
-    let command = args.first().map(String::as_str).ok_or("missing command")?;
-    match command {
+    let command = args.first().cloned().ok_or("missing command")?;
+    // only the commands that honour the knob parse it; elsewhere a
+    // stray --threads falls through to that command's own argument
+    // handling and errors instead of being silently swallowed
+    let threads = match command.as_str() {
+        "run" | "compare" => take_threads_flag(&mut args)?,
+        _ => None,
+    };
+    match command.as_str() {
         "stats" => stats(args.get(1).ok_or("missing test set path")?),
         "run" if args.iter().any(|a| a == "--bench" || a == "--cubes") => {
             run_files(&args[1..], threads)
@@ -69,6 +96,9 @@ fn run() -> Result<(), String> {
             parse_or(args.get(4), 10)? as u64,
             threads,
         ),
+        "compare" if args.iter().any(|a| a == "--bench" || a == "--cubes") => {
+            compare_files(&args[1..], threads)
+        }
         "compare" => compare(
             args.get(1).ok_or("missing test set path")?,
             parse_or(args.get(2), 100)?,
@@ -89,6 +119,8 @@ fn run() -> Result<(), String> {
             parse_or(args.get(2), 1)? as u64,
         ),
         "workloads" => workloads(),
+        "serve" => serve(&args[1..]),
+        "submit" => submit(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -308,6 +340,178 @@ fn compare(
     let reports = engine.run_all(&schemes, &set).map_err(|e| e.to_string())?;
     println!("L={window} S={segment} k={speedup}, {} cubes", set.len());
     println!("{}", comparison_table(&reports));
+    Ok(())
+}
+
+/// `compare --bench <f> --cubes <f>`: the file-ingestion path of
+/// `run`, feeding the three-scheme comparison instead of a single
+/// report.
+fn compare_files(args: &[String], threads: Option<usize>) -> Result<(), String> {
+    let (bench_path, cubes_path, rest) = split_flags(args)?;
+    let window = parse_or(rest.first().copied(), 100)?;
+    let segment = parse_or(rest.get(1).copied(), 5)?;
+    let speedup = parse_or(rest.get(2).copied(), 10)? as u64;
+
+    let bench_text =
+        std::fs::read_to_string(&bench_path).map_err(|e| format!("{bench_path}: {e}"))?;
+    let cubes_text =
+        std::fs::read_to_string(&cubes_path).map_err(|e| format!("{cubes_path}: {e}"))?;
+    let workload = parse_workload(&bench_text, &cubes_text).map_err(|e| e.to_string())?;
+
+    let engine = engine_for(window, segment, speedup, threads)?;
+    let (engine, set) = encodable(&engine, &workload.set)?;
+    let schemes: Vec<Box<dyn CompressionScheme>> = vec![
+        Box::new(StateSkip),
+        Box::new(ClassicalReseeding),
+        Box::new(Baseline11),
+    ];
+    let reports = engine.run_all(&schemes, &set).map_err(|e| e.to_string())?;
+    println!(
+        "circuit: {} inputs, {} gates; L={window} S={segment} k={speedup}, {} cubes",
+        workload.circuit.netlist.input_count(),
+        workload.circuit.netlist.gate_count(),
+        set.len()
+    );
+    println!("{}", comparison_table(&reports));
+    Ok(())
+}
+
+/// Extracts a `--name value` flag from anywhere in the argument list.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(at) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    let value = args[at + 1].clone();
+    args.drain(at..=at + 1);
+    Ok(Some(value))
+}
+
+/// `serve`: run the long-lived compression service in the foreground.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr")?
+        .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    let workers: usize = match take_value_flag(&mut args, "--workers")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("not a worker count: {v:?}"))?,
+        None => 0,
+    };
+    let cache_mb: usize = match take_value_flag(&mut args, "--cache-mb")? {
+        Some(v) => v.parse().map_err(|_| format!("not a cache size: {v:?}"))?,
+        None => 256,
+    };
+    let queue_depth: usize = match take_value_flag(&mut args, "--queue")? {
+        Some(v) => v.parse().map_err(|_| format!("not a queue depth: {v:?}"))?,
+        None => 0,
+    };
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    let server = Server::bind(&ServeOptions {
+        addr,
+        workers,
+        cache_bytes: cache_mb << 20,
+        queue_depth,
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "listening on {} ({} workers, queue {}, cache {} MB)",
+        server.local_addr().map_err(|e| e.to_string())?,
+        server.workers(),
+        server.queue_capacity(),
+        cache_mb
+    );
+    // scripts (the CI smoke step) poll stdout for the bound address
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())
+}
+
+/// `submit`: send one workload to a running service and wait.
+fn submit(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr")?
+        .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    let workload_name = take_value_flag(&mut args, "--workload")?;
+    let bench_path = take_value_flag(&mut args, "--bench")?;
+    let cubes_path = take_value_flag(&mut args, "--cubes")?;
+
+    // resolve the workload: registry name, .bench + cube pair, or a
+    // plain test-set file
+    let (label, set, profile_lfsr) = match (&workload_name, &bench_path, &cubes_path) {
+        (Some(name), None, None) => {
+            let w = WorkloadRegistry::find(name).ok_or_else(|| {
+                format!("no corpus workload named {name:?} (see `state-skip workloads`)")
+            })?;
+            let lfsr = w.profile().map(|p| p.lfsr_size);
+            (name.clone(), w.test_set(), lfsr)
+        }
+        (None, Some(bench), Some(cubes)) => {
+            let bench_text = std::fs::read_to_string(bench).map_err(|e| format!("{bench}: {e}"))?;
+            let cubes_text = std::fs::read_to_string(cubes).map_err(|e| format!("{cubes}: {e}"))?;
+            let workload = parse_workload(&bench_text, &cubes_text).map_err(|e| e.to_string())?;
+            (cubes.clone(), workload.set, None)
+        }
+        (None, None, None) => {
+            let path = args
+                .first()
+                .cloned()
+                .ok_or("missing workload: --workload, --bench/--cubes or a test-set path")?;
+            args.remove(0);
+            (path.clone(), load(&path)?, None)
+        }
+        _ => return Err("pick one of --workload, --bench + --cubes, or a test-set path".into()),
+    };
+
+    let window = parse_or(args.first(), 100)?;
+    let segment = parse_or(args.get(1), 5)?;
+    let speedup = parse_or(args.get(2), 10)? as u64;
+    let mut builder = Engine::builder()
+        .window(window)
+        .segment(segment)
+        .speedup(speedup);
+    if let Some(n) = profile_lfsr {
+        builder = builder.lfsr_size(n);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    let spec = JobSpec::new(&set, engine.config());
+
+    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+    let (job, report) = client.run(&spec).map_err(|e| e.to_string())?;
+    println!("submitted {} cubes as job {job} to {addr}", set.len());
+    println!(
+        "result: n={} L={} S={} k={}: {} seeds, TDV {} bits, TSL {} -> {} vectors ({:.1}% shorter)",
+        report.lfsr_size,
+        report.window,
+        report.segment,
+        report.speedup,
+        report.seeds,
+        report.tdv,
+        report.tsl_original,
+        report.tsl_proposed,
+        improvement_percent(report.tsl_original, report.tsl_proposed),
+    );
+    // one greppable line in the golden-corpus format (minus coverage),
+    // what the CI smoke step diffs against tests/golden/corpus.txt
+    println!(
+        "golden: cubes={} lfsr={} seeds={} tdv={} tsl_orig={} tsl_prop={}",
+        report.cubes,
+        report.lfsr_size,
+        report.seeds,
+        report.tdv,
+        report.tsl_original,
+        report.tsl_proposed
+    );
+    println!(
+        "cached={} dropped={} service_ms={:.1} digest={:016x} ({label})",
+        report.cached,
+        report.dropped,
+        report.service_micros as f64 / 1e3,
+        report.digest
+    );
     Ok(())
 }
 

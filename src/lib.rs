@@ -10,6 +10,7 @@
 //! * [`testdata`] — test cubes, scan geometry, synthetic sets
 //! * [`circuit`] — netlists, stuck-at faults, PODEM ATPG
 //! * [`core`] — compression schemes and the staged [`core::Engine`]
+//! * [`server`] — the concurrent compression service and its client
 //!
 //! ```
 //! use state_skip::core::Engine;
@@ -31,4 +32,5 @@ pub use ss_circuit as circuit;
 pub use ss_core as core;
 pub use ss_gf2 as gf2;
 pub use ss_lfsr as lfsr;
+pub use ss_server as server;
 pub use ss_testdata as testdata;
