@@ -85,6 +85,56 @@ impl HardwareCtx {
         })
     }
 
+    /// Reassembles a context from already-synthesised parts — the
+    /// rehydration path of the persistent artifact store, where the
+    /// LFSR, phase shifter and scan geometry come off disk and only
+    /// the (deterministic, unserialised) expression table needs
+    /// rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::BadConfig`] when the parts disagree: the phase
+    /// shifter must drive exactly `scan.chains()` outputs from exactly
+    /// `lfsr.size()` LFSR bits, and `config.lfsr_size` (when pinned)
+    /// must match the LFSR handed in.
+    pub fn from_parts(
+        config: EngineConfig,
+        scan: ScanConfig,
+        lfsr: Lfsr,
+        shifter: PhaseShifter,
+    ) -> Result<Self, SchemeError> {
+        if shifter.input_count() != lfsr.size() {
+            return Err(SchemeError::bad_config(format!(
+                "phase shifter reads {} LFSR bits but the LFSR has {}",
+                shifter.input_count(),
+                lfsr.size()
+            )));
+        }
+        if shifter.output_count() != scan.chains() {
+            return Err(SchemeError::bad_config(format!(
+                "phase shifter drives {} chains but the scan has {}",
+                shifter.output_count(),
+                scan.chains()
+            )));
+        }
+        if let Some(n) = config.lfsr_size {
+            if n != lfsr.size() {
+                return Err(SchemeError::bad_config(format!(
+                    "configuration pins a {n}-bit LFSR but the part has {} bits",
+                    lfsr.size()
+                )));
+            }
+        }
+        let table = ExprTable::build(&lfsr, &shifter, scan, config.window);
+        Ok(HardwareCtx {
+            config,
+            scan,
+            lfsr,
+            shifter,
+            table,
+        })
+    }
+
     /// The engine configuration this hardware was synthesised for.
     pub fn config(&self) -> &EngineConfig {
         &self.config

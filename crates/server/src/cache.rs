@@ -25,44 +25,9 @@ use ss_testdata::TestSet;
 
 use crate::protocol::JobSpec;
 
-/// 64-bit FNV-1a, the workspace's stable content hash: no external
-/// deps, identical on every platform and toolchain.
-#[derive(Debug, Clone, Copy)]
-pub struct Fnv64(u64);
-
-impl Fnv64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// Starts a hash at the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv64(Self::OFFSET)
-    }
-
-    /// Folds raw bytes into the hash.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// Folds a `u64` (big-endian bytes) into the hash.
-    pub fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_be_bytes());
-    }
-
-    /// The hash value so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Fnv64::new()
-    }
-}
+// the hash moved to `ss-store` (both crates key artifacts with it);
+// re-exported here so `ss_server::cache::Fnv64` keeps resolving
+pub use ss_store::Fnv64;
 
 /// The content-addressed key of a job: an FNV-1a hash over the
 /// canonical cube-set text and every result-shaping engine knob.
@@ -292,18 +257,6 @@ mod tests {
             hw_seed: 1,
             fill_seed: 1,
         }
-    }
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // published FNV-1a 64 test vectors
-        let mut h = Fnv64::new();
-        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
-        h.write(b"a");
-        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
-        let mut h = Fnv64::new();
-        h.write(b"foobar");
-        assert_eq!(h.finish(), 0x85944171f73967e8);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! from a size-bounded LRU of synthesised hardware and encodings
 //! ([`cache`]) — skipping the two expensive stages entirely while
 //! returning bit-identical results (the flow is deterministic end to
-//! end, so this is an equality, not an approximation).
+//! end, so this is an equality, not an approximation). With a
+//! `--store-dir`, a second, persistent tier sits under the LRU: the
+//! content-addressed artifact store of `ss-store`, which survives
+//! restarts and is digest-verified on every load, so lookups fall
+//! through memory → disk → cold compute and a restarted server warms
+//! itself from disk instead of re-paying synthesis.
 //!
 //! # Quickstart
 //!
@@ -31,7 +36,7 @@
 //! let mut client = Client::connect(handle.addr())?;
 //! let (_, cold) = client.run(&spec)?;
 //! let (_, warm) = client.run(&spec)?;
-//! assert!(!cold.cached && warm.cached);
+//! assert!(!cold.cached() && warm.cached());
 //! assert_eq!(cold.digest, warm.digest); // bit-identical result
 //! # handle.shutdown();
 //! # Ok(())
@@ -54,51 +59,17 @@ mod server;
 pub use cache::{cache_key, ArtifactCache, CacheStats, CachedArtifacts, Fnv64};
 pub use client::{Client, ClientError, JobStatus, SubmitOutcome};
 pub use protocol::{
-    JobPhase, JobReport, JobSpec, Request, Response, ServerStats, WireError, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    CacheTier, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response, ServerStats,
+    TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
 
-use ss_core::PipelineReport;
+// the digest moved to `ss-store` (every artifact file embeds it);
+// re-exported so `ss_server::report_digest` keeps resolving
+pub use ss_store::report_digest;
 
 /// Default listen address of `state-skip serve`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7113";
-
-/// A 64-bit FNV digest over everything a [`PipelineReport`] commits to
-/// — every seed bit, every intentional placement, and the full TSL
-/// accounting. Two reports digest equal iff the encoding and traversal
-/// are bit-identical, so a served result can be checked against a
-/// local `Engine::run` without shipping the seeds themselves.
-pub fn report_digest(report: &PipelineReport) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(report.lfsr_size as u64);
-    h.write_u64(report.window as u64);
-    h.write_u64(report.segment as u64);
-    h.write_u64(report.speedup);
-    h.write_u64(report.encoding.seeds.len() as u64);
-    for seed in &report.encoding.seeds {
-        h.write_u64(seed.seed.len() as u64);
-        for &word in seed.seed.as_words() {
-            h.write_u64(word);
-        }
-        h.write_u64(seed.placements.len() as u64);
-        for placement in &seed.placements {
-            h.write_u64(placement.cube as u64);
-            h.write_u64(placement.position as u64);
-        }
-    }
-    h.write_u64(report.tdv as u64);
-    h.write_u64(report.tsl_original);
-    h.write_u64(report.tsl_truncated);
-    h.write_u64(report.tsl_proposed);
-    h.write_u64(report.tsl_report.vectors);
-    h.write_u64(report.tsl_report.useful_vectors);
-    h.write_u64(report.tsl_report.total_clocks);
-    for &v in &report.tsl_report.per_seed {
-        h.write_u64(v);
-    }
-    h.finish()
-}
 
 #[cfg(test)]
 mod tests {
@@ -149,7 +120,7 @@ mod tests {
 
         let spec = spec_for(1);
         let (job, cold) = client.run(&spec).unwrap();
-        assert!(!cold.cached);
+        assert_eq!(cold.tier, CacheTier::Cold);
         assert!(cold.seeds > 0 && cold.tsl_proposed < cold.tsl_original);
 
         // the finished job stays pollable on a fresh connection
@@ -160,20 +131,33 @@ mod tests {
         }
 
         let (_, warm) = client.run(&spec).unwrap();
-        assert!(warm.cached, "second submission must hit the cache");
+        assert_eq!(
+            warm.tier,
+            CacheTier::Memory,
+            "second submission must hit the memory tier"
+        );
         assert_eq!(warm.digest, cold.digest);
         assert_eq!(warm.seeds, cold.seeds);
 
         // a different workload is a different key
         let (_, fresh) = client.run(&spec_for(2)).unwrap();
-        assert!(!fresh.cached);
+        assert!(!fresh.cached());
         assert_ne!(fresh.digest, cold.digest);
 
         let stats = client.stats().unwrap();
         assert_eq!(stats.jobs_done, 3);
-        assert_eq!(stats.cache_hits, 1);
-        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.memory.hits, 1);
+        assert_eq!(stats.memory.misses, 2);
         assert_eq!(stats.workers, 2);
+        // no --store-dir: the disk tier is inert
+        assert_eq!(stats.disk, TierStats::default());
+        assert_eq!(stats.store_writes, 0);
+        // two cold jobs timed every phase; the warm hit skipped the
+        // expensive ones
+        assert_eq!(stats.synthesis.count, 2);
+        assert_eq!(stats.encode.count, 2);
+        assert_eq!(stats.embed.count, 3);
+        assert_eq!(stats.segment.count, 3);
 
         // a malformed workload is rejected at submit time
         let mut bad = spec_for(1);

@@ -7,7 +7,7 @@
 //! frame    := length payload
 //! length   := u32 BE                  ; bytes in payload, <= 64 MiB
 //! payload  := version tag body
-//! version  := u8                      ; PROTOCOL_VERSION (currently 1)
+//! version  := u8                      ; PROTOCOL_VERSION (currently 2)
 //! tag      := u8                      ; message discriminant
 //! body     := tag-specific fields
 //! ```
@@ -32,7 +32,12 @@ use ss_lfsr::LfsrKind;
 use ss_testdata::TestSet;
 
 /// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: 1 — initial; 2 — [`JobReport::tier`] replaces the
+/// boolean `cached` flag, and [`ServerStats`] carries per-tier
+/// counters, per-phase latency histograms and persistent-store
+/// telemetry.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a single frame's payload, guarding both peers
 /// against unbounded allocation from a hostile or corrupt stream.
@@ -128,6 +133,21 @@ impl JobSpec {
     }
 }
 
+/// Which cache tier served a job's synthesis + encode artifacts.
+///
+/// Ordered by cost: `Memory` skips everything but the cheap final
+/// stages, `Disk` additionally rebuilds the expression table from the
+/// stored parts, `Cold` pays the full synthesis + encode price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Nothing cached — full synthesis + encode ran.
+    Cold,
+    /// Served from the persistent artifact store (a restart survivor).
+    Disk,
+    /// Served from the in-memory LRU.
+    Memory,
+}
+
 /// Completed-job numbers the server returns — the serving-layer view
 /// of a `PipelineReport`, plus cache and timing telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,11 +178,18 @@ pub struct JobReport {
     /// TSL accounting — equal digests mean bit-identical results (see
     /// [`report_digest`](crate::report_digest)).
     pub digest: u64,
-    /// Whether the synthesis + encode stages were served from the
-    /// content-addressed artifact cache.
-    pub cached: bool,
+    /// Which cache tier served the synthesis + encode artifacts.
+    pub tier: CacheTier,
     /// Server-side service time in microseconds (excludes queueing).
     pub service_micros: u64,
+}
+
+impl JobReport {
+    /// Whether the synthesis + encode stages were served from *any*
+    /// cache tier (the protocol-v1 `cached` flag).
+    pub fn cached(&self) -> bool {
+        !matches!(self.tier, CacheTier::Cold)
+    }
 }
 
 /// Where a job currently is, as answered to [`Request::Poll`].
@@ -174,7 +201,78 @@ pub enum JobPhase {
     Running,
 }
 
-/// Aggregate server telemetry, answered to [`Request::Stats`].
+/// Number of log₂-microsecond buckets in a [`PhaseHistogram`]. The
+/// top bucket (≥ 2²³ µs ≈ 8.4 s) absorbs everything slower.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A latency histogram for one pipeline phase: sample count, summed
+/// microseconds, and log₂-microsecond buckets (bucket `i` counts
+/// samples with `2^i ≤ µs < 2^(i+1)`; bucket 0 also counts sub-µs
+/// samples; the last bucket is open-ended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples in microseconds (for the mean).
+    pub total_micros: u64,
+    /// Log₂-microsecond buckets.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for PhaseHistogram {
+    fn default() -> Self {
+        PhaseHistogram {
+            count: 0,
+            total_micros: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl PhaseHistogram {
+    /// Index of the bucket a sample of `micros` lands in.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros <= 1 {
+            0
+        } else {
+            ((63 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.total_micros += micros;
+        self.buckets[Self::bucket_index(micros)] += 1;
+    }
+
+    /// Mean sample in microseconds, or 0 with no samples.
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Hit/miss and occupancy counters for one cache tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Lookups served by this tier since startup.
+    pub hits: u64,
+    /// Lookups that fell through this tier since startup.
+    pub misses: u64,
+    /// Entries currently resident in the tier.
+    pub entries: u64,
+    /// (Approximate) bytes currently resident in the tier.
+    pub bytes: u64,
+    /// Tier capacity in bytes; 0 means unbounded (the disk tier).
+    pub capacity_bytes: u64,
+    /// Entries evicted since startup (LRU pressure for the memory
+    /// tier; integrity-check removals for the disk tier).
+    pub evictions: u64,
+}
+
+/// Aggregate server telemetry, answered to [`Request::Stats`]: queue
+/// and worker state, per-tier cache counters, persistent-store
+/// counters, and per-phase latency histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Worker threads serving the job queue.
@@ -187,18 +285,30 @@ pub struct ServerStats {
     pub jobs_done: u64,
     /// Submissions rejected with `Busy` since startup.
     pub busy_rejections: u64,
-    /// Artifact-cache hits since startup.
-    pub cache_hits: u64,
-    /// Artifact-cache misses since startup.
-    pub cache_misses: u64,
-    /// Entries resident in the artifact cache.
-    pub cache_entries: u32,
-    /// Approximate bytes resident in the artifact cache.
-    pub cache_bytes: u64,
-    /// Artifact-cache capacity in bytes.
-    pub cache_capacity_bytes: u64,
-    /// Entries evicted by the LRU policy since startup.
-    pub cache_evictions: u64,
+    /// Jobs that joined an identical in-flight cold computation
+    /// instead of re-running it (request coalescing).
+    pub coalesced: u64,
+    /// The in-memory LRU tier.
+    pub memory: TierStats,
+    /// The persistent artifact-store tier (entries/bytes are 0 when no
+    /// `--store-dir` is configured).
+    pub disk: TierStats,
+    /// Artifacts written through to the persistent store since
+    /// startup.
+    pub store_writes: u64,
+    /// Artifact files rejected by an integrity check (envelope
+    /// checksum or report-digest mismatch) since startup; each was
+    /// evicted and recomputed cold.
+    pub disk_corruptions: u64,
+    /// Latency of the synthesis phase (LFSR + phase shifter +
+    /// expression table), cold jobs only.
+    pub synthesis: PhaseHistogram,
+    /// Latency of the seed-encoding phase, cold jobs only.
+    pub encode: PhaseHistogram,
+    /// Latency of the embedding phase (every job).
+    pub embed: PhaseHistogram,
+    /// Latency of the segmentation + finish phase (every job).
+    pub segment: PhaseHistogram,
 }
 
 /// Client → server messages.
@@ -215,6 +325,11 @@ pub enum Request {
 }
 
 /// Server → client messages.
+// `Stats` dwarfs the other variants (four phase histograms), but a
+// `Response` is built once per request and dropped after one write —
+// boxing would complicate every construction site to shrink a
+// short-lived stack value nothing stores in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The job was queued under this id.
@@ -379,7 +494,14 @@ fn put_report(buf: &mut Vec<u8>, report: &JobReport) {
     put_u64(buf, report.tsl_truncated);
     put_u64(buf, report.tsl_proposed);
     put_u64(buf, report.digest);
-    put_u8(buf, u8::from(report.cached));
+    put_u8(
+        buf,
+        match report.tier {
+            CacheTier::Cold => 0,
+            CacheTier::Disk => 1,
+            CacheTier::Memory => 2,
+        },
+    );
     put_u64(buf, report.service_micros);
 }
 
@@ -397,12 +519,55 @@ fn read_report(r: &mut Reader<'_>) -> Result<JobReport, WireError> {
         tsl_truncated: r.u64()?,
         tsl_proposed: r.u64()?,
         digest: r.u64()?,
-        cached: match r.u8()? {
-            0 => false,
-            1 => true,
-            _ => return Err(WireError::BadField("cached")),
+        tier: match r.u8()? {
+            0 => CacheTier::Cold,
+            1 => CacheTier::Disk,
+            2 => CacheTier::Memory,
+            _ => return Err(WireError::BadField("tier")),
         },
         service_micros: r.u64()?,
+    })
+}
+
+fn put_tier_stats(buf: &mut Vec<u8>, t: &TierStats) {
+    put_u64(buf, t.hits);
+    put_u64(buf, t.misses);
+    put_u64(buf, t.entries);
+    put_u64(buf, t.bytes);
+    put_u64(buf, t.capacity_bytes);
+    put_u64(buf, t.evictions);
+}
+
+fn read_tier_stats(r: &mut Reader<'_>) -> Result<TierStats, WireError> {
+    Ok(TierStats {
+        hits: r.u64()?,
+        misses: r.u64()?,
+        entries: r.u64()?,
+        bytes: r.u64()?,
+        capacity_bytes: r.u64()?,
+        evictions: r.u64()?,
+    })
+}
+
+fn put_histogram(buf: &mut Vec<u8>, h: &PhaseHistogram) {
+    put_u64(buf, h.count);
+    put_u64(buf, h.total_micros);
+    for &b in &h.buckets {
+        put_u64(buf, b);
+    }
+}
+
+fn read_histogram(r: &mut Reader<'_>) -> Result<PhaseHistogram, WireError> {
+    let count = r.u64()?;
+    let total_micros = r.u64()?;
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    for b in &mut buckets {
+        *b = r.u64()?;
+    }
+    Ok(PhaseHistogram {
+        count,
+        total_micros,
+        buckets,
     })
 }
 
@@ -412,12 +577,15 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
     put_u32(buf, s.queued);
     put_u64(buf, s.jobs_done);
     put_u64(buf, s.busy_rejections);
-    put_u64(buf, s.cache_hits);
-    put_u64(buf, s.cache_misses);
-    put_u32(buf, s.cache_entries);
-    put_u64(buf, s.cache_bytes);
-    put_u64(buf, s.cache_capacity_bytes);
-    put_u64(buf, s.cache_evictions);
+    put_u64(buf, s.coalesced);
+    put_tier_stats(buf, &s.memory);
+    put_tier_stats(buf, &s.disk);
+    put_u64(buf, s.store_writes);
+    put_u64(buf, s.disk_corruptions);
+    put_histogram(buf, &s.synthesis);
+    put_histogram(buf, &s.encode);
+    put_histogram(buf, &s.embed);
+    put_histogram(buf, &s.segment);
 }
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
@@ -427,12 +595,15 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
         queued: r.u32()?,
         jobs_done: r.u64()?,
         busy_rejections: r.u64()?,
-        cache_hits: r.u64()?,
-        cache_misses: r.u64()?,
-        cache_entries: r.u32()?,
-        cache_bytes: r.u64()?,
-        cache_capacity_bytes: r.u64()?,
-        cache_evictions: r.u64()?,
+        coalesced: r.u64()?,
+        memory: read_tier_stats(r)?,
+        disk: read_tier_stats(r)?,
+        store_writes: r.u64()?,
+        disk_corruptions: r.u64()?,
+        synthesis: read_histogram(r)?,
+        encode: read_histogram(r)?,
+        embed: read_histogram(r)?,
+        segment: read_histogram(r)?,
     })
 }
 
@@ -633,7 +804,7 @@ mod tests {
             tsl_truncated: 400,
             tsl_proposed: 135,
             digest: 0xDEAD_BEEF_CAFE_F00D,
-            cached: true,
+            tier: CacheTier::Disk,
             service_micros: 12_345,
         }
     }
@@ -665,12 +836,39 @@ mod tests {
                 queued: 3,
                 jobs_done: 100,
                 busy_rejections: 2,
-                cache_hits: 60,
-                cache_misses: 40,
-                cache_entries: 9,
-                cache_bytes: 1 << 20,
-                cache_capacity_bytes: 256 << 20,
-                cache_evictions: 5,
+                coalesced: 7,
+                memory: TierStats {
+                    hits: 60,
+                    misses: 40,
+                    entries: 9,
+                    bytes: 1 << 20,
+                    capacity_bytes: 256 << 20,
+                    evictions: 5,
+                },
+                disk: TierStats {
+                    hits: 11,
+                    misses: 29,
+                    entries: 40,
+                    bytes: 3 << 20,
+                    capacity_bytes: 0,
+                    evictions: 1,
+                },
+                store_writes: 40,
+                disk_corruptions: 1,
+                synthesis: {
+                    let mut h = PhaseHistogram::default();
+                    h.record(0);
+                    h.record(1500);
+                    h.record(1 << 40); // top bucket is open-ended
+                    h
+                },
+                encode: PhaseHistogram::default(),
+                embed: {
+                    let mut h = PhaseHistogram::default();
+                    h.record(37);
+                    h
+                },
+                segment: PhaseHistogram::default(),
             }),
             Response::Error("unknown job id 9".to_string()),
         ];
@@ -709,6 +907,44 @@ mod tests {
         let mut resp = Response::Phase(JobPhase::Queued).encode();
         *resp.last_mut().unwrap() = 7;
         assert_eq!(Response::decode(&resp), Err(WireError::BadField("phase")));
+        // tier byte sits just before the trailing 8-byte service time
+        let mut done = Response::Done(report()).encode();
+        let at = done.len() - 9;
+        done[at] = 9;
+        assert_eq!(Response::decode(&done), Err(WireError::BadField("tier")));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_micros() {
+        assert_eq!(PhaseHistogram::bucket_index(0), 0);
+        assert_eq!(PhaseHistogram::bucket_index(1), 0);
+        assert_eq!(PhaseHistogram::bucket_index(2), 1);
+        assert_eq!(PhaseHistogram::bucket_index(3), 1);
+        assert_eq!(PhaseHistogram::bucket_index(1024), 10);
+        assert_eq!(
+            PhaseHistogram::bucket_index(u64::MAX),
+            HISTOGRAM_BUCKETS - 1
+        );
+        let mut h = PhaseHistogram::default();
+        h.record(100);
+        h.record(200);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean_micros(), 150);
+        assert_eq!(h.buckets[6], 1, "100us in [64,128)");
+        assert_eq!(h.buckets[7], 1, "200us in [128,256)");
+    }
+
+    #[test]
+    fn tier_implies_cached() {
+        let mut r = report();
+        for (tier, cached) in [
+            (CacheTier::Cold, false),
+            (CacheTier::Disk, true),
+            (CacheTier::Memory, true),
+        ] {
+            r.tier = tier;
+            assert_eq!(r.cached(), cached);
+        }
     }
 
     #[test]

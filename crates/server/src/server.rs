@@ -25,17 +25,20 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ss_core::{Encoded, Engine, PipelineReport};
+use ss_store::{Artifact, ArtifactStore};
 use ss_testdata::TestSet;
 
 use crate::cache::{cache_key, ArtifactCache, CachedArtifacts};
 use crate::protocol::{
-    read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response, ServerStats,
+    read_frame, write_frame, CacheTier, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
+    Response, ServerStats, TierStats,
 };
 use crate::report_digest;
 
@@ -68,6 +71,11 @@ pub struct ServeOptions {
     pub cache_bytes: usize,
     /// Bounded queue capacity; 0 means `4 * workers`.
     pub queue_depth: usize,
+    /// Root of the persistent artifact store; `None` serves from the
+    /// in-memory tier only. The directory is created if absent, its
+    /// existing artifacts warm-start the index on boot, and every cold
+    /// job writes through to it.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -77,6 +85,7 @@ impl Default for ServeOptions {
             workers: 0,
             cache_bytes: 256 << 20,
             queue_depth: 0,
+            store_dir: None,
         }
     }
 }
@@ -123,6 +132,59 @@ impl JobTable {
     }
 }
 
+/// The persistent tier: the on-disk store plus an in-memory index of
+/// the keys known to be present (warm-started by a boot-time scan, so
+/// a miss never touches the filesystem) and its counters.
+struct DiskTier {
+    store: ArtifactStore,
+    /// key → stored file size; the warm-start index and the occupancy
+    /// accounting in one map.
+    index: Mutex<HashMap<u64, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corruptions: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens the store and warm-starts the index from the artifacts
+    /// already on disk.
+    fn open(dir: &PathBuf) -> Result<Self, ss_store::StoreError> {
+        let store = ArtifactStore::open(dir)?;
+        let index: HashMap<u64, u64> = store.keys()?.into_iter().collect();
+        Ok(DiskTier {
+            store,
+            index: Mutex::new(index),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Counts a corruption and evicts the offending file + index
+    /// entry, so the key recomputes cold (now and after restarts).
+    fn evict_corrupt(&self, key: u64, why: &str) {
+        eprintln!("ss-server: evicting corrupt artifact {key:016x}: {why}");
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+        self.index.lock().expect("disk index mutex").remove(&key);
+        if let Err(e) = self.store.remove(key) {
+            eprintln!("ss-server: removing corrupt artifact {key:016x}: {e}");
+        }
+    }
+}
+
+/// Per-phase latency histograms, one mutex for all four (recording is
+/// a few adds — contention is irrelevant next to the phases
+/// themselves).
+#[derive(Default)]
+struct PhaseTimes {
+    synthesis: PhaseHistogram,
+    encode: PhaseHistogram,
+    embed: PhaseHistogram,
+    segment: PhaseHistogram,
+}
+
 /// State shared by the accept loop, connection handlers and workers.
 struct Shared {
     queue: Mutex<VecDeque<QueuedJob>>,
@@ -130,14 +192,18 @@ struct Shared {
     jobs: Mutex<JobTable>,
     jobs_cv: Condvar,
     cache: Mutex<ArtifactCache>,
+    /// The persistent second tier, when `--store-dir` is configured.
+    disk: Option<DiskTier>,
     /// Cache keys whose cold computation is in flight — request
     /// coalescing: a worker holding a duplicate key waits for the
     /// computer instead of re-running synthesis + encode in parallel.
     pending: Mutex<HashSet<u64>>,
     pending_cv: Condvar,
+    phases: Mutex<PhaseTimes>,
     next_job: AtomicU64,
     jobs_done: AtomicU64,
     busy_rejections: AtomicU64,
+    coalesced: AtomicU64,
     stop: AtomicBool,
     workers: usize,
     queue_capacity: usize,
@@ -152,18 +218,27 @@ enum Enqueue {
 }
 
 impl Shared {
-    fn new(workers: usize, queue_capacity: usize, cache_bytes: usize, job_threads: usize) -> Self {
+    fn new(
+        workers: usize,
+        queue_capacity: usize,
+        cache_bytes: usize,
+        job_threads: usize,
+        disk: Option<DiskTier>,
+    ) -> Self {
         Shared {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             jobs: Mutex::new(JobTable::default()),
             jobs_cv: Condvar::new(),
             cache: Mutex::new(ArtifactCache::new(cache_bytes)),
+            disk,
             pending: Mutex::new(HashSet::new()),
             pending_cv: Condvar::new(),
+            phases: Mutex::new(PhaseTimes::default()),
             next_job: AtomicU64::new(1),
             jobs_done: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             workers,
             queue_capacity,
@@ -212,18 +287,46 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         let queued = self.queue.lock().expect("queue mutex").len() as u32;
         let cache = self.cache.lock().expect("cache mutex").stats();
+        let disk = self.disk.as_ref().map_or_else(TierStats::default, |d| {
+            let index = d.index.lock().expect("disk index mutex");
+            TierStats {
+                hits: d.hits.load(Ordering::Relaxed),
+                misses: d.misses.load(Ordering::Relaxed),
+                entries: index.len() as u64,
+                bytes: index.values().sum(),
+                capacity_bytes: 0, // unbounded
+                evictions: d.corruptions.load(Ordering::Relaxed),
+            }
+        });
+        let phases = self.phases.lock().expect("phases mutex");
         ServerStats {
             workers: self.workers as u32,
             queue_capacity: self.queue_capacity as u32,
             queued,
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_entries: cache.entries as u32,
-            cache_bytes: cache.bytes as u64,
-            cache_capacity_bytes: cache.capacity_bytes as u64,
-            cache_evictions: cache.evictions,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            memory: TierStats {
+                hits: cache.hits,
+                misses: cache.misses,
+                entries: cache.entries as u64,
+                bytes: cache.bytes as u64,
+                capacity_bytes: cache.capacity_bytes as u64,
+                evictions: cache.evictions,
+            },
+            disk,
+            store_writes: self
+                .disk
+                .as_ref()
+                .map_or(0, |d| d.writes.load(Ordering::Relaxed)),
+            disk_corruptions: self
+                .disk
+                .as_ref()
+                .map_or(0, |d| d.corruptions.load(Ordering::Relaxed)),
+            synthesis: phases.synthesis,
+            encode: phases.encode,
+            embed: phases.embed,
+            segment: phases.segment,
         }
     }
 }
@@ -275,6 +378,7 @@ fn lookup_or_claim<'a>(
     shared: &'a Shared,
     key: u64,
 ) -> Result<Arc<CachedArtifacts>, PendingGuard<'a>> {
+    let mut waited = false;
     loop {
         // lookup, not get: waiters re-poll this every tick, and only
         // the claimer below should record the (single) miss
@@ -288,7 +392,12 @@ fn lookup_or_claim<'a>(
             return Err(PendingGuard { shared, key });
         }
         // someone else is computing this key: wait for it to land (or
-        // fail), then re-check the cache
+        // fail), then re-check the cache. Counted once per job, not
+        // once per wakeup.
+        if !waited {
+            waited = true;
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
         let (p, _) = shared
             .pending_cv
             .wait_timeout(pending, WAIT_TICK)
@@ -297,55 +406,190 @@ fn lookup_or_claim<'a>(
     }
 }
 
-/// Runs one job: cache hit (or a coalesced wait on an identical
-/// in-flight job) re-enters the staged flow at the embed stage from
-/// the stored artifacts; a miss runs the full flow (the same
-/// synthesize → filter → encode path as the CLI `run` command) and
-/// populates the cache.
+/// Re-enters the staged flow at the embed stage from cached
+/// artifacts, returning the report plus the embed/segment timings in
+/// microseconds (the caller records them — a run later discarded by a
+/// digest check must not pollute the histograms).
+fn finish_stages(entry: &CachedArtifacts) -> Result<(PipelineReport, u64, u64), String> {
+    let encoded = Encoded::from_cached(&entry.set, &entry.ctx, entry.encoding.clone())
+        .map_err(|e| format!("cache pairing: {e}"))?;
+    let t = Instant::now();
+    let embedded = encoded.embed();
+    let embed_micros = t.elapsed().as_micros() as u64;
+    let t = Instant::now();
+    let report = embedded.segment().finish().map_err(|e| e.to_string())?;
+    let segment_micros = t.elapsed().as_micros() as u64;
+    Ok((report, embed_micros, segment_micros))
+}
+
+fn record_finish_phases(shared: &Shared, embed_micros: u64, segment_micros: u64) {
+    let mut phases = shared.phases.lock().expect("phases mutex");
+    phases.embed.record(embed_micros);
+    phases.segment.record(segment_micros);
+}
+
+/// Disk-tier lookup: loads, re-verifies and promotes the artifact
+/// stored under the job's key. Returns the finished report on
+/// success; `None` is a miss (absent key, or a corrupt file that was
+/// counted, evicted and left for the caller to recompute). Never
+/// panics and never returns an unverified result: the envelope
+/// checksum guards the bytes, and the stored report digest is checked
+/// against the digest of the report the rehydrated artifacts actually
+/// reproduce.
+fn disk_lookup(shared: &Shared, job: &QueuedJob) -> Option<(PipelineReport, usize)> {
+    let disk = shared.disk.as_ref()?;
+    if !disk
+        .index
+        .lock()
+        .expect("disk index mutex")
+        .contains_key(&job.key)
+    {
+        disk.misses.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let artifact = match disk.store.get(job.key, Some(shared.job_threads)) {
+        Ok(Some(artifact)) => artifact,
+        Ok(None) => {
+            // index said present, file is gone (external deletion)
+            disk.misses.fetch_add(1, Ordering::Relaxed);
+            disk.index
+                .lock()
+                .expect("disk index mutex")
+                .remove(&job.key);
+            return None;
+        }
+        Err(e) => {
+            disk.evict_corrupt(job.key, &e.to_string());
+            return None;
+        }
+    };
+    let entry = Arc::new(CachedArtifacts {
+        ctx: artifact.ctx,
+        set: artifact.set,
+        dropped: artifact.dropped as usize,
+        encoding: artifact.encoding,
+    });
+    match finish_stages(&entry) {
+        Ok((report, embed_micros, segment_micros))
+            if report_digest(&report) == artifact.report_digest =>
+        {
+            disk.hits.fetch_add(1, Ordering::Relaxed);
+            record_finish_phases(shared, embed_micros, segment_micros);
+            // promote to the memory tier for the next lookup
+            shared
+                .cache
+                .lock()
+                .expect("cache mutex")
+                .insert(job.key, Arc::clone(&entry));
+            Some((report, entry.dropped))
+        }
+        Ok((report, ..)) => {
+            disk.evict_corrupt(
+                job.key,
+                &format!(
+                    "stored digest {:016x} but artifacts reproduce {:016x}",
+                    artifact.report_digest,
+                    report_digest(&report)
+                ),
+            );
+            None
+        }
+        Err(e) => {
+            disk.evict_corrupt(job.key, &e);
+            None
+        }
+    }
+}
+
+/// Runs one job through the tiered lookup: the in-memory LRU (or a
+/// coalesced wait on an identical in-flight job), then the persistent
+/// store, then a cold run of the full flow (the same synthesize →
+/// filter → encode path as the CLI `run` command) that populates both
+/// tiers.
 fn execute(shared: &Shared, job: &QueuedJob) -> Result<JobReport, String> {
     let start = Instant::now();
-    let (report, dropped, cached) = match lookup_or_claim(shared, job.key) {
+    let (report, dropped, tier) = match lookup_or_claim(shared, job.key) {
         Ok(entry) => {
-            let encoded = Encoded::from_cached(&entry.set, &entry.ctx, entry.encoding.clone())
-                .map_err(|e| format!("cache pairing: {e}"))?;
-            let report = encoded
-                .embed()
-                .segment()
-                .finish()
-                .map_err(|e| e.to_string())?;
-            (report, entry.dropped, true)
+            let (report, embed_micros, segment_micros) = finish_stages(&entry)?;
+            record_finish_phases(shared, embed_micros, segment_micros);
+            (report, entry.dropped, CacheTier::Memory)
         }
-        Err(_pending_guard) => {
-            let engine = engine_from_spec(&job.spec, shared.job_threads)?;
-            let ctx = engine.synthesize(&job.set).map_err(|e| e.to_string())?;
-            let (encodable, dropped_idx) = ctx.encodable_subset(&job.set);
-            let encoded = Encoded::from_ctx_ref(&encodable, &ctx).map_err(|e| e.to_string())?;
-            let encoding = encoded.encoding().clone();
-            let report = encoded
-                .embed()
-                .segment()
-                .finish()
-                .map_err(|e| e.to_string())?;
-            let dropped = dropped_idx.len();
-            shared.cache.lock().expect("cache mutex").insert(
-                job.key,
-                Arc::new(CachedArtifacts {
+        // holding the guard: this worker is the (sole) computer for
+        // the key, whether it comes off disk or runs cold
+        Err(_pending_guard) => match disk_lookup(shared, job) {
+            Some((report, dropped)) => (report, dropped, CacheTier::Disk),
+            None => {
+                let engine = engine_from_spec(&job.spec, shared.job_threads)?;
+                let t = Instant::now();
+                let ctx = engine.synthesize(&job.set).map_err(|e| e.to_string())?;
+                let (encodable, dropped_idx) = ctx.encodable_subset(&job.set);
+                let synthesis_micros = t.elapsed().as_micros() as u64;
+                let t = Instant::now();
+                let encoded = Encoded::from_ctx_ref(&encodable, &ctx).map_err(|e| e.to_string())?;
+                let encode_micros = t.elapsed().as_micros() as u64;
+                let encoding = encoded.encoding().clone();
+                let t = Instant::now();
+                let embedded = encoded.embed();
+                let embed_micros = t.elapsed().as_micros() as u64;
+                let t = Instant::now();
+                let report = embedded.segment().finish().map_err(|e| e.to_string())?;
+                let segment_micros = t.elapsed().as_micros() as u64;
+                {
+                    let mut phases = shared.phases.lock().expect("phases mutex");
+                    phases.synthesis.record(synthesis_micros);
+                    phases.encode.record(encode_micros);
+                    phases.embed.record(embed_micros);
+                    phases.segment.record(segment_micros);
+                }
+                let dropped = dropped_idx.len();
+                let entry = Arc::new(CachedArtifacts {
                     ctx,
                     set: encodable,
                     dropped,
                     encoding,
-                }),
-            );
-            (report, dropped, false)
-        }
+                });
+                store_write_through(shared, job.key, &entry, report_digest(&report));
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache mutex")
+                    .insert(job.key, entry);
+                (report, dropped, CacheTier::Cold)
+            }
+        },
     };
     Ok(job_report(
         &report,
         job.set.len(),
         dropped,
-        cached,
+        tier,
         start.elapsed(),
     ))
+}
+
+/// Persists a cold run's artifacts. Failures are logged and absorbed —
+/// a full disk must degrade the cache, never the answer.
+fn store_write_through(shared: &Shared, key: u64, entry: &CachedArtifacts, digest: u64) {
+    let Some(disk) = shared.disk.as_ref() else {
+        return;
+    };
+    let artifact = Artifact {
+        ctx: entry.ctx.clone(),
+        set: entry.set.clone(),
+        dropped: entry.dropped as u64,
+        encoding: entry.encoding.clone(),
+        report_digest: digest,
+    };
+    match disk.store.put(key, &artifact) {
+        Ok(size) => {
+            disk.writes.fetch_add(1, Ordering::Relaxed);
+            disk.index
+                .lock()
+                .expect("disk index mutex")
+                .insert(key, size);
+        }
+        Err(e) => eprintln!("ss-server: writing artifact {key:016x}: {e}"),
+    }
 }
 
 /// Projects a full [`PipelineReport`] onto the wire-sized
@@ -354,7 +598,7 @@ fn job_report(
     report: &PipelineReport,
     cubes: usize,
     dropped: usize,
-    cached: bool,
+    tier: CacheTier,
     service: Duration,
 ) -> JobReport {
     JobReport {
@@ -370,7 +614,7 @@ fn job_report(
         tsl_truncated: report.tsl_truncated,
         tsl_proposed: report.tsl_proposed,
         digest: report_digest(report),
-        cached,
+        tier,
         service_micros: service.as_micros() as u64,
     }
 }
@@ -514,6 +758,15 @@ impl Server {
             options.queue_depth
         };
         let job_threads = (hw / workers).max(1);
+        let disk = match &options.store_dir {
+            Some(dir) => Some(DiskTier::open(dir).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("store dir {}: {e}", dir.display()),
+                )
+            })?),
+            None => None,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared::new(
@@ -521,6 +774,7 @@ impl Server {
                 queue_capacity,
                 options.cache_bytes,
                 job_threads,
+                disk,
             )),
         })
     }
@@ -667,7 +921,7 @@ mod tests {
     /// `Busy` and nothing is buffered past the bound.
     #[test]
     fn bounded_queue_rejects_with_busy_never_buffers() {
-        let shared = Shared::new(1, 2, 1 << 20, 1);
+        let shared = Shared::new(1, 2, 1 << 20, 1, None);
         let spec = mini_spec();
         for _ in 0..2 {
             assert!(matches!(
@@ -692,7 +946,7 @@ mod tests {
         // regression: the Queued insert must precede queue visibility,
         // or a fast worker's finished state gets clobbered by the
         // submitter and the job hangs as Queued forever
-        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None);
         let Enqueue::Accepted(id) = shared.try_enqueue(mini_spec()).unwrap() else {
             panic!("queue has room");
         };
@@ -710,7 +964,7 @@ mod tests {
 
     #[test]
     fn finished_retention_is_bounded_and_evicts_oldest() {
-        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None);
         let overflow = 50u64;
         for id in 0..(FINISHED_RETENTION as u64 + overflow) {
             set_state(&shared, id, JobState::Failed("x".into()));
@@ -728,7 +982,7 @@ mod tests {
 
     #[test]
     fn workers_abandon_the_backlog_on_stop() {
-        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1));
+        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1, None));
         shared.try_enqueue(mini_spec()).unwrap();
         shared.stop.store(true, Ordering::Relaxed);
         let worker = Arc::clone(&shared);
@@ -745,7 +999,7 @@ mod tests {
 
     #[test]
     fn invalid_submissions_fail_at_the_door() {
-        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None);
         let mut bad = mini_spec();
         bad.set_text = "no header".to_string();
         assert!(shared.try_enqueue(bad).is_err());
@@ -760,7 +1014,7 @@ mod tests {
 
     #[test]
     fn poll_and_wait_know_unknown_jobs() {
-        let shared = Shared::new(1, 4, 1 << 20, 1);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None);
         assert!(matches!(
             respond(&shared, Request::Poll(99)),
             Response::Error(_)
@@ -775,7 +1029,7 @@ mod tests {
     /// time and produces an identical report (modulo telemetry).
     #[test]
     fn execute_is_deterministic_and_cache_flags_are_honest() {
-        let shared = Shared::new(1, 4, 64 << 20, 1);
+        let shared = Shared::new(1, 4, 64 << 20, 1, None);
         let spec = mini_spec();
         shared.try_enqueue(spec.clone()).unwrap();
         shared.try_enqueue(spec).unwrap();
@@ -786,7 +1040,8 @@ mod tests {
         assert_eq!(first.key, second.key, "same workload, same key");
         let cold = execute(&shared, &first).unwrap();
         let warm = execute(&shared, &second).unwrap();
-        assert!(!cold.cached && warm.cached);
+        assert_eq!(cold.tier, CacheTier::Cold);
+        assert_eq!(warm.tier, CacheTier::Memory);
         assert_eq!(cold.digest, warm.digest);
         assert_eq!(
             (cold.seeds, cold.tdv, cold.tsl_proposed),
@@ -794,5 +1049,39 @@ mod tests {
         );
         let stats = shared.cache.lock().unwrap().stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    /// With a store dir configured, the same two-execution sequence
+    /// writes through on the cold run; a fresh `Shared` on the same
+    /// directory (a simulated restart) serves the job from the disk
+    /// tier with no synthesis and a bit-identical digest.
+    #[test]
+    fn disk_tier_survives_a_simulated_restart() {
+        let dir = std::env::temp_dir().join(format!("ss-server-disk-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()));
+        let spec = mini_spec();
+        shared.try_enqueue(spec.clone()).unwrap();
+        let job = shared.queue.lock().unwrap().pop_front().unwrap();
+        let cold = execute(&shared, &job).unwrap();
+        assert_eq!(cold.tier, CacheTier::Cold);
+        assert_eq!(shared.stats().store_writes, 1);
+        drop(shared);
+
+        // restart: fresh memory cache, same directory
+        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()));
+        assert_eq!(shared.stats().disk.entries, 1, "index warm-started");
+        shared.try_enqueue(spec).unwrap();
+        let job = shared.queue.lock().unwrap().pop_front().unwrap();
+        let warm = execute(&shared, &job).unwrap();
+        assert_eq!(warm.tier, CacheTier::Disk);
+        assert_eq!(warm.digest, cold.digest);
+        let stats = shared.stats();
+        assert_eq!(stats.disk.hits, 1);
+        assert_eq!(stats.synthesis.count, 0, "no synthesis after restart");
+        assert_eq!(stats.disk_corruptions, 0);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,162 @@
+//! `ss-store` — the persistent, content-addressed artifact store.
+//!
+//! The in-memory LRU of `ss-server` dies with the process, so every
+//! restart re-pays cold synthesis across the whole corpus. This crate
+//! is the second tier under that cache: a git-object-style store of
+//! hash-named artifact files in a sharded directory layout
+//! (`<dir>/ab/cdef...0123.ssar`), each holding a **versioned binary
+//! serialization** of everything one cold run produced — the
+//! synthesised [`HardwareCtx`](ss_core::HardwareCtx), the filtered
+//! (encodable) [`TestSet`](ss_testdata::TestSet) and the
+//! [`EncodingResult`](ss_core::EncodingResult) — plus the
+//! [`report_digest`] of the report those artifacts reproduce.
+//!
+//! # Integrity contract
+//!
+//! A load can never panic and can never serve a wrong answer:
+//!
+//! * every file carries a magic, a format version, its own
+//!   content-addressed key and an FNV-1a checksum over the whole
+//!   envelope — truncation, bit flips, version skew and cross-key
+//!   renames are all rejected as typed [`StoreError`]s;
+//! * the stored [`report_digest`] lets the serving layer re-verify the
+//!   *semantic* content after the cheap pipeline stages re-run — a
+//!   mismatch is treated as corruption, never as a result;
+//! * writes go through a temp file and an atomic rename, so a crashed
+//!   or concurrent writer can never leave a half-written artifact
+//!   under a live key.
+//!
+//! ```
+//! use ss_core::{Encoded, Engine};
+//! use ss_store::{Artifact, ArtifactStore};
+//! use ss_testdata::{generate_test_set, CubeProfile};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let dir = std::env::temp_dir().join(format!("ss-store-doc-{}", std::process::id()));
+//! let store = ArtifactStore::open(&dir)?;
+//! let set = generate_test_set(&CubeProfile::mini(), 1);
+//! let engine = Engine::builder().window(16).segment(4).speedup(4).build()?;
+//! let ctx = engine.synthesize(&set)?;
+//! let encoding = Encoded::from_ctx_ref(&set, &ctx)?.encoding().clone();
+//! let report = engine.run(&set)?;
+//! let artifact = Artifact {
+//!     report_digest: ss_store::report_digest(&report),
+//!     ctx,
+//!     set,
+//!     dropped: 0,
+//!     encoding,
+//! };
+//! store.put(0xab54_a98c_eb1f_0ad2, &artifact)?;
+//! let loaded = store.get(0xab54_a98c_eb1f_0ad2, None)?.expect("present");
+//! assert_eq!(loaded.encoding, artifact.encoding);
+//! assert_eq!(loaded.report_digest, artifact.report_digest);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod artifact;
+mod proptests;
+mod store;
+
+pub use artifact::{Artifact, StoreError, FORMAT_VERSION, MAGIC, MAX_ARTIFACT_BYTES};
+pub use store::{ArtifactStore, StoreOccupancy};
+
+use ss_core::PipelineReport;
+
+/// 64-bit FNV-1a, the workspace's stable content hash: no external
+/// deps, identical on every platform and toolchain.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (big-endian bytes) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_be_bytes());
+    }
+
+    /// The hash value so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// A 64-bit FNV digest over everything a [`PipelineReport`] commits to
+/// — every seed bit, every intentional placement, and the full TSL
+/// accounting. Two reports digest equal iff the encoding and traversal
+/// are bit-identical, so a served result can be checked against a
+/// local `Engine::run` without shipping the seeds themselves. Stored
+/// in every artifact file and re-verified on load (the corruption
+/// guard of the persistent tier).
+pub fn report_digest(report: &PipelineReport) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(report.lfsr_size as u64);
+    h.write_u64(report.window as u64);
+    h.write_u64(report.segment as u64);
+    h.write_u64(report.speedup);
+    h.write_u64(report.encoding.seeds.len() as u64);
+    for seed in &report.encoding.seeds {
+        h.write_u64(seed.seed.len() as u64);
+        for &word in seed.seed.as_words() {
+            h.write_u64(word);
+        }
+        h.write_u64(seed.placements.len() as u64);
+        for placement in &seed.placements {
+            h.write_u64(placement.cube as u64);
+            h.write_u64(placement.position as u64);
+        }
+    }
+    h.write_u64(report.tdv as u64);
+    h.write_u64(report.tsl_original);
+    h.write_u64(report.tsl_truncated);
+    h.write_u64(report.tsl_proposed);
+    h.write_u64(report.tsl_report.vectors);
+    h.write_u64(report.tsl_report.useful_vectors);
+    h.write_u64(report.tsl_report.total_clocks);
+    for &v in &report.tsl_report.per_seed {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // published FNV-1a 64 test vectors
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+}

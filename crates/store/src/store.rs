@@ -1,0 +1,191 @@
+//! The on-disk store: sharded git-object-style layout, atomic writes,
+//! and a boot-time key scan for warm-starting an in-memory index.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::artifact::{Artifact, StoreError};
+
+/// Extension of every artifact file.
+const EXT: &str = "ssar";
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on a temp-file name.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Occupancy summary of the on-disk tier, as reported in server stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOccupancy {
+    /// Number of artifact files currently in the store.
+    pub artifacts: u64,
+    /// Total size of those files in bytes (envelope included).
+    pub bytes: u64,
+}
+
+/// A persistent, content-addressed artifact store rooted at one
+/// directory.
+///
+/// Artifacts are filed git-object-style by their 64-bit key: the high
+/// byte names a shard directory, the remaining bytes the file —
+/// `<root>/ab/cdef01234567890a.ssar` for key `0xabcd_ef01_2345_6789_0a`
+/// (16 hex digits total). Writes land in a temp file first and are
+/// atomically renamed into place, so readers — in this process or any
+/// other sharing the directory — never observe a partial artifact.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an artifact with this key lives at (whether or not it
+    /// currently exists).
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        let hex = format!("{key:016x}");
+        self.root
+            .join(&hex[..2])
+            .join(format!("{}.{EXT}", &hex[2..]))
+    }
+
+    /// Loads and fully validates the artifact stored under `key`.
+    /// `threads` becomes the rehydrated context's worker-thread budget
+    /// (see [`Artifact::from_bytes`]).
+    ///
+    /// Returns `Ok(None)` when no artifact exists under the key — a
+    /// plain miss. Every other failure (unreadable file, truncation,
+    /// checksum mismatch, version skew, validation failure) is a typed
+    /// [`StoreError`] so the caller can count corruption separately
+    /// from absence. Never panics.
+    pub fn get(&self, key: u64, threads: Option<usize>) -> Result<Option<Artifact>, StoreError> {
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Artifact::from_bytes(&bytes, key, threads).map(Some)
+    }
+
+    /// Writes the artifact under `key`, replacing any existing file.
+    ///
+    /// The bytes go to a temp file in the store root first and are
+    /// renamed into place, so a crash or a concurrent reader can never
+    /// see a half-written artifact. Returns the stored file's size.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on any filesystem failure.
+    pub fn put(&self, key: u64, artifact: &Artifact) -> Result<u64, StoreError> {
+        let bytes = artifact.to_bytes(key);
+        let path = self.path_for(key);
+        if let Some(shard) = path.parent() {
+            fs::create_dir_all(shard)?;
+        }
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}-{key:016x}",
+            process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            fs::remove_file(&tmp).ok();
+        }
+        result?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Deletes the artifact stored under `key`, if any. Used to evict
+    /// a file that failed its integrity check. Absence is not an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures other than absence.
+    pub fn remove(&self, key: u64) -> Result<(), StoreError> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Scans the store and returns every artifact key present, with
+    /// each file's size — the boot-time warm-start index. Files that
+    /// do not parse as `<2 hex>/<14 hex>.ssar` (temp files, strays)
+    /// are skipped, not errors; their *contents* are only validated
+    /// when the artifact is actually loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if a directory cannot be read.
+    pub fn keys(&self) -> Result<Vec<(u64, u64)>, StoreError> {
+        let mut keys = Vec::new();
+        for shard in fs::read_dir(&self.root)? {
+            let shard = shard?;
+            let shard_name = shard.file_name();
+            let Some(shard_hex) = shard_name.to_str() else {
+                continue;
+            };
+            if shard_hex.len() != 2 || !shard.file_type()?.is_dir() {
+                continue;
+            }
+            let Ok(high) = u64::from_str_radix(shard_hex, 16) else {
+                continue;
+            };
+            for entry in fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(stem) = name.strip_suffix(&format!(".{EXT}")) else {
+                    continue;
+                };
+                if stem.len() != 14 {
+                    continue;
+                }
+                let Ok(low) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                keys.push(((high << 56) | low, entry.metadata()?.len()));
+            }
+        }
+        keys.sort_unstable();
+        Ok(keys)
+    }
+
+    /// Counts artifacts and bytes currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory scan fails.
+    pub fn occupancy(&self) -> Result<StoreOccupancy, StoreError> {
+        let mut occ = StoreOccupancy::default();
+        for (_, size) in self.keys()? {
+            occ.artifacts += 1;
+            occ.bytes += size;
+        }
+        Ok(occ)
+    }
+}

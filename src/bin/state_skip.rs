@@ -2,7 +2,8 @@
 //! flow, built on the staged `Engine` API.
 //!
 //! ```text
-//! state-skip stats     <test_set.txt>
+//! state-skip stats     <test_set.txt>               # local set statistics
+//! state-skip stats     [--addr A]                   # server telemetry
 //! state-skip run       <test_set.txt> [L] [S] [k] [--threads N]
 //! state-skip run       --bench <f.bench> --cubes <f.cubes> [L] [S] [k] [--threads N]
 //! state-skip compare   <test_set.txt> [L] [S] [k] [--threads N]
@@ -11,7 +12,7 @@
 //! state-skip rtl       <test_set.txt> [k]
 //! state-skip gen       <profile> <seed>             # emit a synthetic set
 //! state-skip workloads                              # list the corpus
-//! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N]
+//! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N] [--store-dir D]
 //! state-skip submit    [--addr A] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
 //! ```
 //!
@@ -36,7 +37,7 @@ use ss_core::{
     sequence_coverage, Baseline11, ClassicalReseeding, CompressionScheme, Engine, StateSkip, Table,
 };
 use ss_lfsr::SkipCircuit;
-use ss_server::{Client, JobSpec, ServeOptions, Server};
+use ss_server::{CacheTier, Client, JobSpec, ServeOptions, Server};
 use ss_testdata::{generate_test_set, CubeProfile, TestSet, WorkloadRegistry};
 
 fn main() -> ExitCode {
@@ -52,7 +53,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  state-skip stats     <test_set.txt>
+  state-skip stats     <test_set.txt>                  # local set statistics
+  state-skip stats     [--addr A=127.0.0.1:7113]       # server telemetry
   state-skip run       <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
   state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10] [--threads N]
   state-skip compare   <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
@@ -61,7 +63,7 @@ const USAGE: &str = "usage:
   state-skip rtl       <test_set.txt> [k=10]
   state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
   state-skip workloads
-  state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers]
+  state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers] [--store-dir D]
   state-skip submit    [--addr A=127.0.0.1:7113] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
 
 --threads N caps the engine's worker threads (default: all hardware
@@ -70,9 +72,14 @@ threads); results are bit-identical at every thread count.
 serve answers repeated submissions of the same workload/config from a
 content-addressed artifact cache (bit-identical results, synthesis and
 encode skipped); a full queue is answered with an explicit Busy that
-submit retries with backoff. submit --workload names a corpus entry
-from `state-skip workloads` (paper profiles use their paper LFSR
-size).";
+submit retries with backoff. With --store-dir the cache gains a
+persistent second tier: artifacts are written through to digest-
+verified files and survive restarts, so a restarted server answers the
+whole corpus without re-running synthesis. submit --workload names a
+corpus entry from `state-skip workloads` (paper profiles use their
+paper LFSR size). stats with no path prints the serving telemetry of a
+running server: per-tier hit/miss counters, store occupancy and
+per-phase latency histograms.";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,7 +92,12 @@ fn run() -> Result<(), String> {
         _ => None,
     };
     match command.as_str() {
-        "stats" => stats(args.get(1).ok_or("missing test set path")?),
+        // a path argument means the original local-file statistics;
+        // bare `stats` (optionally with --addr) scrapes a server
+        "stats" => match args.get(1).map(String::as_str) {
+            Some(path) if path != "--addr" => stats(path),
+            _ => server_stats(&args[1..]),
+        },
         "run" if args.iter().any(|a| a == "--bench" || a == "--cubes") => {
             run_files(&args[1..], threads)
         }
@@ -408,6 +420,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("not a queue depth: {v:?}"))?,
         None => 0,
     };
+    let store_dir = take_value_flag(&mut args, "--store-dir")?.map(std::path::PathBuf::from);
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}"));
     }
@@ -416,14 +429,19 @@ fn serve(args: &[String]) -> Result<(), String> {
         workers,
         cache_bytes: cache_mb << 20,
         queue_depth,
+        store_dir: store_dir.clone(),
     })
     .map_err(|e| e.to_string())?;
     println!(
-        "listening on {} ({} workers, queue {}, cache {} MB)",
+        "listening on {} ({} workers, queue {}, cache {} MB{})",
         server.local_addr().map_err(|e| e.to_string())?,
         server.workers(),
         server.queue_capacity(),
-        cache_mb
+        cache_mb,
+        match &store_dir {
+            Some(dir) => format!(", store {}", dir.display()),
+            None => String::new(),
+        }
     );
     // scripts (the CI smoke step) poll stdout for the bound address
     std::io::stdout().flush().map_err(|e| e.to_string())?;
@@ -506,13 +524,103 @@ fn submit(args: &[String]) -> Result<(), String> {
         report.tsl_proposed
     );
     println!(
-        "cached={} dropped={} service_ms={:.1} digest={:016x} ({label})",
-        report.cached,
+        "cached={} tier={} dropped={} service_ms={:.1} digest={:016x} ({label})",
+        report.cached(),
+        tier_name(report.tier),
         report.dropped,
         report.service_micros as f64 / 1e3,
         report.digest
     );
     Ok(())
+}
+
+fn tier_name(tier: CacheTier) -> &'static str {
+    match tier {
+        CacheTier::Cold => "cold",
+        CacheTier::Disk => "disk",
+        CacheTier::Memory => "memory",
+    }
+}
+
+/// `stats` without a path: scrape and pretty-print the extended
+/// telemetry of a running server.
+fn server_stats(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr")?
+        .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+
+    println!("server {addr}");
+    println!(
+        "workers {}  queue {}/{}  jobs done {}  busy rejections {}  coalesced {}",
+        s.workers, s.queued, s.queue_capacity, s.jobs_done, s.busy_rejections, s.coalesced
+    );
+    println!();
+
+    let mut tiers = Table::new([
+        "tier", "hits", "misses", "entries", "bytes", "cap", "evicted",
+    ]);
+    for (name, t) in [("memory", &s.memory), ("disk", &s.disk)] {
+        tiers.add_row([
+            name.to_string(),
+            t.hits.to_string(),
+            t.misses.to_string(),
+            t.entries.to_string(),
+            t.bytes.to_string(),
+            if t.capacity_bytes == 0 {
+                "-".to_string()
+            } else {
+                t.capacity_bytes.to_string()
+            },
+            t.evictions.to_string(),
+        ]);
+    }
+    println!("{tiers}");
+    println!(
+        "store writes {}  corrupt artifacts detected {}",
+        s.store_writes, s.disk_corruptions
+    );
+    println!();
+
+    let mut phases = Table::new(["phase", "samples", "mean ms", "total ms", "latency buckets"]);
+    for (name, h) in [
+        ("synthesis", &s.synthesis),
+        ("encode", &s.encode),
+        ("embed", &s.embed),
+        ("segment", &s.segment),
+    ] {
+        phases.add_row([
+            name.to_string(),
+            h.count.to_string(),
+            format!("{:.2}", h.mean_micros() as f64 / 1e3),
+            format!("{:.2}", h.total_micros as f64 / 1e3),
+            histogram_sketch(h),
+        ]);
+    }
+    println!("{phases}");
+    println!("buckets are log2 microseconds: 2^i <= sample < 2^(i+1)");
+    Ok(())
+}
+
+/// Compact one-line rendering of the nonzero histogram buckets, e.g.
+/// `2^10:3 2^11:1` (3 samples in [1024, 2048) us, one in [2048, 4096)).
+fn histogram_sketch(h: &ss_server::PhaseHistogram) -> String {
+    let parts: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| format!("2^{i}:{n}"))
+        .collect();
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join(" ")
+    }
 }
 
 fn sweep(path: &str, window: usize) -> Result<(), String> {

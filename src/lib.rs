@@ -10,6 +10,7 @@
 //! * [`testdata`] — test cubes, scan geometry, synthetic sets
 //! * [`circuit`] — netlists, stuck-at faults, PODEM ATPG
 //! * [`core`] — compression schemes and the staged [`core::Engine`]
+//! * [`store`] — persistent content-addressed artifact store
 //! * [`server`] — the concurrent compression service and its client
 //!
 //! ```
@@ -26,11 +27,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use ss_circuit as circuit;
 pub use ss_core as core;
 pub use ss_gf2 as gf2;
 pub use ss_lfsr as lfsr;
 pub use ss_server as server;
+pub use ss_store as store;
 pub use ss_testdata as testdata;

@@ -136,7 +136,7 @@ fn hammered_cache_is_bit_identical_to_uncached_runs_at_every_worker_count() {
                             .lock()
                             .expect("cache counter")
                             .entry(name.clone())
-                            .or_insert(0) += u64::from(report.cached);
+                            .or_insert(0) += u64::from(report.cached());
                     }
                 });
             }

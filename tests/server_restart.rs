@@ -1,0 +1,182 @@
+//! Warm-restart property of the persistent artifact tier: a server
+//! restarted on a populated `--store-dir` serves every workload
+//! **bit-identically** to both the cold run that populated it and an
+//! uncached local `Engine::run` — without paying synthesis or encode
+//! again — and a corrupted artifact file is detected, counted and
+//! recomputed, never served and never a panic.
+
+use std::path::{Path, PathBuf};
+
+use ss_core::Engine;
+use ss_server::{report_digest, CacheTier, Client, JobSpec, ServeOptions, Server};
+use ss_store::ArtifactStore;
+use ss_testdata::{TestSet, WorkloadRegistry};
+
+const WINDOW: usize = 24;
+const SEGMENT: usize = 4;
+const SPEEDUP: u64 = 6;
+
+fn store_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ss-restart-{test}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn corpus() -> Vec<(String, TestSet)> {
+    ["tiny-1", "tiny-pad", "mini-7"]
+        .iter()
+        .map(|name| {
+            let w = WorkloadRegistry::find(name).expect("registry entry");
+            (name.to_string(), w.test_set())
+        })
+        .collect()
+}
+
+fn engine() -> Engine {
+    Engine::builder()
+        .window(WINDOW)
+        .segment(SEGMENT)
+        .speedup(SPEEDUP)
+        .build()
+        .expect("test knobs are valid")
+}
+
+/// The uncached reference digest: the CLI `run` path, no server.
+fn reference_digest(set: &TestSet) -> u64 {
+    let engine = engine();
+    let ctx = engine.synthesize(set).expect("synthesis succeeds");
+    let (encodable, _) = ctx.encodable_subset(set);
+    let mut config = *engine.config();
+    config.lfsr_size = Some(ctx.lfsr_size());
+    let pinned = Engine::from_config(config).expect("pinned config is valid");
+    report_digest(&pinned.run(&encodable).expect("engine run succeeds"))
+}
+
+fn serve(dir: &Path) -> ss_server::ServerHandle {
+    Server::bind(&ServeOptions {
+        workers: 2,
+        store_dir: Some(dir.to_path_buf()),
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback with store dir")
+    .spawn()
+}
+
+#[test]
+fn restarted_server_serves_the_corpus_from_disk_bit_identically() {
+    let dir = store_dir("warm");
+    let corpus = corpus();
+    let specs: Vec<(String, JobSpec, u64)> = corpus
+        .iter()
+        .map(|(name, set)| {
+            (
+                name.clone(),
+                JobSpec::new(set, engine().config()),
+                reference_digest(set),
+            )
+        })
+        .collect();
+
+    // --- generation 1: every workload runs cold and is written through
+    let handle = serve(&dir);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (name, spec, expected) in &specs {
+        let (_, report) = client.run(spec).expect("cold run succeeds");
+        assert_eq!(report.tier, CacheTier::Cold, "{name} must run cold");
+        assert_eq!(report.digest, *expected, "{name} cold digest");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.store_writes, specs.len() as u64);
+    assert_eq!(stats.disk.entries as usize, specs.len());
+    handle.shutdown();
+
+    // --- generation 2: a fresh process image, same store dir
+    let handle = serve(&dir);
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.disk.entries as usize,
+        specs.len(),
+        "warm-start index must see every stored artifact"
+    );
+    for (name, spec, expected) in &specs {
+        let (_, report) = client.run(spec).expect("warm run succeeds");
+        assert_eq!(
+            report.tier,
+            CacheTier::Disk,
+            "{name} must be served from the persistent tier"
+        );
+        assert!(report.cached(), "{name} disk tier counts as cached");
+        assert_eq!(report.digest, *expected, "{name} must be bit-identical");
+    }
+    // a resubmission now hits the memory tier (disk hits promote)
+    let (_, again) = client.run(&specs[0].1).expect("resubmission succeeds");
+    assert_eq!(again.tier, CacheTier::Memory);
+    assert_eq!(again.digest, specs[0].2);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.disk.hits, specs.len() as u64);
+    assert_eq!(stats.disk_corruptions, 0);
+    assert_eq!(stats.store_writes, 0, "nothing ran cold, nothing written");
+    assert_eq!(
+        stats.synthesis.count, 0,
+        "a warm restart must never re-pay synthesis"
+    );
+    assert_eq!(stats.encode.count, 0, "...nor the encode stage");
+    assert!(
+        stats.embed.count >= specs.len() as u64,
+        "the cheap stages re-ran for every disk hit"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_artifact_is_detected_counted_and_recomputed() {
+    let dir = store_dir("corrupt");
+    let (_, set) = corpus().remove(0);
+    let spec = JobSpec::new(&set, engine().config());
+    let expected = reference_digest(&set);
+
+    let handle = serve(&dir);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (_, cold) = client.run(&spec).expect("cold run succeeds");
+    assert_eq!(cold.digest, expected);
+    handle.shutdown();
+
+    // flip one byte in the middle of the stored artifact
+    let store = ArtifactStore::open(&dir).expect("reopen store");
+    let keys = store.keys().expect("scan keys");
+    assert_eq!(keys.len(), 1, "exactly one artifact stored");
+    let path = store.path_for(keys[0].0);
+    let mut bytes = std::fs::read(&path).expect("read artifact file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite artifact file");
+
+    let handle = serve(&dir);
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let (_, report) = client.run(&spec).expect("run after corruption succeeds");
+    assert_eq!(
+        report.tier,
+        CacheTier::Cold,
+        "a corrupt artifact must fall back to cold compute"
+    );
+    assert_eq!(report.digest, expected, "the recomputed answer is right");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.disk_corruptions, 1, "the corruption was counted");
+    assert_eq!(stats.disk.evictions, 1, "...and the bad file evicted");
+    assert_eq!(
+        stats.store_writes, 1,
+        "the recomputed artifact was written back"
+    );
+    // the write-back healed the store: a third generation serves warm
+    handle.shutdown();
+    let handle = serve(&dir);
+    let mut client = Client::connect(handle.addr()).expect("third connect");
+    let (_, healed) = client.run(&spec).expect("healed run succeeds");
+    assert_eq!(healed.tier, CacheTier::Disk);
+    assert_eq!(healed.digest, expected);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
