@@ -26,13 +26,17 @@
 //! `BENCH_packed.json` and `BENCH_encode.json`.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ss_core::{Engine, Table};
-use ss_server::{CacheTier, Client, JobSpec, ServeOptions, Server, ServerHandle};
+use ss_server::{
+    CacheTier, Client, CodecCounters, JobReport, JobSpec, ServeOptions, Server, ServerHandle,
+};
 use ss_testdata::{Workload, WorkloadRegistry};
 
 const WINDOW: usize = 24;
@@ -63,6 +67,28 @@ fn spec_for(w: &Workload, scale: f64) -> JobSpec {
     }
     let engine = builder.build().expect("bench knobs are valid");
     JobSpec::new(&set, engine.config())
+}
+
+/// Mid-exchange disconnects survived via the typed retryable error
+/// (`ClientError::Disconnected`) — reported in `BENCH_server.json` so
+/// a flaky loopback shows up in the record instead of a flaky bench.
+static DISCONNECT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Runs a job, transparently reconnecting on a retryable mid-exchange
+/// disconnect and counting the event. Submissions are idempotent under
+/// the content-addressed cache, so a retry costs at most a cache hit.
+fn run_resilient(client: &mut Client, addr: SocketAddr, spec: &JobSpec) -> (u64, JobReport) {
+    for _ in 0..3 {
+        match client.run(spec) {
+            Ok(done) => return done,
+            Err(err) if err.is_retryable() => {
+                DISCONNECT_RETRIES.fetch_add(1, Ordering::Relaxed);
+                *client = Client::connect(addr).expect("reconnect after disconnect");
+            }
+            Err(err) => panic!("job failed: {err}"),
+        }
+    }
+    panic!("job still disconnecting after 3 attempts");
 }
 
 struct LatencyRow {
@@ -111,7 +137,7 @@ fn measure_latency() -> Vec<LatencyRow> {
     let mut digests = HashMap::new();
     for w in WorkloadRegistry::all() {
         let spec = spec_for(w, ss_bench::scale());
-        let (_, cold) = client.run(&spec).expect("cold run");
+        let (_, cold) = run_resilient(&mut client, handle.addr(), &spec);
         assert_eq!(
             cold.tier,
             CacheTier::Cold,
@@ -137,7 +163,7 @@ fn measure_latency() -> Vec<LatencyRow> {
         for row in &mut rows {
             let w = WorkloadRegistry::find(&row.name).expect("registry entry");
             let spec = spec_for(w, ss_bench::scale());
-            let (_, warm) = client.run(&spec).expect("warm-disk run");
+            let (_, warm) = run_resilient(&mut client, handle.addr(), &spec);
             assert_eq!(
                 warm.tier,
                 CacheTier::Disk,
@@ -157,7 +183,7 @@ fn measure_latency() -> Vec<LatencyRow> {
                 let w = WorkloadRegistry::find(&row.name).expect("registry entry");
                 let spec = spec_for(w, ss_bench::scale());
                 for _ in 0..CACHED_REPEATS {
-                    let (_, warm) = client.run(&spec).expect("warm-memory run");
+                    let (_, warm) = run_resilient(&mut client, handle.addr(), &spec);
                     assert_eq!(
                         warm.tier,
                         CacheTier::Memory,
@@ -183,6 +209,10 @@ struct ThroughputRow {
     workers: usize,
     jobs: usize,
     wall_s: f64,
+    /// Codec telemetry of the server after the fan-out: reply
+    /// compression ratio and integrity rejects (expected 0 here — the
+    /// loopback injects no noise; tests/noise_injection.rs does).
+    codec: CodecCounters,
 }
 
 impl ThroughputRow {
@@ -219,7 +249,7 @@ fn measure_throughput(workers: usize) -> ThroughputRow {
                 // cache from different directions
                 for i in 0..specs.len() {
                     let (name, spec) = &specs[(i + c) % specs.len()];
-                    let (_, report) = client.run(spec).expect("fan-out job");
+                    let (_, report) = run_resilient(&mut client, addr, spec);
                     let mut digests = digests.lock().expect("digest map");
                     let seen = digests.entry(name.clone()).or_insert(report.digest);
                     assert_eq!(
@@ -238,11 +268,20 @@ fn measure_throughput(workers: usize) -> ThroughputRow {
         stats.jobs_done, jobs as u64,
         "server dropped jobs under concurrent load"
     );
+    assert_eq!(
+        stats.codec.connections_v3, CLIENTS as u64,
+        "every fan-out client negotiates the v3 codec"
+    );
+    assert_eq!(
+        stats.codec.crc_rejects, 0,
+        "a clean loopback produced CRC rejects"
+    );
     handle.shutdown();
     ThroughputRow {
         workers,
         jobs,
         wall_s,
+        codec: stats.codec,
     }
 }
 
@@ -269,23 +308,29 @@ fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow]) {
             fanout.push_str(",\n");
         }
         fanout.push_str(&format!(
-            "    {{\"workers\": {}, \"clients\": {}, \"jobs\": {}, \"wall_s\": {:.6e}, \"jobs_per_s\": {:.1}}}",
+            "    {{\"workers\": {}, \"clients\": {}, \"jobs\": {}, \"wall_s\": {:.6e}, \"jobs_per_s\": {:.1}, \"frames_sent\": {}, \"frames_received\": {}, \"tx_compression_ratio\": {:.2}, \"tx_bytes_saved\": {}, \"crc_rejects\": {}}}",
             row.workers,
             CLIENTS,
             row.jobs,
             row.wall_s,
-            row.jobs_per_s()
+            row.jobs_per_s(),
+            row.codec.frames_sent,
+            row.codec.frames_received,
+            row.codec.tx_ratio(),
+            row.codec.tx_bytes_saved(),
+            row.codec.crc_rejects
         ));
     }
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"available_parallelism\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
         WINDOW,
         SEGMENT,
         SPEEDUP,
         ss_bench::scale(),
         THROUGHPUT_PROFILE_SCALE,
         parallelism,
+        DISCONNECT_RETRIES.load(Ordering::Relaxed),
         workloads,
         fanout
     );
@@ -324,7 +369,7 @@ fn bench_server_stress(_c: &mut Criterion) {
         .iter()
         .map(|&w| measure_throughput(w))
         .collect();
-    let mut table = Table::new(["workers", "clients", "jobs", "wall", "jobs/s"]);
+    let mut table = Table::new(["workers", "clients", "jobs", "wall", "jobs/s", "tx ratio"]);
     for row in &throughput {
         table.add_row([
             row.workers.to_string(),
@@ -332,6 +377,7 @@ fn bench_server_stress(_c: &mut Criterion) {
             row.jobs.to_string(),
             format!("{:.3} s", row.wall_s),
             format!("{:.1}", row.jobs_per_s()),
+            format!("{:.2}x", row.codec.tx_ratio()),
         ]);
     }
     println!("{table}");

@@ -1,14 +1,28 @@
 //! Client side of the compression service: one TCP connection, typed
 //! request/response calls, and a backpressure-aware submit loop.
+//!
+//! # Codec negotiation
+//!
+//! [`Client::connect`] opens the connection by offering the preferred
+//! codec configuration in a plain-frame [`Request::Hello`]. A v3
+//! server answers [`Response::HelloAck`] with the agreed parameters
+//! and every subsequent message travels through the negotiated chunk
+//! codec; an older server rejects the unfamiliar version with
+//! [`Response::Error`], and the client transparently downgrades to the
+//! legacy v2 single-frame mode — so one client binary speaks to both
+//! server generations. [`Client::connect_legacy`] skips the offer
+//! entirely and behaves exactly like a v2 client (useful for
+//! compatibility testing).
 
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use crate::codec::{Codec, CodecConfig, CodecError, Transport};
 use crate::protocol::{
     read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response, ServerStats,
-    WireError,
+    WireError, PROTOCOL_VERSION,
 };
 
 /// Error talking to the service.
@@ -17,6 +31,14 @@ use crate::protocol::{
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// The connection dropped mid-exchange (unexpected EOF, reset,
+    /// broken pipe). Retryable: reconnect and resubmit — submissions
+    /// are idempotent under the content-addressed cache, so a retry
+    /// costs at most a cache hit.
+    Disconnected(io::Error),
+    /// The codec chain rejected received frames (CRC mismatch,
+    /// reordered or truncated chunks, malformed compression).
+    Codec(CodecError),
     /// The peer sent a frame this build cannot decode.
     Wire(WireError),
     /// The server answered a protocol-level error (unknown job,
@@ -29,10 +51,20 @@ pub enum ClientError {
     Unexpected(&'static str),
 }
 
+impl ClientError {
+    /// Whether reconnecting and retrying the call can reasonably
+    /// succeed (the failure was the connection, not the request).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Disconnected(_))
+    }
+}
+
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Disconnected(e) => write!(f, "connection dropped mid-exchange: {e}"),
+            ClientError::Codec(e) => write!(f, "codec: {e}"),
             ClientError::Wire(e) => write!(f, "wire: {e}"),
             ClientError::Server(m) => write!(f, "server: {m}"),
             ClientError::Job(m) => write!(f, "job failed: {m}"),
@@ -44,16 +76,42 @@ impl fmt::Display for ClientError {
 impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ClientError::Io(e) => Some(e),
+            ClientError::Io(e) | ClientError::Disconnected(e) => Some(e),
+            ClientError::Codec(e) => Some(e),
             ClientError::Wire(e) => Some(e),
             _ => None,
         }
     }
 }
 
+/// Whether an I/O failure means the peer vanished (as opposed to a
+/// local or protocol problem).
+fn is_disconnect(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        if is_disconnect(&e) {
+            ClientError::Disconnected(e)
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Io(err) => err.into(),
+            other => ClientError::Codec(other),
+        }
     }
 }
 
@@ -92,8 +150,10 @@ pub enum JobStatus {
 
 /// One synchronous connection to an `ss-server`.
 ///
-/// Every call writes one request frame and reads one response frame;
-/// the connection can be reused for any number of calls.
+/// Every call writes one request message and reads one response
+/// message (each a single frame in legacy mode, one or more
+/// CRC-guarded chunk frames after codec negotiation); the connection
+/// can be reused for any number of calls.
 ///
 /// ```no_run
 /// use ss_server::{Client, JobSpec, ServeOptions, Server};
@@ -114,23 +174,84 @@ pub enum JobStatus {
 /// ```
 pub struct Client {
     stream: TcpStream,
+    transport: Transport,
+    /// Protocol generation stamped on requests: 3 after negotiation,
+    /// 2 in legacy mode (so an old server decodes them).
+    version: u8,
 }
 
 impl Client {
-    /// Connects to a serving address.
+    /// Connects and negotiates the preferred codec configuration,
+    /// downgrading to legacy v2 single-frame mode when the server
+    /// predates the codec.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a nonsensical negotiation answer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        Self::connect_with(addr, CodecConfig::preferred())
+    }
+
+    /// Connects offering a specific codec configuration (the server
+    /// may clamp the chunk size; the ack is authoritative).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        offer: CodecConfig,
+    ) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // the offer travels as a plain frame: no codec exists yet
+        write_frame(&mut stream, &Request::Hello(offer).encode())?;
+        let payload = read_frame(&mut stream)?;
+        match Response::decode(&payload)? {
+            Response::HelloAck(agreed) => Ok(Client {
+                stream,
+                transport: Transport::Framed(Codec::new(agreed)),
+                version: PROTOCOL_VERSION,
+            }),
+            // an old server rejects the version-3 Hello with a plain
+            // error: fall back to speaking its generation
+            Response::Error(_) => Ok(Client {
+                stream,
+                transport: Transport::Legacy,
+                version: 2,
+            }),
+            _ => Err(ClientError::Unexpected("hello answered oddly")),
+        }
+    }
+
+    /// Connects without negotiating — the connection behaves exactly
+    /// like a protocol-v2 client (one plain frame per message).
     ///
     /// # Errors
     ///
     /// Transport errors.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+    pub fn connect_legacy<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            transport: Transport::Legacy,
+            version: 2,
+        })
+    }
+
+    /// The codec configuration in effect, or `None` in legacy mode.
+    pub fn codec_config(&self) -> Option<CodecConfig> {
+        match self.transport {
+            Transport::Framed(codec) => Some(codec.config()),
+            Transport::Legacy => None,
+        }
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?;
+        self.transport
+            .write_message(&mut self.stream, &request.encode_versioned(self.version))?;
+        let (payload, _) = self.transport.read_message(&mut self.stream)?;
         Ok(Response::decode(&payload)?)
     }
 

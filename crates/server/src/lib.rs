@@ -53,14 +53,21 @@
 
 pub mod cache;
 pub mod client;
+pub mod codec;
+#[cfg(test)]
+mod proptests;
 pub mod protocol;
 mod server;
 
 pub use cache::{cache_key, ArtifactCache, CacheStats, CachedArtifacts, Fnv64};
 pub use client::{Client, ClientError, JobStatus, SubmitOutcome};
+pub use codec::{
+    Codec, CodecConfig, CodecError, Transport, WireStats, DEFAULT_CHUNK_BYTES, MAX_CHUNK_BYTES,
+    MAX_MESSAGE_BYTES, MIN_CHUNK_BYTES,
+};
 pub use protocol::{
-    CacheTier, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response, ServerStats,
-    TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheTier, CodecCounters, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response,
+    ServerStats, TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
 

@@ -1,0 +1,299 @@
+//! Property-based tests for the v3 wire protocol: every message, under
+//! adversarial bytes, through both the plain payload codecs and the
+//! chunked codec chain.
+//!
+//! This extends the artifact-format properties pinned in
+//! `crates/store/src/proptests.rs` to the protocol layer. The
+//! contracts:
+//!
+//! * decode(encode(m)) is identity for every message, at every
+//!   supported version;
+//! * every proper prefix of a valid payload is rejected — never a
+//!   panic, never a partial message;
+//! * a payload that decodes at all re-encodes to exactly the bytes
+//!   that were decoded (the encoding is canonical), so a single-bit
+//!   flip can never smuggle a *different* message through undetected
+//!   at the payload layer without being a well-formed message itself;
+//! * through the codec chain, every single-bit flip of any wire frame
+//!   is caught by the per-chunk CRC — the flip never reaches the
+//!   payload parser at all;
+//! * arbitrary random bytes never panic any decoder.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use ss_lfsr::LfsrKind;
+
+use crate::codec::{Codec, CodecConfig, CodecError, MIN_CHUNK_BYTES};
+use crate::protocol::{
+    CacheTier, CodecCounters, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response,
+    ServerStats, TierStats, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+
+fn spec() -> JobSpec {
+    JobSpec {
+        set_text: "chains 2 depth 3\n1X0X10\nXX1XXX\n".to_string(),
+        window: 24,
+        segment: 4,
+        speedup: 6,
+        lfsr_size: 0,
+        lfsr_kind: LfsrKind::Galois,
+        ps_taps: 3,
+        hw_seed: 77,
+        fill_seed: 1,
+    }
+}
+
+fn report() -> JobReport {
+    JobReport {
+        lfsr_size: 38,
+        window: 24,
+        segment: 4,
+        speedup: 6,
+        cubes: 40,
+        dropped: 1,
+        seeds: 25,
+        tdv: 950,
+        tsl_original: 600,
+        tsl_truncated: 400,
+        tsl_proposed: 135,
+        digest: 0xDEAD_BEEF_CAFE_F00D,
+        tier: CacheTier::Memory,
+        service_micros: 12_345,
+    }
+}
+
+fn stats() -> ServerStats {
+    let mut histogram = PhaseHistogram::default();
+    histogram.record(1500);
+    ServerStats {
+        workers: 4,
+        queue_capacity: 16,
+        queued: 3,
+        jobs_done: 100,
+        busy_rejections: 2,
+        coalesced: 7,
+        memory: TierStats {
+            hits: 60,
+            misses: 40,
+            entries: 9,
+            bytes: 1 << 20,
+            capacity_bytes: 256 << 20,
+            evictions: 5,
+        },
+        disk: TierStats::default(),
+        store_writes: 40,
+        disk_corruptions: 1,
+        synthesis: histogram,
+        encode: PhaseHistogram::default(),
+        embed: histogram,
+        segment: PhaseHistogram::default(),
+        codec: CodecCounters {
+            connections_v2: 1,
+            connections_v3: 2,
+            frames_sent: 30,
+            frames_received: 31,
+            crc_rejects: 1,
+            raw_tx_bytes: 4096,
+            wire_tx_bytes: 1024,
+            raw_rx_bytes: 512,
+            wire_rx_bytes: 600,
+        },
+    }
+}
+
+/// Every request variant.
+fn requests() -> Vec<Request> {
+    vec![
+        Request::Hello(CodecConfig::preferred()),
+        Request::Submit(spec()),
+        Request::Poll(7),
+        Request::Wait(u64::MAX),
+        Request::Stats,
+    ]
+}
+
+/// Every response variant.
+fn responses() -> Vec<Response> {
+    vec![
+        Response::Accepted(42),
+        Response::Busy {
+            queued: 8,
+            capacity: 8,
+        },
+        Response::Phase(JobPhase::Queued),
+        Response::Phase(JobPhase::Running),
+        Response::Done(report()),
+        Response::Failed("cube file: missing header line".to_string()),
+        Response::Stats(stats()),
+        Response::Error("unknown job id 9".to_string()),
+        Response::HelloAck(CodecConfig {
+            compress: false,
+            chunk_bytes: MIN_CHUNK_BYTES,
+        }),
+    ]
+}
+
+/// The canonical payload of every message at every version it encodes
+/// at, paired with a decode-and-reencode closure for the right
+/// direction.
+fn all_payloads() -> Vec<Vec<u8>> {
+    let mut payloads = Vec::new();
+    for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
+        for request in requests() {
+            let payload = request.encode_versioned(version);
+            // Hello always stamps v3; everything else round-trips at
+            // the stamped version
+            if Request::decode(&payload).is_ok() {
+                payloads.push(payload);
+            }
+        }
+        for response in responses() {
+            let payload = response.encode_versioned(version);
+            if Response::decode(&payload).is_ok() {
+                payloads.push(payload);
+            }
+        }
+    }
+    payloads
+}
+
+#[test]
+fn every_message_round_trips_at_every_version() {
+    for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
+        for request in requests() {
+            let payload = request.encode_versioned(version);
+            match (&request, Request::decode(&payload)) {
+                (Request::Hello(_), Ok(back)) => assert_eq!(back, request),
+                (Request::Hello(_), Err(_)) => {
+                    unreachable!("Hello always stamps v3 and must decode")
+                }
+                (_, back) => assert_eq!(back.as_ref(), Ok(&request), "v{version}"),
+            }
+        }
+        for response in responses() {
+            let payload = response.encode_versioned(version);
+            let back = Response::decode(&payload);
+            match &response {
+                // HelloAck is v3-born; codec counters only survive a
+                // v3 stats layout
+                Response::HelloAck(_) => assert_eq!(back, Ok(response.clone())),
+                Response::Stats(s) if version < 3 => {
+                    let mut expect = *s;
+                    expect.codec = CodecCounters::default();
+                    assert_eq!(back, Ok(Response::Stats(expect)));
+                }
+                _ => assert_eq!(back, Ok(response.clone()), "v{version}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_every_message_is_rejected() {
+    for payload in all_payloads() {
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "request prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+            assert!(
+                Response::decode(&payload[..cut]).is_err(),
+                "response prefix of {cut}/{} bytes decoded",
+                payload.len()
+            );
+        }
+    }
+}
+
+/// A flipped payload either fails to decode or decodes to a message
+/// that re-encodes to exactly the flipped bytes — the payload codecs
+/// are canonical, so nothing ambiguous ever gets through.
+#[test]
+fn every_single_bit_flip_decodes_canonically_or_not_at_all() {
+    for payload in all_payloads() {
+        for bit in 0..payload.len() * 8 {
+            let mut flipped = payload.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(request) = Request::decode(&flipped) {
+                assert_eq!(
+                    request.encode_versioned(flipped[0]),
+                    flipped,
+                    "request decode is not canonical at bit {bit}"
+                );
+            }
+            if let Ok(response) = Response::decode(&flipped) {
+                assert_eq!(
+                    response.encode_versioned(flipped[0]),
+                    flipped,
+                    "response decode is not canonical at bit {bit}"
+                );
+            }
+        }
+    }
+}
+
+/// Through the codec chain no flipped bit reaches the payload parser
+/// at all: the per-chunk CRC rejects every one, in every frame, for
+/// every message, with and without compression.
+#[test]
+fn through_the_codec_every_flip_is_a_crc_reject() {
+    for compress in [false, true] {
+        let codec = Codec::new(CodecConfig {
+            compress,
+            chunk_bytes: MIN_CHUNK_BYTES,
+        });
+        for payload in all_payloads() {
+            let frames = codec.encode_frames(&payload).unwrap();
+            for at in 0..frames.len() {
+                for bit in 0..frames[at].len() * 8 {
+                    let mut corrupt = frames.clone();
+                    corrupt[at][bit / 8] ^= 1 << (bit % 8);
+                    assert!(
+                        matches!(codec.decode_frames(corrupt), Err(CodecError::Crc { .. })),
+                        "compress={compress} frame {at} bit {bit} escaped the CRC"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic either payload decoder.
+    #[test]
+    fn random_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Arbitrary frame lists never panic the codec chain.
+    #[test]
+    fn random_frames_never_panic_the_codec(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..6,
+        ),
+        compress in any::<bool>(),
+    ) {
+        let codec = Codec::new(CodecConfig { compress, chunk_bytes: MIN_CHUNK_BYTES });
+        prop_assert!(codec.decode_frames(frames).is_err());
+    }
+
+    /// A random payload round-trips through the chain bit-identically
+    /// at any negotiable chunk size.
+    #[test]
+    fn random_messages_round_trip(
+        message in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk in MIN_CHUNK_BYTES..=4096u32,
+        compress in any::<bool>(),
+    ) {
+        let codec = Codec::new(CodecConfig { compress, chunk_bytes: chunk });
+        let frames = codec.encode_frames(&message).unwrap();
+        prop_assert_eq!(codec.decode_frames(frames).unwrap(), message);
+    }
+}

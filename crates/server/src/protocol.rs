@@ -19,6 +19,14 @@
 //! simple synchronous request/response channel that can be reused for
 //! any number of requests.
 //!
+//! Since version 3 a *message* is no longer necessarily a single
+//! frame: after a [`Request::Hello`] / [`Response::HelloAck`]
+//! negotiation (which itself travels as plain frames), both sides
+//! speak through the [`codec`](crate::codec) chain, and one message
+//! spans one or more CRC-guarded chunk frames. A v2 peer never sends
+//! `Hello` and keeps the one-message-one-frame scheme unchanged; a
+//! v3 server accepts both generations on the same port.
+//!
 //! The version byte leads the payload so a future protocol bump is
 //! detected before any tag is interpreted; a server that receives an
 //! unknown version replies [`Response::Error`] (whose encoding is
@@ -31,13 +39,23 @@ use ss_core::EngineConfig;
 use ss_lfsr::LfsrKind;
 use ss_testdata::TestSet;
 
+use crate::codec::{CodecConfig, MAX_MESSAGE_BYTES};
+
 /// Protocol version spoken by this build.
 ///
 /// Version history: 1 — initial; 2 — [`JobReport::tier`] replaces the
 /// boolean `cached` flag, and [`ServerStats`] carries per-tier
 /// counters, per-phase latency histograms and persistent-store
-/// telemetry.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// telemetry; 3 — `Hello`/`HelloAck` codec negotiation (chunked
+/// streaming, per-chunk CRC-32, optional compression) and
+/// [`CodecCounters`] appended to [`ServerStats`].
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// Oldest protocol version this build still decodes. Messages from a
+/// v2 peer are answered in v2 layout, so old clients keep working
+/// against a new server (and a new client downgrades when an old
+/// server rejects its `Hello`).
+pub const MIN_PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a single frame's payload, guarding both peers
 /// against unbounded allocation from a hostile or corrupt stream.
@@ -270,6 +288,53 @@ pub struct TierStats {
     pub evictions: u64,
 }
 
+/// Wire-codec telemetry (protocol v3): connection generations, chunk
+/// traffic, integrity rejections, and raw-vs-wire byte accounting for
+/// the compression stage.
+///
+/// Travels only in v3 `Stats` replies; a v2 peer receives the stats
+/// layout it expects, without these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecCounters {
+    /// Connections that never sent `Hello` (legacy v2 peers).
+    pub connections_v2: u64,
+    /// Connections that completed codec negotiation.
+    pub connections_v3: u64,
+    /// Chunk frames written by the server on framed connections.
+    pub frames_sent: u64,
+    /// Chunk frames read by the server on framed connections.
+    pub frames_received: u64,
+    /// Chunks rejected by the per-chunk CRC-32 check since startup.
+    pub crc_rejects: u64,
+    /// Message bytes handed to the codec for transmission.
+    pub raw_tx_bytes: u64,
+    /// Bytes actually put on the wire for those messages (compressed,
+    /// plus chunk framing overhead).
+    pub wire_tx_bytes: u64,
+    /// Message bytes reassembled from received frames.
+    pub raw_rx_bytes: u64,
+    /// Bytes read off the wire to carry them.
+    pub wire_rx_bytes: u64,
+}
+
+impl CodecCounters {
+    /// Bytes the compression stage saved on transmit (0 when framing
+    /// overhead ate the savings).
+    pub fn tx_bytes_saved(&self) -> u64 {
+        self.raw_tx_bytes.saturating_sub(self.wire_tx_bytes)
+    }
+
+    /// Transmit compression ratio `raw / wire` (1.0 when nothing has
+    /// been sent).
+    pub fn tx_ratio(&self) -> f64 {
+        if self.wire_tx_bytes == 0 {
+            1.0
+        } else {
+            self.raw_tx_bytes as f64 / self.wire_tx_bytes as f64
+        }
+    }
+}
+
 /// Aggregate server telemetry, answered to [`Request::Stats`]: queue
 /// and worker state, per-tier cache counters, persistent-store
 /// counters, and per-phase latency histograms.
@@ -309,11 +374,18 @@ pub struct ServerStats {
     pub embed: PhaseHistogram,
     /// Latency of the segmentation + finish phase (every job).
     pub segment: PhaseHistogram,
+    /// Wire-codec telemetry (v3-only on the wire; zeroed when talking
+    /// to a v2 server).
+    pub codec: CodecCounters,
 }
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Offer a codec configuration (v3 connection opener); answered
+    /// with `HelloAck` carrying the agreed configuration. Travels as a
+    /// plain frame — the codec starts with the *next* message.
+    Hello(CodecConfig),
     /// Submit a job; answered with `Accepted` or `Busy`.
     Submit(JobSpec),
     /// Ask where a job is; answered with `Phase`, `Done` or `Failed`.
@@ -352,6 +424,10 @@ pub enum Response {
     /// Protocol-level error (unknown job id, malformed frame, version
     /// mismatch, shutdown).
     Error(String),
+    /// The agreed codec configuration (answer to [`Request::Hello`]).
+    /// Travels as a plain frame — the codec starts with the *next*
+    /// message.
+    HelloAck(CodecConfig),
 }
 
 // ---------------------------------------------------------------- tags
@@ -360,6 +436,7 @@ const TAG_SUBMIT: u8 = 1;
 const TAG_POLL: u8 = 2;
 const TAG_WAIT: u8 = 3;
 const TAG_STATS: u8 = 4;
+const TAG_HELLO: u8 = 5;
 
 const TAG_ACCEPTED: u8 = 101;
 const TAG_BUSY: u8 = 102;
@@ -368,6 +445,7 @@ const TAG_DONE: u8 = 104;
 const TAG_FAILED: u8 = 105;
 const TAG_STATS_REPLY: u8 = 106;
 const TAG_ERROR: u8 = 107;
+const TAG_HELLO_ACK: u8 = 108;
 
 // ------------------------------------------------------------- writer
 
@@ -425,7 +503,9 @@ impl<'a> Reader<'a> {
 
     fn string(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
-        if len > MAX_FRAME_BYTES {
+        // chunked v3 messages may legitimately exceed one frame, so
+        // the string cap is the message ceiling, not the frame cap
+        if len as u64 > MAX_MESSAGE_BYTES {
             return Err(WireError::Oversize(len));
         }
         String::from_utf8(self.take(len)?.to_vec()).map_err(|_| WireError::BadUtf8)
@@ -571,7 +651,50 @@ fn read_histogram(r: &mut Reader<'_>) -> Result<PhaseHistogram, WireError> {
     })
 }
 
-fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
+fn put_codec_config(buf: &mut Vec<u8>, c: &CodecConfig) {
+    put_u8(buf, c.compress as u8);
+    put_u32(buf, c.chunk_bytes);
+}
+
+fn read_codec_config(r: &mut Reader<'_>) -> Result<CodecConfig, WireError> {
+    let compress = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::BadField("compress")),
+    };
+    Ok(CodecConfig {
+        compress,
+        chunk_bytes: r.u32()?,
+    })
+}
+
+fn put_codec_counters(buf: &mut Vec<u8>, c: &CodecCounters) {
+    put_u64(buf, c.connections_v2);
+    put_u64(buf, c.connections_v3);
+    put_u64(buf, c.frames_sent);
+    put_u64(buf, c.frames_received);
+    put_u64(buf, c.crc_rejects);
+    put_u64(buf, c.raw_tx_bytes);
+    put_u64(buf, c.wire_tx_bytes);
+    put_u64(buf, c.raw_rx_bytes);
+    put_u64(buf, c.wire_rx_bytes);
+}
+
+fn read_codec_counters(r: &mut Reader<'_>) -> Result<CodecCounters, WireError> {
+    Ok(CodecCounters {
+        connections_v2: r.u64()?,
+        connections_v3: r.u64()?,
+        frames_sent: r.u64()?,
+        frames_received: r.u64()?,
+        crc_rejects: r.u64()?,
+        raw_tx_bytes: r.u64()?,
+        wire_tx_bytes: r.u64()?,
+        raw_rx_bytes: r.u64()?,
+        wire_rx_bytes: r.u64()?,
+    })
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &ServerStats, version: u8) {
     put_u32(buf, s.workers);
     put_u32(buf, s.queue_capacity);
     put_u32(buf, s.queued);
@@ -586,9 +709,13 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
     put_histogram(buf, &s.encode);
     put_histogram(buf, &s.embed);
     put_histogram(buf, &s.segment);
+    // v2 peers expect the stats layout to end here
+    if version >= 3 {
+        put_codec_counters(buf, &s.codec);
+    }
 }
 
-fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
+fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError> {
     Ok(ServerStats {
         workers: r.u32()?,
         queue_capacity: r.u32()?,
@@ -604,14 +731,46 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
         encode: read_histogram(r)?,
         embed: read_histogram(r)?,
         segment: read_histogram(r)?,
+        codec: if version >= 3 {
+            read_codec_counters(r)?
+        } else {
+            CodecCounters::default()
+        },
     })
 }
 
+/// Validates a payload's leading version byte against the supported
+/// window.
+fn check_version(version: u8) -> Result<u8, WireError> {
+    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        Ok(version)
+    } else {
+        Err(WireError::Version(version))
+    }
+}
+
+/// Version byte of a frame payload, if it has one — what the server
+/// peeks to answer each peer in its own generation.
+pub fn peek_version(payload: &[u8]) -> Option<u8> {
+    payload.first().copied()
+}
+
 impl Request {
-    /// Serialises into a frame payload (version byte included).
+    /// Serialises into a frame payload at this build's version.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = vec![PROTOCOL_VERSION];
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Serialises into a frame payload stamped with `version`
+    /// (`Hello` is v3-born and always stamps version 3).
+    pub fn encode_versioned(&self, version: u8) -> Vec<u8> {
+        let mut buf = vec![version];
         match self {
+            Request::Hello(config) => {
+                buf[0] = PROTOCOL_VERSION;
+                put_u8(&mut buf, TAG_HELLO);
+                put_codec_config(&mut buf, config);
+            }
             Request::Submit(spec) => {
                 put_u8(&mut buf, TAG_SUBMIT);
                 put_spec(&mut buf, spec);
@@ -629,19 +788,18 @@ impl Request {
         buf
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload (any supported version).
     ///
     /// # Errors
     ///
-    /// [`WireError`] for a version mismatch, unknown tag, truncated or
-    /// trailing bytes, or an out-of-domain field.
+    /// [`WireError`] for a version outside the supported window, an
+    /// unknown tag for that version, truncated or trailing bytes, or
+    /// an out-of-domain field.
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(payload);
-        let version = r.u8()?;
-        if version != PROTOCOL_VERSION {
-            return Err(WireError::Version(version));
-        }
+        let version = check_version(r.u8()?)?;
         let request = match r.u8()? {
+            TAG_HELLO if version >= 3 => Request::Hello(read_codec_config(&mut r)?),
             TAG_SUBMIT => Request::Submit(read_spec(&mut r)?),
             TAG_POLL => Request::Poll(r.u64()?),
             TAG_WAIT => Request::Wait(r.u64()?),
@@ -654,9 +812,16 @@ impl Request {
 }
 
 impl Response {
-    /// Serialises into a frame payload (version byte included).
+    /// Serialises into a frame payload at this build's version.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = vec![PROTOCOL_VERSION];
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Serialises into a frame payload stamped with `version`, using
+    /// that version's layout (a v2 `Stats` reply omits the codec
+    /// counters; `HelloAck` is v3-born and always stamps version 3).
+    pub fn encode_versioned(&self, version: u8) -> Vec<u8> {
+        let mut buf = vec![version];
         match self {
             Response::Accepted(job) => {
                 put_u8(&mut buf, TAG_ACCEPTED);
@@ -687,27 +852,29 @@ impl Response {
             }
             Response::Stats(stats) => {
                 put_u8(&mut buf, TAG_STATS_REPLY);
-                put_stats(&mut buf, stats);
+                put_stats(&mut buf, stats, version);
             }
             Response::Error(message) => {
                 put_u8(&mut buf, TAG_ERROR);
                 put_str(&mut buf, message);
             }
+            Response::HelloAck(config) => {
+                buf[0] = PROTOCOL_VERSION;
+                put_u8(&mut buf, TAG_HELLO_ACK);
+                put_codec_config(&mut buf, config);
+            }
         }
         buf
     }
 
-    /// Parses a frame payload.
+    /// Parses a frame payload (any supported version).
     ///
     /// # Errors
     ///
     /// [`WireError`], as for [`Request::decode`].
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(payload);
-        let version = r.u8()?;
-        if version != PROTOCOL_VERSION {
-            return Err(WireError::Version(version));
-        }
+        let version = check_version(r.u8()?)?;
         let response = match r.u8()? {
             TAG_ACCEPTED => Response::Accepted(r.u64()?),
             TAG_BUSY => Response::Busy {
@@ -721,8 +888,9 @@ impl Response {
             }),
             TAG_DONE => Response::Done(read_report(&mut r)?),
             TAG_FAILED => Response::Failed(r.string()?),
-            TAG_STATS_REPLY => Response::Stats(read_stats(&mut r)?),
+            TAG_STATS_REPLY => Response::Stats(read_stats(&mut r, version)?),
             TAG_ERROR => Response::Error(r.string()?),
+            TAG_HELLO_ACK if version >= 3 => Response::HelloAck(read_codec_config(&mut r)?),
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -869,12 +1037,103 @@ mod tests {
                     h
                 },
                 segment: PhaseHistogram::default(),
+                codec: CodecCounters {
+                    connections_v2: 1,
+                    connections_v3: 5,
+                    frames_sent: 900,
+                    frames_received: 850,
+                    crc_rejects: 3,
+                    raw_tx_bytes: 1 << 22,
+                    wire_tx_bytes: 1 << 20,
+                    raw_rx_bytes: 1 << 21,
+                    wire_rx_bytes: 1 << 19,
+                },
             }),
             Response::Error("unknown job id 9".to_string()),
+            Response::HelloAck(CodecConfig {
+                compress: true,
+                chunk_bytes: 4096,
+            }),
         ];
         for response in responses {
             assert_eq!(Response::decode(&response.encode()), Ok(response));
         }
+    }
+
+    #[test]
+    fn hello_round_trips_and_is_v3_only() {
+        let hello = Request::Hello(CodecConfig {
+            compress: false,
+            chunk_bytes: 1024,
+        });
+        let payload = hello.encode();
+        assert_eq!(payload[0], PROTOCOL_VERSION);
+        assert_eq!(Request::decode(&payload), Ok(hello));
+
+        // a v2-stamped Hello is an unknown tag, exactly what a real v2
+        // build would say
+        let mut downgraded = payload.clone();
+        downgraded[0] = 2;
+        assert_eq!(
+            Request::decode(&downgraded),
+            Err(WireError::BadTag(TAG_HELLO))
+        );
+        let mut ack = Response::HelloAck(CodecConfig::preferred()).encode();
+        ack[0] = 2;
+        assert_eq!(
+            Response::decode(&ack),
+            Err(WireError::BadTag(TAG_HELLO_ACK))
+        );
+    }
+
+    #[test]
+    fn v2_peers_speak_the_old_stats_layout() {
+        let mut stats = ServerStats {
+            workers: 2,
+            jobs_done: 9,
+            ..ServerStats::default()
+        };
+        stats.codec.connections_v3 = 7;
+        stats.codec.crc_rejects = 2;
+        let reply = Response::Stats(stats);
+
+        let v2 = reply.encode_versioned(2);
+        let v3 = reply.encode_versioned(3);
+        assert_eq!(v2[0], 2);
+        assert_eq!(v3[0], 3);
+        // the v2 layout is exactly the v3 layout minus the trailing
+        // codec counters (and the version stamp)
+        assert_eq!(v3.len() - v2.len(), 9 * 8);
+        assert_eq!(v2[1..], v3[1..v2.len()]);
+
+        match Response::decode(&v2).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(back.jobs_done, 9);
+                assert_eq!(back.codec, CodecCounters::default());
+            }
+            other => panic!("v2 stats decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v3), Ok(reply));
+
+        // every v2-stamped request round-trips at the old layout too
+        for request in [Request::Poll(3), Request::Wait(4), Request::Stats] {
+            let payload = request.encode_versioned(2);
+            assert_eq!(payload[0], 2);
+            assert_eq!(Request::decode(&payload), Ok(request));
+        }
+    }
+
+    #[test]
+    fn codec_counter_ratios() {
+        let mut c = CodecCounters::default();
+        assert_eq!(c.tx_ratio(), 1.0);
+        assert_eq!(c.tx_bytes_saved(), 0);
+        c.raw_tx_bytes = 4000;
+        c.wire_tx_bytes = 1000;
+        assert_eq!(c.tx_ratio(), 4.0);
+        assert_eq!(c.tx_bytes_saved(), 3000);
+        c.wire_tx_bytes = 5000; // overhead ate the savings
+        assert_eq!(c.tx_bytes_saved(), 0);
     }
 
     #[test]

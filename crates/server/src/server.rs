@@ -36,9 +36,11 @@ use ss_store::{Artifact, ArtifactStore};
 use ss_testdata::TestSet;
 
 use crate::cache::{cache_key, ArtifactCache, CachedArtifacts};
+use crate::codec::{Codec, CodecConfig, CodecError, Transport, WireStats};
 use crate::protocol::{
-    read_frame, write_frame, CacheTier, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
-    Response, ServerStats, TierStats,
+    peek_version, write_frame, CacheTier, CodecCounters, JobPhase, JobReport, JobSpec,
+    PhaseHistogram, Request, Response, ServerStats, TierStats, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::report_digest;
 
@@ -185,6 +187,57 @@ struct PhaseTimes {
     segment: PhaseHistogram,
 }
 
+/// Lock-free wire-codec telemetry, bumped by connection handlers and
+/// snapshotted into [`CodecCounters`] for `Stats` replies.
+#[derive(Default)]
+struct CodecTelemetry {
+    connections_v2: AtomicU64,
+    connections_v3: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    crc_rejects: AtomicU64,
+    raw_tx_bytes: AtomicU64,
+    wire_tx_bytes: AtomicU64,
+    raw_rx_bytes: AtomicU64,
+    wire_rx_bytes: AtomicU64,
+}
+
+impl CodecTelemetry {
+    /// Accounts one received message (framed connections only — the
+    /// counters describe codec traffic, not legacy frames).
+    fn add_rx(&self, stats: WireStats) {
+        self.frames_received
+            .fetch_add(stats.frames, Ordering::Relaxed);
+        self.raw_rx_bytes
+            .fetch_add(stats.raw_bytes, Ordering::Relaxed);
+        self.wire_rx_bytes
+            .fetch_add(stats.wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Accounts one sent message (framed connections only).
+    fn add_tx(&self, stats: WireStats) {
+        self.frames_sent.fetch_add(stats.frames, Ordering::Relaxed);
+        self.raw_tx_bytes
+            .fetch_add(stats.raw_bytes, Ordering::Relaxed);
+        self.wire_tx_bytes
+            .fetch_add(stats.wire_bytes, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CodecCounters {
+        CodecCounters {
+            connections_v2: self.connections_v2.load(Ordering::Relaxed),
+            connections_v3: self.connections_v3.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            crc_rejects: self.crc_rejects.load(Ordering::Relaxed),
+            raw_tx_bytes: self.raw_tx_bytes.load(Ordering::Relaxed),
+            wire_tx_bytes: self.wire_tx_bytes.load(Ordering::Relaxed),
+            raw_rx_bytes: self.raw_rx_bytes.load(Ordering::Relaxed),
+            wire_rx_bytes: self.wire_rx_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared by the accept loop, connection handlers and workers.
 struct Shared {
     queue: Mutex<VecDeque<QueuedJob>>,
@@ -200,6 +253,7 @@ struct Shared {
     pending: Mutex<HashSet<u64>>,
     pending_cv: Condvar,
     phases: Mutex<PhaseTimes>,
+    codec: CodecTelemetry,
     next_job: AtomicU64,
     jobs_done: AtomicU64,
     busy_rejections: AtomicU64,
@@ -235,6 +289,7 @@ impl Shared {
             pending: Mutex::new(HashSet::new()),
             pending_cv: Condvar::new(),
             phases: Mutex::new(PhaseTimes::default()),
+            codec: CodecTelemetry::default(),
             next_job: AtomicU64::new(1),
             jobs_done: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
@@ -327,6 +382,7 @@ impl Shared {
             encode: phases.encode,
             embed: phases.embed,
             segment: phases.segment,
+            codec: self.codec.snapshot(),
         }
     }
 }
@@ -665,6 +721,9 @@ fn set_state(shared: &Shared, id: u64, state: JobState) {
 /// everything else is immediate.
 fn respond(shared: &Shared, request: Request) -> Response {
     match request {
+        // negotiation is handled at the connection layer; a second
+        // Hello mid-connection is a protocol violation
+        Request::Hello(_) => Response::Error("codec already negotiated".to_string()),
         Request::Submit(spec) => match shared.try_enqueue(spec) {
             Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
             Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
@@ -705,20 +764,87 @@ fn respond(shared: &Shared, request: Request) -> Response {
 }
 
 /// Serves one connection until the peer closes, errors or idles out.
+///
+/// The connection opens in legacy (plain-frame) mode; a v3 peer's
+/// `Hello` upgrades it to the negotiated codec chain for every
+/// subsequent message. Replies are stamped with the peer's own
+/// protocol generation, so a v2 client decodes every answer it gets.
+///
+/// A codec failure — CRC mismatch, reordered chunks, a lying length or
+/// total — is answered with one typed [`Response::Error`] and the
+/// connection is closed: after corruption the chunk stream can no
+/// longer be trusted to be in sync, so resynchronising would risk
+/// misparsing, and the client's retry path owns recovery.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     let _ = stream.set_nodelay(true);
+    let mut transport = Transport::Legacy;
+    // reply generation: mirrors the peer until negotiation pins v3
+    let mut version = MIN_PROTOCOL_VERSION;
+    let mut counted = false;
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(payload) => payload,
-            Err(_) => return, // closed, idle or malformed length
+        let (payload, rx) = match transport.read_message(&mut stream) {
+            Ok(message) => message,
+            Err(CodecError::Io(err)) => {
+                // a lying frame-length field is detected corruption and
+                // gets a typed answer; a vanished/idle peer just closes
+                if err.kind() == io::ErrorKind::InvalidData && transport.is_framed() {
+                    let reply = Response::Error(format!("codec: {err}")).encode_versioned(version);
+                    let _ = transport.write_message(&mut stream, &reply);
+                }
+                return;
+            }
+            Err(err) => {
+                if err.is_integrity() {
+                    shared.codec.crc_rejects.fetch_add(1, Ordering::Relaxed);
+                }
+                let reply = Response::Error(format!("codec: {err}")).encode_versioned(version);
+                let _ = transport.write_message(&mut stream, &reply);
+                return;
+            }
         };
+        if transport.is_framed() {
+            shared.codec.add_rx(rx);
+        }
         let response = match Request::decode(&payload) {
-            Ok(request) => respond(shared, request),
+            Ok(Request::Hello(offer)) if !transport.is_framed() => {
+                let agreed = CodecConfig::negotiate(offer);
+                version = PROTOCOL_VERSION;
+                if !counted {
+                    counted = true;
+                    shared.codec.connections_v3.fetch_add(1, Ordering::Relaxed);
+                }
+                // the ack travels as a plain frame; the codec applies
+                // from the next message on
+                if write_frame(&mut stream, &Response::HelloAck(agreed).encode()).is_err() {
+                    return;
+                }
+                transport = Transport::Framed(Codec::new(agreed));
+                continue;
+            }
+            Ok(request) => {
+                if !counted {
+                    counted = true;
+                    shared.codec.connections_v2.fetch_add(1, Ordering::Relaxed);
+                }
+                // answer a legacy peer in its own generation
+                if !transport.is_framed() {
+                    version = match peek_version(&payload) {
+                        Some(v) if v < PROTOCOL_VERSION => v,
+                        _ => PROTOCOL_VERSION,
+                    };
+                }
+                respond(shared, request)
+            }
             Err(e) => Response::Error(e.to_string()),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
-            return;
+        match transport.write_message(&mut stream, &response.encode_versioned(version)) {
+            Ok(tx) => {
+                if transport.is_framed() {
+                    shared.codec.add_tx(tx);
+                }
+            }
+            Err(_) => return,
         }
         if shared.stop.load(Ordering::Relaxed) {
             return;

@@ -603,6 +603,24 @@ fn server_stats(args: &[String]) -> Result<(), String> {
     }
     println!("{phases}");
     println!("buckets are log2 microseconds: 2^i <= sample < 2^(i+1)");
+    println!();
+
+    let c = &s.codec;
+    println!(
+        "codec: connections v2 {}  v3 {}  frames out {}  in {}  crc rejects {}",
+        c.connections_v2, c.connections_v3, c.frames_sent, c.frames_received, c.crc_rejects
+    );
+    println!(
+        "codec tx: raw {} B -> wire {} B  (ratio {:.2}x, {} B saved)",
+        c.raw_tx_bytes,
+        c.wire_tx_bytes,
+        c.tx_ratio(),
+        c.tx_bytes_saved()
+    );
+    println!(
+        "codec rx: raw {} B <- wire {} B",
+        c.raw_rx_bytes, c.wire_rx_bytes
+    );
     Ok(())
 }
 

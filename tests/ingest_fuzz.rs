@@ -1,0 +1,141 @@
+//! Fuzz-style property harness over the two text ingestion surfaces —
+//! `.bench` netlists (`ss_circuit::parse_bench`) and `.cubes` test
+//! sets (`ss_testdata::TestSet::from_text`) — driven by seeded random
+//! mutations of the real workload corpus plus pure garbage.
+//!
+//! The contract mirrors `crates/store/src/proptests.rs` and the wire
+//! proptests: whatever bytes arrive, the parsers never panic and every
+//! rejection is a typed, displayable error. Deterministic throughout
+//! (seeded `SmallRng`, no wall-clock); `SS_FUZZ_CASES` scales the
+//! case count per corpus file for soak runs.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ss_circuit::parse_bench;
+use ss_testdata::TestSet;
+
+const BASE_SEED: u64 = 0xF0CC_ED0F_1E57_0001;
+
+const CORPUS: [&str; 4] = ["tiny-1", "tiny-pad", "mini-7", "mini-13"];
+
+fn cases_per_file() -> u64 {
+    std::env::var("SS_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+fn corpus_text(name: &str, ext: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/testdata/workloads")
+        .join(format!("{name}.{ext}"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// One seeded mutation of a corpus text: truncation, bit flips, byte
+/// insertion, a splice of two texts, or wholesale garbage.
+fn mutate(text: &str, other: &str, rng: &mut SmallRng) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    match rng.gen_range(0..5u32) {
+        0 => {
+            // truncate somewhere, possibly mid-line, possibly mid-char
+            let cut = rng.gen_range(0..=bytes.len());
+            bytes.truncate(cut);
+        }
+        1 => {
+            // flip a handful of random bits
+            for _ in 0..rng.gen_range(1..8u32) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+        }
+        2 => {
+            // insert a short run of random bytes at a random point
+            let at = rng.gen_range(0..=bytes.len());
+            let run: Vec<u8> = (0..rng.gen_range(1..24u32)).map(|_| rng.gen()).collect();
+            bytes.splice(at..at, run);
+        }
+        3 => {
+            // splice: head of this text, tail of the other
+            let head = rng.gen_range(0..=bytes.len());
+            let tail = rng.gen_range(0..=other.len());
+            bytes.truncate(head);
+            bytes.extend_from_slice(&other.as_bytes()[other.len() - tail..]);
+        }
+        _ => {
+            // forget the corpus: pure garbage of modest size
+            bytes = (0..rng.gen_range(0..512u32)).map(|_| rng.gen()).collect();
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Every parse attempt must be a clean `Ok` or a typed error whose
+/// `Display` works; a panic fails the test by unwinding.
+fn exercise(input: &str) {
+    let mut sink = String::new();
+    if let Err(err) = parse_bench(input) {
+        write!(sink, "{err}").expect("bench error displays");
+        assert!(!sink.is_empty(), "bench parse error displayed as nothing");
+    }
+    sink.clear();
+    if let Err(err) = TestSet::from_text(input) {
+        write!(sink, "{err}").expect("cube error displays");
+        assert!(!sink.is_empty(), "cube parse error displayed as nothing");
+    }
+}
+
+/// Sanity: the pristine corpus parses, so the fuzz below is mutating
+/// inputs the parsers genuinely accept.
+#[test]
+fn pristine_corpus_parses() {
+    for name in CORPUS {
+        let circuit = parse_bench(&corpus_text(name, "bench"))
+            .unwrap_or_else(|e| panic!("{name}.bench: {e}"));
+        assert!(circuit.netlist.input_count() > 0, "{name}.bench is empty");
+        let set = TestSet::from_text(&corpus_text(name, "cubes"))
+            .unwrap_or_else(|e| panic!("{name}.cubes: {e}"));
+        assert!(!set.cubes().is_empty(), "{name}.cubes is empty");
+    }
+}
+
+/// Seeded mutations of every corpus file, fed to both parsers: never
+/// a panic, always a typed displayable error on rejection.
+#[test]
+fn mutated_corpus_never_panics_either_parser() {
+    let cases = cases_per_file();
+    for ext in ["bench", "cubes"] {
+        for (at, name) in CORPUS.iter().enumerate() {
+            let text = corpus_text(name, ext);
+            let other = corpus_text(CORPUS[(at + 1) % CORPUS.len()], ext);
+            for case in 0..cases {
+                let seed = BASE_SEED ^ ((at as u64) << 32) ^ ((ext.len() as u64) << 24) ^ case;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                exercise(&mutate(&text, &other, &mut rng));
+            }
+        }
+    }
+}
+
+/// Cross-format confusion: each format's pristine text pushed through
+/// the *other* parser — a classic operator mistake (wrong file flag)
+/// that must be a typed rejection, not a crash or a silent accept of
+/// nonsense.
+#[test]
+fn cross_format_inputs_are_rejected_with_typed_errors() {
+    for name in CORPUS {
+        let bench = corpus_text(name, "bench");
+        let cubes = corpus_text(name, "cubes");
+        let err = TestSet::from_text(&bench).expect_err("a netlist is not a cube file");
+        assert!(!err.to_string().is_empty());
+        let err = parse_bench(&cubes).expect_err("a cube file is not a netlist");
+        assert!(!err.to_string().is_empty());
+    }
+}
