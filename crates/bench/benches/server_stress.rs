@@ -21,6 +21,15 @@
 //!   per worker-pool width. Every job must come back `Done` with the
 //!   digest its workload produced cold — the server may never drop or
 //!   corrupt a job under concurrent load.
+//! * **fleet vs shard count** — the same balanced workload runs
+//!   against 1, 2 and 4 shards whose *per-shard* cache is sized below
+//!   the workload's measured working set. Sharding's scaling axis here
+//!   is aggregate cache capacity (the artifacts are pure functions of
+//!   their content key, so each key lives on exactly one owner): a
+//!   single shard thrashes its LRU and re-pays cold synthesis, while
+//!   the 4-shard fleet holds the whole working set and answers from
+//!   warm memory. On a multi-core host the fleet also scales compute;
+//!   the capacity effect makes the row meaningful even on one core.
 //!
 //! Results land in `BENCH_server.json` at the workspace root, next to
 //! `BENCH_packed.json` and `BENCH_encode.json`.
@@ -35,9 +44,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use ss_core::{Engine, Table};
 use ss_server::{
-    CacheTier, Client, CodecCounters, JobReport, JobSpec, ServeOptions, Server, ServerHandle,
+    Balancer, CacheTier, Client, CodecCounters, JobReport, JobSpec, RetryPolicy, ServeOptions,
+    Server, ServerHandle, ShardSpec,
 };
-use ss_testdata::{Workload, WorkloadRegistry};
+use ss_testdata::{generate_test_set, CubeProfile, Workload, WorkloadRegistry};
 
 const WINDOW: usize = 24;
 const SEGMENT: usize = 4;
@@ -48,6 +58,24 @@ const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
 /// Profile workloads run at the golden scale in the throughput fan-out
 /// so one round of the corpus is milliseconds, not minutes.
 const THROUGHPUT_PROFILE_SCALE: f64 = 0.1;
+
+/// Fleet sweep: shard counts, key population, balanced clients, and
+/// the per-shard cache as a fraction of the measured working set —
+/// under 1.0 so one shard cannot hold the workload, while at 4 shards
+/// even a lopsided rendezvous spread (the ring hashes ephemeral-port
+/// addresses, so the split varies run to run) leaves every owner's
+/// slice of the 32 keys inside its budget.
+const FLEET_SWEEP: [usize; 3] = [1, 2, 4];
+const FLEET_KEYS: u64 = 32;
+const FLEET_CLIENTS: usize = 4;
+const FLEET_DRAWS: usize = 48;
+const FLEET_CACHE_FRACTION: f64 = 0.5;
+/// Cube-count scale on the s9234 profile for fleet keys. The profile
+/// choice shapes the cold:warm cost gap the capacity-scaling
+/// assertion depends on: a miss re-pays synthesis + encode over the
+/// full 247-cell scan geometry, while a hit re-pays only the cheap
+/// stages, which scale with the (deliberately small) cube count.
+const FLEET_PROFILE_SCALE: f64 = 0.1;
 
 /// The spec a registry workload submits: profiles at `scale` with
 /// their paper LFSR size, file workloads full size with the default
@@ -285,7 +313,193 @@ fn measure_throughput(workers: usize) -> ThroughputRow {
     }
 }
 
-fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow]) {
+/// One key of the fleet workload: a deterministic cube set drawn from
+/// the scaled s9234 profile, so its artifacts are a pure function of
+/// the seed.
+fn fleet_spec(seed: u64) -> JobSpec {
+    let set = generate_test_set(&CubeProfile::s9234().scaled(FLEET_PROFILE_SCALE), seed);
+    let engine = Engine::builder()
+        .window(WINDOW)
+        .segment(SEGMENT)
+        .speedup(SPEEDUP)
+        .build()
+        .expect("engine knobs");
+    JobSpec::new(&set, engine.config())
+}
+
+struct FleetRow {
+    shards: usize,
+    cache_bytes: usize,
+    jobs: usize,
+    wall_s: f64,
+    /// Cold syntheses summed across the whole fleet — equals
+    /// `FLEET_KEYS` exactly when the aggregate cache holds the
+    /// working set (exactly-once cluster-wide), larger when a shard
+    /// thrashes its LRU and re-pays cold compute.
+    synthesis: u64,
+    mem_hits: u64,
+    mem_misses: u64,
+    redirects: u64,
+    failovers: u64,
+}
+
+impl FleetRow {
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall_s
+    }
+
+    fn hit_rate(&self) -> f64 {
+        self.mem_hits as f64 / (self.mem_hits + self.mem_misses).max(1) as f64
+    }
+}
+
+/// Phase 0 of the fleet sweep: run every fleet key cold against a
+/// throwaway single server with an ample cache, recording the golden
+/// digests and the exact bytes the corpus occupies in the memory
+/// tier. The sweep then sizes each shard's cache as a fraction of
+/// that working set, so the scaling claim tracks the workload instead
+/// of hard-coded byte counts.
+fn fleet_working_set() -> (Vec<JobSpec>, Vec<u64>, u64) {
+    let handle = Server::bind(&ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .expect("bind working-set probe")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect probe");
+    let specs: Vec<JobSpec> = (1..=FLEET_KEYS).map(fleet_spec).collect();
+    let mut digests = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let (_, report) = run_resilient(&mut client, handle.addr(), spec);
+        assert_eq!(report.tier, CacheTier::Cold, "fleet keys must be distinct");
+        digests.push(report.digest);
+    }
+    let stats = handle.stats();
+    assert_eq!(
+        stats.memory.evictions, 0,
+        "probe cache too small to measure the working set"
+    );
+    let working_set = stats.memory.bytes;
+    handle.shutdown();
+    (specs, digests, working_set)
+}
+
+/// Binds `shards` servers on ephemeral ports, one worker and
+/// `cache_bytes` of memory tier each, then wires the full peer list
+/// into every one before spawning.
+fn spawn_fleet(shards: usize, cache_bytes: usize) -> (Vec<String>, Vec<ServerHandle>) {
+    let servers: Vec<Server> = (0..shards)
+        .map(|_| {
+            Server::bind(&ServeOptions {
+                workers: 1,
+                cache_bytes,
+                queue_depth: 16,
+                ..ServeOptions::default()
+            })
+            .expect("bind shard")
+        })
+        .collect();
+    let peers: Vec<String> = servers
+        .iter()
+        .map(|s| s.local_addr().expect("shard addr").to_string())
+        .collect();
+    let handles = servers
+        .into_iter()
+        .enumerate()
+        .map(|(id, mut server)| {
+            server
+                .set_shards(ShardSpec {
+                    peers: peers.clone(),
+                    id,
+                })
+                .expect("shard spec");
+            server.spawn()
+        })
+        .collect();
+    (peers, handles)
+}
+
+/// One fleet row: an untimed warm-up pass seeds every owner's cache
+/// as far as its budget allows, then `FLEET_CLIENTS` balancer clients
+/// each draw `FLEET_DRAWS` keys uniformly (seeded xorshift, so every
+/// sweep point replays the identical request stream) and every answer
+/// is checked against its golden digest.
+fn measure_fleet(
+    shards: usize,
+    cache_bytes: usize,
+    specs: &[JobSpec],
+    digests: &[u64],
+) -> FleetRow {
+    let (peers, handles) = spawn_fleet(shards, cache_bytes);
+
+    let mut warm = Balancer::new(peers.clone())
+        .expect("warm-up balancer")
+        .with_policy(RetryPolicy::seeded(7));
+    let failovers = AtomicU64::new(0);
+    for (spec, digest) in specs.iter().zip(digests) {
+        let run = warm.run(spec).expect("warm-up job");
+        assert_eq!(run.report.digest, *digest, "fleet warm-up diverged");
+        failovers.fetch_add(u64::from(run.failovers), Ordering::Relaxed);
+    }
+    drop(warm);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..FLEET_CLIENTS {
+            let peers = peers.clone();
+            let failovers = &failovers;
+            scope.spawn(move || {
+                let mut balancer = Balancer::new(peers)
+                    .expect("client balancer")
+                    .with_policy(RetryPolicy::seeded(100 + c as u64));
+                // per-client xorshift64 over the key space
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1);
+                for _ in 0..FLEET_DRAWS {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let i = (state % FLEET_KEYS) as usize;
+                    let run = balancer.run(&specs[i]).expect("fleet job");
+                    assert_eq!(run.report.digest, digests[i], "fleet answer diverged");
+                    failovers.fetch_add(u64::from(run.failovers), Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut row = FleetRow {
+        shards,
+        cache_bytes,
+        jobs: FLEET_CLIENTS * FLEET_DRAWS,
+        wall_s,
+        synthesis: 0,
+        mem_hits: 0,
+        mem_misses: 0,
+        redirects: 0,
+        failovers: failovers.into_inner(),
+    };
+    for handle in handles {
+        let stats = handle.stats();
+        assert_eq!(stats.shard_count as usize, shards);
+        row.synthesis += stats.synthesis.count;
+        row.mem_hits += stats.memory.hits;
+        row.mem_misses += stats.memory.misses;
+        row.redirects += stats.redirects;
+        handle.shutdown();
+    }
+    assert_eq!(
+        row.failovers, 0,
+        "a healthy fleet must route without failovers"
+    );
+    assert_eq!(
+        row.redirects, 0,
+        "the balancer must route every key to its owner first try"
+    );
+    row
+}
+
+fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow], fleet: &[FleetRow]) {
     let mut workloads = String::new();
     for (i, row) in latency.iter().enumerate() {
         if i > 0 {
@@ -321,18 +535,42 @@ fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow]) {
             row.codec.crc_rejects
         ));
     }
+    let mut fleet_rows = String::new();
+    let single = fleet.first().map_or(0.0, FleetRow::jobs_per_s);
+    for (i, row) in fleet.iter().enumerate() {
+        if i > 0 {
+            fleet_rows.push_str(",\n");
+        }
+        fleet_rows.push_str(&format!(
+            "    {{\"shards\": {}, \"clients\": {}, \"keys\": {}, \"cache_bytes_per_shard\": {}, \"jobs\": {}, \"wall_s\": {:.6e}, \"jobs_per_s\": {:.1}, \"speedup_vs_single\": {:.2}, \"synthesis_runs\": {}, \"mem_hit_rate\": {:.3}, \"redirects\": {}, \"failovers\": {}}}",
+            row.shards,
+            FLEET_CLIENTS,
+            FLEET_KEYS,
+            row.cache_bytes,
+            row.jobs,
+            row.wall_s,
+            row.jobs_per_s(),
+            row.jobs_per_s() / single,
+            row.synthesis,
+            row.hit_rate(),
+            row.redirects,
+            row.failovers
+        ));
+    }
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"fleet_cache_fraction\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"fleet\": [\n{}\n  ]\n}}\n",
         WINDOW,
         SEGMENT,
         SPEEDUP,
         ss_bench::scale(),
         THROUGHPUT_PROFILE_SCALE,
+        FLEET_CACHE_FRACTION,
         parallelism,
         DISCONNECT_RETRIES.load(Ordering::Relaxed),
         workloads,
-        fanout
+        fanout,
+        fleet_rows
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, json).expect("write BENCH_server.json");
@@ -381,7 +619,59 @@ fn bench_server_stress(_c: &mut Criterion) {
         ]);
     }
     println!("{table}");
-    write_json(&latency, &throughput);
+
+    let (specs, fleet_digests, working_set) = fleet_working_set();
+    let cache_bytes = ((working_set as f64 * FLEET_CACHE_FRACTION) as usize).max(1);
+    println!(
+        "fleet working set: {} keys, {} bytes -> {} bytes of cache per shard\n",
+        FLEET_KEYS, working_set, cache_bytes
+    );
+    let fleet: Vec<FleetRow> = FLEET_SWEEP
+        .iter()
+        .map(|&n| measure_fleet(n, cache_bytes, &specs, &fleet_digests))
+        .collect();
+    let mut table = Table::new([
+        "shards", "clients", "jobs", "wall", "jobs/s", "speedup", "synth", "hit rate",
+    ]);
+    for row in &fleet {
+        table.add_row([
+            row.shards.to_string(),
+            FLEET_CLIENTS.to_string(),
+            row.jobs.to_string(),
+            format!("{:.3} s", row.wall_s),
+            format!("{:.1}", row.jobs_per_s()),
+            format!("{:.2}x", row.jobs_per_s() / fleet[0].jobs_per_s()),
+            row.synthesis.to_string(),
+            format!("{:.1}%", row.hit_rate() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    write_json(&latency, &throughput, &fleet);
+
+    // CI contract for the fleet sweep. With each shard capped below
+    // the working set, the widest fleet holds every key warm on its
+    // owner (exactly-once cluster-wide: cold synthesis ran once per
+    // key, total, across warm-up and 192 timed jobs) while the single
+    // shard thrashes its LRU and re-pays cold compute — so aggregate
+    // cache capacity, not core count, must buy the >= 3x throughput.
+    let widest = fleet.last().expect("fleet sweep is non-empty");
+    assert_eq!(
+        widest.synthesis, FLEET_KEYS,
+        "{}-shard fleet recomputed a key it should have cached",
+        widest.shards
+    );
+    assert!(
+        fleet[0].synthesis > FLEET_KEYS,
+        "single under-provisioned shard never thrashed — the sweep is not exercising capacity"
+    );
+    assert!(
+        widest.jobs_per_s() >= 3.0 * fleet[0].jobs_per_s(),
+        "{}-shard fleet managed only {:.2}x the single-shard rate ({:.1} vs {:.1} jobs/s)",
+        widest.shards,
+        widest.jobs_per_s() / fleet[0].jobs_per_s(),
+        widest.jobs_per_s(),
+        fleet[0].jobs_per_s()
+    );
 
     // CI contract: both warm tiers must beat the cold path on every
     // registry workload — a disk hit skips the dominant encode stage

@@ -99,6 +99,10 @@ pub struct CacheStats {
     pub capacity_bytes: usize,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Inserts refused because the entry alone exceeded the whole
+    /// budget — the over-capacity contract: such an entry is never
+    /// cached, and the attempt evicts nothing.
+    pub oversize_skips: u64,
 }
 
 struct Slot {
@@ -120,6 +124,7 @@ pub struct ArtifactCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    oversize_skips: u64,
 }
 
 impl ArtifactCache {
@@ -134,6 +139,7 @@ impl ArtifactCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            oversize_skips: 0,
         }
     }
 
@@ -173,12 +179,14 @@ impl ArtifactCache {
     }
 
     /// Inserts an entry, evicting least-recently-used entries until it
-    /// fits. An entry larger than the whole budget is not cached (the
-    /// call is a no-op); re-inserting an existing key refreshes the
-    /// entry.
+    /// fits. An entry larger than the whole budget is not cached —
+    /// the attempt is counted and changes *nothing* else: no eviction
+    /// of resident entries, no byte-bound violation, no retry loop.
+    /// Re-inserting an existing key refreshes the entry.
     pub fn insert(&mut self, key: u64, artifacts: Arc<CachedArtifacts>) {
         let bytes = artifacts.approx_bytes();
         if bytes > self.capacity_bytes {
+            self.oversize_skips += 1;
             return;
         }
         if let Some(old) = self.map.remove(&key) {
@@ -213,6 +221,7 @@ impl ArtifactCache {
             bytes: self.bytes,
             capacity_bytes: self.capacity_bytes,
             evictions: self.evictions,
+            oversize_skips: self.oversize_skips,
         }
     }
 }
@@ -340,5 +349,74 @@ mod tests {
         cache.insert(1, Arc::clone(&a));
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(cache.stats().bytes, a.approx_bytes());
+    }
+
+    /// Pins the over-capacity contract: an entry whose `approx_bytes`
+    /// exceeds `capacity_bytes` is refused without touching anything
+    /// resident — no mass eviction, no byte-bound violation, no spin —
+    /// while an entry of exactly `capacity_bytes` is still cached.
+    #[test]
+    fn over_capacity_insert_evicts_nothing_and_is_counted() {
+        let a = artifacts_for(1);
+        let per_entry = a.approx_bytes();
+
+        // the boundary itself is cacheable: == capacity fits
+        let mut exact = ArtifactCache::new(per_entry);
+        exact.insert(1, Arc::clone(&a));
+        assert_eq!(exact.stats().entries, 1, "== capacity must cache");
+        assert_eq!(exact.stats().oversize_skips, 0);
+
+        // one byte over is not, even into an empty cache
+        let mut small = ArtifactCache::new(per_entry - 1);
+        small.insert(1, Arc::clone(&a));
+        let s = small.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.oversize_skips, 1);
+
+        // and into a *populated* cache the refusal must not evict the
+        // resident entries (the historical LRU failure mode this test
+        // pins: "evict everything, then still not fit"). A wider
+        // synthesis window makes a genuinely over-budget entry.
+        let big = {
+            let set = generate_test_set(&CubeProfile::mini(), 9);
+            let engine = Engine::builder()
+                .window(64)
+                .segment(4)
+                .speedup(4)
+                .build()
+                .unwrap();
+            let ctx = engine.synthesize(&set).unwrap();
+            let (encodable, dropped) = ctx.encodable_subset(&set);
+            let encoding = Encoded::from_ctx_ref(&encodable, &ctx)
+                .unwrap()
+                .encoding()
+                .clone();
+            Arc::new(CachedArtifacts {
+                ctx,
+                set: encodable,
+                dropped: dropped.len(),
+                encoding,
+            })
+        };
+        let mut cache = ArtifactCache::new(per_entry * 2 + per_entry / 2);
+        assert!(
+            big.approx_bytes() > cache.stats().capacity_bytes,
+            "window-64 artifacts must exceed the 2.5-entry budget"
+        );
+        cache.insert(1, Arc::clone(&a));
+        cache.insert(2, artifacts_for(2));
+        let before = cache.stats();
+        assert_eq!(before.entries, 2);
+
+        cache.insert(3, big);
+        let after = cache.stats();
+        assert_eq!(after.entries, before.entries, "residents were evicted");
+        assert_eq!(after.bytes, before.bytes);
+        assert_eq!(after.evictions, 0);
+        assert_eq!(after.oversize_skips, 1);
+        assert!(after.bytes <= after.capacity_bytes);
+        assert!(cache.get(3).is_none());
+        assert!(cache.get(1).is_some() && cache.get(2).is_some());
     }
 }

@@ -12,18 +12,38 @@
 //! legacy v2 single-frame mode — so one client binary speaks to both
 //! server generations. [`Client::connect_legacy`] skips the offer
 //! entirely and behaves exactly like a v2 client (useful for
-//! compatibility testing).
+//! compatibility testing). The ack is also where the *protocol*
+//! generation is agreed: the server mirrors back `min(client, server)`
+//! in the ack's version byte, and the client stamps every subsequent
+//! request at that generation — a v4 client against a v3 server simply
+//! runs the connection at v3.
+//!
+//! # Fleet routing
+//!
+//! Against a sharded fleet, [`Balancer`] replaces a bare [`Client`]:
+//! it hashes each submission's content key on the shared
+//! [`ShardRing`] and submits to the owning
+//! shard, and fails over along the ring's rendezvous order when a
+//! shard is down, saturated, or dies mid-call. Backpressure from
+//! `Busy` replies is paced by [`RetryPolicy`] — decorrelated jitter
+//! with an optional overall deadline — instead of the synchronized
+//! exponential ladder that made saturated fleets retry in lockstep.
 
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::cache_key;
 use crate::codec::{Codec, CodecConfig, CodecError, Transport};
 use crate::protocol::{
-    read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response, ServerStats,
-    WireError, PROTOCOL_VERSION,
+    peek_version, read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response,
+    ServerStats, WireError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::shard::{ShardError, ShardRing};
 
 /// Error talking to the service.
 #[derive(Debug)]
@@ -46,6 +66,29 @@ pub enum ClientError {
     Server(String),
     /// The job itself ran and failed (bad workload, engine error).
     Job(String),
+    /// The server shed this connection at the accept gate — its
+    /// concurrent-connection bound is full. Retryable: the gate drains
+    /// as fast as connections close.
+    Overloaded {
+        /// Connections active when this one was shed.
+        queued: u32,
+        /// The server's concurrent-connection bound.
+        capacity: u32,
+    },
+    /// A [`RetryPolicy`] deadline expired while the server kept
+    /// answering `Busy`. Retryable by construction — every individual
+    /// rejection was — but the caller's time budget ran out first.
+    DeadlineExceeded {
+        /// Total time spent backing off before giving up.
+        waited: Duration,
+        /// How many `Busy` rejections were absorbed.
+        attempts: u32,
+    },
+    /// A sharded server declined the submission because another shard
+    /// owns its content key; the payload is the owner's address.
+    /// [`Balancer`] follows this transparently — it surfaces only when
+    /// a bare [`Client`] submits to a non-owner.
+    Redirected(String),
     /// The server answered with a message that makes no sense for the
     /// request (a peer bug).
     Unexpected(&'static str),
@@ -53,9 +96,15 @@ pub enum ClientError {
 
 impl ClientError {
     /// Whether reconnecting and retrying the call can reasonably
-    /// succeed (the failure was the connection, not the request).
+    /// succeed (the failure was the connection or its timing, not the
+    /// request itself).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ClientError::Disconnected(_))
+        matches!(
+            self,
+            ClientError::Disconnected(_)
+                | ClientError::Overloaded { .. }
+                | ClientError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -68,6 +117,16 @@ impl fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire: {e}"),
             ClientError::Server(m) => write!(f, "server: {m}"),
             ClientError::Job(m) => write!(f, "job failed: {m}"),
+            ClientError::Overloaded { queued, capacity } => {
+                write!(f, "server shed the connection ({queued}/{capacity} active)")
+            }
+            ClientError::DeadlineExceeded { waited, attempts } => write!(
+                f,
+                "deadline exceeded after {attempts} busy rejections ({waited:?} waited)"
+            ),
+            ClientError::Redirected(addr) => {
+                write!(f, "key owned by shard {addr}; resubmit there")
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
     }
@@ -148,6 +207,120 @@ pub enum JobStatus {
     Failed(String),
 }
 
+/// Backoff pacing for `Busy` rejections: decorrelated jitter with an
+/// optional overall deadline.
+///
+/// Each pause sleeps `min(cap, uniform(base, 3 × previous_sleep))` —
+/// the classic decorrelated-jitter recurrence. Unlike the old
+/// deterministic 1→256 ms doubling, two clients rejected by the same
+/// saturated queue desynchronize immediately instead of hammering it
+/// again in lockstep forever; unlike full jitter, the expected pause
+/// still grows toward the cap while the queue stays full.
+///
+/// The jitter source is seedable so tests can pin the exact sleep
+/// sequence; [`RetryPolicy::new`] seeds from process entropy. With
+/// [`RetryPolicy::with_deadline`], the total time spent backing off is
+/// bounded and overrunning it surfaces as the retryable
+/// [`ClientError::DeadlineExceeded`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    base: Duration,
+    cap: Duration,
+    deadline: Option<Duration>,
+    prev: Duration,
+    waited: Duration,
+    attempts: u32,
+    rng: SmallRng,
+}
+
+impl RetryPolicy {
+    const BASE: Duration = Duration::from_millis(1);
+    const CAP: Duration = Duration::from_millis(256);
+
+    /// A policy with the default 1 ms base / 256 ms cap, no deadline,
+    /// and a jitter seed drawn from process entropy.
+    pub fn new() -> RetryPolicy {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Self::seeded(clock ^ (u64::from(std::process::id()) << 32))
+    }
+
+    /// A policy whose jitter sequence is a pure function of `seed` —
+    /// deterministic backoff for tests.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            base: Self::BASE,
+            cap: Self::CAP,
+            deadline: None,
+            prev: Self::BASE,
+            waited: Duration::ZERO,
+            attempts: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Bounds the *total* time spent backing off across all retries of
+    /// one run; overrunning it fails the run with
+    /// [`ClientError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: Duration) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Rewinds the accumulated state (sleep ladder, waited time,
+    /// attempt count) for a fresh run, keeping the jitter stream.
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+        self.waited = Duration::ZERO;
+        self.attempts = 0;
+    }
+
+    /// `Busy` rejections absorbed since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The next decorrelated-jitter sleep:
+    /// `min(cap, uniform(base, 3 × prev))`.
+    fn next_sleep(&mut self) -> Duration {
+        let base = self.base.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let sleep = Duration::from_micros(self.rng.gen_range(base..hi)).min(self.cap);
+        self.prev = sleep;
+        sleep
+    }
+
+    /// Absorbs one `Busy` rejection: sleeps the next jittered backoff,
+    /// or fails once the deadline is spent.
+    fn pause(&mut self) -> Result<(), ClientError> {
+        self.attempts += 1;
+        let mut sleep = self.next_sleep();
+        if let Some(deadline) = self.deadline {
+            if self.waited >= deadline {
+                return Err(ClientError::DeadlineExceeded {
+                    waited: self.waited,
+                    attempts: self.attempts,
+                });
+            }
+            // never sleep past the deadline; the next pause then fails
+            sleep = sleep.min(deadline - self.waited);
+        }
+        std::thread::sleep(sleep);
+        self.waited += sleep;
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One synchronous connection to an `ss-server`.
 ///
 /// Every call writes one request message and reads one response
@@ -207,13 +380,24 @@ impl Client {
         // the offer travels as a plain frame: no codec exists yet
         write_frame(&mut stream, &Request::Hello(offer).encode())?;
         let payload = read_frame(&mut stream)?;
+        // the ack's version byte is the agreed generation: the server
+        // stamps min(client, server), so a newer client downgrades
+        // itself here instead of sending messages the peer can't parse
+        let agreed_version = peek_version(&payload)
+            .unwrap_or(MIN_PROTOCOL_VERSION)
+            .clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
         match Response::decode(&payload)? {
             Response::HelloAck(agreed) => Ok(Client {
                 stream,
                 transport: Transport::Framed(Codec::new(agreed)),
-                version: PROTOCOL_VERSION,
+                version: agreed_version,
             }),
-            // an old server rejects the version-3 Hello with a plain
+            // the accept gate sheds before reading the offer: surface
+            // the overload as its retryable error, not a dead client
+            Response::Busy { queued, capacity } => {
+                Err(ClientError::Overloaded { queued, capacity })
+            }
+            // an old server rejects the versioned Hello with a plain
             // error: fall back to speaking its generation
             Response::Error(_) => Ok(Client {
                 stream,
@@ -255,16 +439,48 @@ impl Client {
         Ok(Response::decode(&payload)?)
     }
 
+    /// The protocol generation agreed at connect time (2 in legacy
+    /// mode).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     /// Submits a job once; the caller decides what `Busy` means.
     ///
     /// # Errors
     ///
-    /// Transport/wire failures, or [`ClientError::Server`] when the
-    /// submission itself was rejected (malformed workload or config).
+    /// Transport/wire failures, [`ClientError::Server`] when the
+    /// submission itself was rejected (malformed workload or config),
+    /// or [`ClientError::Redirected`] when a sharded server says
+    /// another shard owns this key.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
-        match self.call(&Request::Submit(spec.clone()))? {
+        self.submit_request(&Request::Submit(spec.clone()))
+    }
+
+    /// Submits bypassing shard ownership: a sharded server executes a
+    /// `SubmitDirect` locally instead of redirecting, which is how the
+    /// balancer lands work on a non-owner when the owner is down
+    /// (redirect-following could otherwise loop). On a pre-v4
+    /// connection this degrades to a plain submit — those servers
+    /// never redirect anyway.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_direct(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        let request = if self.version >= 4 {
+            Request::SubmitDirect(spec.clone())
+        } else {
+            Request::Submit(spec.clone())
+        };
+        self.submit_request(&request)
+    }
+
+    fn submit_request(&mut self, request: &Request) -> Result<SubmitOutcome, ClientError> {
+        match self.call(request)? {
             Response::Accepted(id) => Ok(SubmitOutcome::Accepted(id)),
             Response::Busy { queued, capacity } => Ok(SubmitOutcome::Busy { queued, capacity }),
+            Response::Redirect(addr) => Err(ClientError::Redirected(addr)),
             Response::Error(m) => Err(ClientError::Server(m)),
             _ => Err(ClientError::Unexpected("submit answered oddly")),
         }
@@ -316,25 +532,382 @@ impl Client {
         }
     }
 
-    /// Submit-and-wait with backpressure handling: `Busy` retries with
-    /// exponential backoff (1 ms doubling to a 256 ms cap, no overall
-    /// deadline — the queue bound guarantees progress as workers
-    /// drain).
+    /// Submit-and-wait with default backpressure handling: `Busy`
+    /// retries pace themselves with fresh [`RetryPolicy`] jitter and
+    /// no overall deadline — the queue bound guarantees progress as
+    /// workers drain.
     ///
     /// # Errors
     ///
     /// As [`Client::submit`] and [`Client::wait`].
     pub fn run(&mut self, spec: &JobSpec) -> Result<(u64, JobReport), ClientError> {
-        let mut backoff = Duration::from_millis(1);
+        self.run_with(spec, &mut RetryPolicy::new())
+    }
+
+    /// Submit-and-wait pacing `Busy` retries with the caller's policy
+    /// (its jitter seed makes tests deterministic; its deadline bounds
+    /// the total wait).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`] and [`Client::wait`], plus
+    /// [`ClientError::DeadlineExceeded`] from the policy.
+    pub fn run_with(
+        &mut self,
+        spec: &JobSpec,
+        policy: &mut RetryPolicy,
+    ) -> Result<(u64, JobReport), ClientError> {
+        self.run_inner(spec, policy, false)
+    }
+
+    /// [`Client::run_with`] submitting via [`Client::submit_direct`] —
+    /// the balancer's failover path onto a non-owner shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_with`].
+    pub fn run_direct_with(
+        &mut self,
+        spec: &JobSpec,
+        policy: &mut RetryPolicy,
+    ) -> Result<(u64, JobReport), ClientError> {
+        self.run_inner(spec, policy, true)
+    }
+
+    fn run_inner(
+        &mut self,
+        spec: &JobSpec,
+        policy: &mut RetryPolicy,
+        direct: bool,
+    ) -> Result<(u64, JobReport), ClientError> {
         let job = loop {
-            match self.submit(spec)? {
+            let outcome = if direct {
+                self.submit_direct(spec)?
+            } else {
+                self.submit(spec)?
+            };
+            match outcome {
                 SubmitOutcome::Accepted(id) => break id,
-                SubmitOutcome::Busy { .. } => {
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(256));
-                }
+                SubmitOutcome::Busy { .. } => policy.pause()?,
             }
         };
         Ok((job, self.wait(job)?))
+    }
+}
+
+/// Outcome of one balanced submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancedRun {
+    /// Ring index of the shard that served the job.
+    pub shard: usize,
+    /// The job id on that shard.
+    pub job: u64,
+    /// The finished report.
+    pub report: JobReport,
+    /// How many shards were skipped (down, saturated past the
+    /// deadline, or dead mid-call) before one answered.
+    pub failovers: u32,
+}
+
+/// Client-side fleet router: owns one lazy connection per shard,
+/// hashes every submission's content key on the shared [`ShardRing`],
+/// and runs each job on its owning shard — falling over along the
+/// ring's rendezvous order when shards fail.
+///
+/// Failover semantics, in order, per submission:
+///
+/// 1. the owner is tried first with a plain submit (the server may
+///    know a better owner for the *canonical* key and answer
+///    [`Response::Redirect`]; the balancer follows that once);
+/// 2. a shard that is unreachable, sheds the connection, dies
+///    mid-call (one transparent reconnect is attempted first), or
+///    stays `Busy` past the policy deadline is skipped, and the next
+///    shard in rendezvous order is tried with a *direct* submit —
+///    bypassing ownership so the fallback shard cannot redirect back
+///    to the dead owner;
+/// 3. non-retryable failures (malformed workload, engine error, wire
+///    corruption) surface immediately — another shard would answer
+///    the same.
+///
+/// Submissions are idempotent under the content-addressed cache, so a
+/// retry on another shard costs at most one redundant cold run while
+/// the owner is down.
+///
+/// ```no_run
+/// use ss_server::{Balancer, JobSpec, RetryPolicy};
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let spec: JobSpec = todo!();
+/// let mut balancer = Balancer::new(vec![
+///     "127.0.0.1:7211".into(),
+///     "127.0.0.1:7212".into(),
+///     "127.0.0.1:7213".into(),
+/// ])?
+/// .with_policy(RetryPolicy::new().with_deadline(Duration::from_secs(30)));
+/// let run = balancer.run(&spec)?;
+/// println!("shard {} served job {}", run.shard, run.job);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Balancer {
+    ring: ShardRing,
+    conns: Vec<Option<Client>>,
+    policy: RetryPolicy,
+}
+
+impl Balancer {
+    /// Builds a balancer over the fleet's advertised addresses — the
+    /// exact strings the shards were configured with, in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] for a degenerate peer list.
+    pub fn new(peers: Vec<String>) -> Result<Balancer, ShardError> {
+        let ring = ShardRing::new(peers)?;
+        let conns = (0..ring.len()).map(|_| None).collect();
+        Ok(Balancer {
+            ring,
+            conns,
+            policy: RetryPolicy::new(),
+        })
+    }
+
+    /// Replaces the backoff policy (seeded for deterministic tests,
+    /// or deadline-bounded so saturation fails over instead of
+    /// blocking forever). The policy is reset before every shard
+    /// attempt.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Balancer {
+        self.policy = policy;
+        self
+    }
+
+    /// The placement ring this balancer routes on.
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Routes one submission: owner first, then rendezvous-ordered
+    /// failover.
+    ///
+    /// # Errors
+    ///
+    /// The last shard's error when every shard failed retryably, or
+    /// the first non-retryable error.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<BalancedRun, ClientError> {
+        let key = cache_key(spec);
+        let mut failovers = 0u32;
+        let mut last_err = None;
+        for (attempt, &shard) in self.ring.ranked(key).iter().enumerate() {
+            // fallback shards are submitted direct: they don't own the
+            // key, and redirecting back to a dead owner would loop
+            let direct = attempt > 0;
+            match self.run_on(shard, spec, direct) {
+                Ok((job, report)) => {
+                    return Ok(BalancedRun {
+                        shard,
+                        job,
+                        report,
+                        failovers,
+                    })
+                }
+                // the server computed ownership on the canonical key
+                // and knows better than our raw-text hash: follow once
+                Err(ClientError::Redirected(addr)) => match self.follow_redirect(&addr, spec) {
+                    Ok(run) => return Ok(run),
+                    Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
+                        failovers += 1;
+                        last_err = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
+                    failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Unexpected("no shards configured")))
+    }
+
+    /// Aggregate telemetry from every reachable shard, in ring order.
+    pub fn stats(&mut self) -> Vec<(String, Result<ServerStats, ClientError>)> {
+        (0..self.ring.len())
+            .map(|shard| {
+                let addr = self.ring.shards()[shard].clone();
+                let stats = self
+                    .ensure_conn(shard)
+                    .and_then(|_| self.conns[shard].as_mut().unwrap().stats());
+                if stats.is_err() {
+                    self.conns[shard] = None;
+                }
+                (addr, stats)
+            })
+            .collect()
+    }
+
+    fn ensure_conn(&mut self, shard: usize) -> Result<(), ClientError> {
+        if self.conns[shard].is_none() {
+            let addr = self.ring.shards()[shard].as_str();
+            self.conns[shard] = Some(Client::connect(addr)?);
+        }
+        Ok(())
+    }
+
+    /// Runs on one shard, transparently reconnecting once when an
+    /// idle-timed-out or dying connection drops mid-call.
+    fn run_on(
+        &mut self,
+        shard: usize,
+        spec: &JobSpec,
+        direct: bool,
+    ) -> Result<(u64, JobReport), ClientError> {
+        for fresh in [false, true] {
+            self.ensure_conn(shard)?;
+            self.policy.reset();
+            let client = self.conns[shard].as_mut().unwrap();
+            let result = if direct {
+                client.run_direct_with(spec, &mut self.policy)
+            } else {
+                client.run_with(spec, &mut self.policy)
+            };
+            match result {
+                Err(e @ ClientError::Disconnected(_)) => {
+                    self.conns[shard] = None;
+                    if fresh {
+                        return Err(e);
+                    }
+                }
+                other => return other,
+            }
+        }
+        unreachable!("second pass always returns")
+    }
+
+    /// Follows one redirect to the canonical owner; submits direct so
+    /// a confused peer can't bounce us again.
+    fn follow_redirect(&mut self, addr: &str, spec: &JobSpec) -> Result<BalancedRun, ClientError> {
+        if let Some(shard) = self.ring.shards().iter().position(|a| a == addr) {
+            let (job, report) = self.run_on(shard, spec, true)?;
+            return Ok(BalancedRun {
+                shard,
+                job,
+                report,
+                failovers: 0,
+            });
+        }
+        // an address outside our ring (rolling reconfiguration):
+        // honor it with a one-shot connection
+        let mut client = Client::connect(addr)?;
+        self.policy.reset();
+        let (job, report) = client.run_direct_with(spec, &mut self.policy)?;
+        Ok(BalancedRun {
+            shard: usize::MAX,
+            job,
+            report,
+            failovers: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Same seed, same sleep sequence; different seed, different
+    /// sequence; every sleep within [base, cap] — pinned so `Busy`
+    /// retry tests stay deterministic.
+    #[test]
+    fn seeded_backoff_is_deterministic_jitter() {
+        let mut a = RetryPolicy::seeded(7);
+        let mut b = RetryPolicy::seeded(7);
+        let mut c = RetryPolicy::seeded(8);
+        let sleeps_a: Vec<Duration> = (0..32).map(|_| a.next_sleep()).collect();
+        let sleeps_b: Vec<Duration> = (0..32).map(|_| b.next_sleep()).collect();
+        let sleeps_c: Vec<Duration> = (0..32).map(|_| c.next_sleep()).collect();
+        assert_eq!(sleeps_a, sleeps_b, "seeded jitter must be reproducible");
+        assert_ne!(sleeps_a, sleeps_c, "different seeds must decorrelate");
+        for s in &sleeps_a {
+            assert!(*s >= RetryPolicy::BASE && *s <= RetryPolicy::CAP, "{s:?}");
+        }
+        // jitter, not a ladder: the tail must not be one constant value
+        let tail = &sleeps_a[8..];
+        assert!(
+            tail.iter().any(|s| s != &tail[0]),
+            "backoff degenerated into a deterministic ladder"
+        );
+        // reset rewinds the ladder: the next sleep is near base again
+        a.reset();
+        assert_eq!((a.attempts(), a.waited), (0, Duration::ZERO));
+        assert!(a.next_sleep() < Duration::from_millis(3));
+    }
+
+    #[test]
+    fn deadline_zero_fails_without_sleeping() {
+        let mut policy = RetryPolicy::seeded(1).with_deadline(Duration::ZERO);
+        match policy.pause() {
+            Err(ClientError::DeadlineExceeded { waited, attempts }) => {
+                assert_eq!(waited, Duration::ZERO);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(ClientError::DeadlineExceeded {
+            waited: Duration::ZERO,
+            attempts: 1
+        }
+        .is_retryable());
+    }
+
+    /// A server that answers every submission `Busy` forever: the run
+    /// must absorb rejections with backoff and fail over to
+    /// `DeadlineExceeded` instead of spinning for eternity.
+    #[test]
+    fn run_with_deadline_escapes_a_saturated_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // refuse the hello so the client drops to legacy framing,
+            // then answer every request Busy
+            let _ = read_frame(&mut stream).unwrap();
+            write_frame(&mut stream, &Response::Error("no codec".into()).encode()).unwrap();
+            while let Ok(payload) = read_frame(&mut stream) {
+                assert!(matches!(Request::decode(&payload), Ok(Request::Submit(_))));
+                let reply = Response::Busy {
+                    queued: 4,
+                    capacity: 4,
+                };
+                if write_frame(&mut stream, &reply.encode_versioned(2)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.version(), 2, "fake server forces legacy");
+        let mut policy = RetryPolicy::seeded(42).with_deadline(Duration::from_millis(20));
+        let spec = JobSpec {
+            set_text: "chains 1 depth 2\n1X\n".to_string(),
+            window: 16,
+            segment: 4,
+            speedup: 4,
+            lfsr_size: 0,
+            lfsr_kind: ss_lfsr::LfsrKind::Galois,
+            ps_taps: 3,
+            hw_seed: 1,
+            fill_seed: 1,
+        };
+        match client.run_with(&spec, &mut policy) {
+            Err(ClientError::DeadlineExceeded { waited, attempts }) => {
+                assert!(attempts >= 2, "only {attempts} rejections absorbed");
+                assert!(waited >= Duration::from_millis(20));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        drop(client);
+        server.join().unwrap();
     }
 }

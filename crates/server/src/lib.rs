@@ -43,6 +43,15 @@
 //! # }
 //! ```
 //!
+//! Beyond one node, the same artifacts shard horizontally: they are
+//! pure functions of `(cube text, knobs)`, so [`shard::ShardRing`]
+//! partitions the content-key space across a fleet by rendezvous
+//! hashing, the client-side [`Balancer`] routes each submission to
+//! its owning shard (failing over down the ring when shards die), and
+//! a sharded server redirects misrouted v4 submissions to the owner —
+//! keeping the cold computation exactly-once *cluster-wide* and
+//! growing aggregate cache capacity linearly with the shard count.
+//!
 //! The `state-skip` binary wires this up as `state-skip serve` /
 //! `state-skip submit`; `crates/bench/benches/server_stress.rs` fans
 //! concurrent clients over the whole registry corpus and records
@@ -58,9 +67,12 @@ pub mod codec;
 mod proptests;
 pub mod protocol;
 mod server;
+pub mod shard;
 
 pub use cache::{cache_key, ArtifactCache, CacheStats, CachedArtifacts, Fnv64};
-pub use client::{Client, ClientError, JobStatus, SubmitOutcome};
+pub use client::{
+    BalancedRun, Balancer, Client, ClientError, JobStatus, RetryPolicy, SubmitOutcome,
+};
 pub use codec::{
     Codec, CodecConfig, CodecError, Transport, WireStats, DEFAULT_CHUNK_BYTES, MAX_CHUNK_BYTES,
     MAX_MESSAGE_BYTES, MIN_CHUNK_BYTES,
@@ -70,6 +82,7 @@ pub use protocol::{
     ServerStats, TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
+pub use shard::{ShardError, ShardRing, ShardSpec};
 
 // the digest moved to `ss-store` (every artifact file embeds it);
 // re-exported so `ss_server::report_digest` keeps resolving

@@ -100,6 +100,12 @@ fn stats() -> ServerStats {
             raw_rx_bytes: 512,
             wire_rx_bytes: 600,
         },
+        connections_active: 2,
+        connections_max: 128,
+        connections_shed: 6,
+        redirects: 3,
+        shard_id: 1,
+        shard_count: 3,
     }
 }
 
@@ -108,6 +114,7 @@ fn requests() -> Vec<Request> {
     vec![
         Request::Hello(CodecConfig::preferred()),
         Request::Submit(spec()),
+        Request::SubmitDirect(spec()),
         Request::Poll(7),
         Request::Wait(u64::MAX),
         Request::Stats,
@@ -132,6 +139,7 @@ fn responses() -> Vec<Response> {
             compress: false,
             chunk_bytes: MIN_CHUNK_BYTES,
         }),
+        Response::Redirect("127.0.0.1:7212".to_string()),
     ]
 }
 
@@ -143,8 +151,8 @@ fn all_payloads() -> Vec<Vec<u8>> {
     for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
         for request in requests() {
             let payload = request.encode_versioned(version);
-            // Hello always stamps v3; everything else round-trips at
-            // the stamped version
+            // Hello/SubmitDirect stamp their birth version; everything
+            // else round-trips at the stamped version
             if Request::decode(&payload).is_ok() {
                 payloads.push(payload);
             }
@@ -164,24 +172,35 @@ fn every_message_round_trips_at_every_version() {
     for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
         for request in requests() {
             let payload = request.encode_versioned(version);
-            match (&request, Request::decode(&payload)) {
-                (Request::Hello(_), Ok(back)) => assert_eq!(back, request),
-                (Request::Hello(_), Err(_)) => {
-                    unreachable!("Hello always stamps v3 and must decode")
-                }
-                (_, back) => assert_eq!(back.as_ref(), Ok(&request), "v{version}"),
-            }
+            // Hello and SubmitDirect force their birth version up; the
+            // rest round-trip at the stamped version
+            assert_eq!(
+                Request::decode(&payload).as_ref(),
+                Ok(&request),
+                "v{version}"
+            );
         }
         for response in responses() {
             let payload = response.encode_versioned(version);
             let back = Response::decode(&payload);
             match &response {
-                // HelloAck is v3-born; codec counters only survive a
-                // v3 stats layout
-                Response::HelloAck(_) => assert_eq!(back, Ok(response.clone())),
-                Response::Stats(s) if version < 3 => {
+                // HelloAck and Redirect are version-floored; each
+                // counter block only survives its own generation's
+                // stats layout
+                Response::HelloAck(_) | Response::Redirect(_) => {
+                    assert_eq!(back, Ok(response.clone()));
+                }
+                Response::Stats(s) if version < 4 => {
                     let mut expect = *s;
-                    expect.codec = CodecCounters::default();
+                    if version < 3 {
+                        expect.codec = CodecCounters::default();
+                    }
+                    expect.connections_active = 0;
+                    expect.connections_max = 0;
+                    expect.connections_shed = 0;
+                    expect.redirects = 0;
+                    expect.shard_id = 0;
+                    expect.shard_count = 0;
                     assert_eq!(back, Ok(Response::Stats(expect)));
                 }
                 _ => assert_eq!(back, Ok(response.clone()), "v{version}"),

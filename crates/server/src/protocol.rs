@@ -27,6 +27,14 @@
 //! `Hello` and keeps the one-message-one-frame scheme unchanged; a
 //! v3 server accepts both generations on the same port.
 //!
+//! Version 4 adds the fleet surface: [`Request::SubmitDirect`] (a
+//! submission that bypasses the shard-ownership check — the balancer's
+//! failover path), [`Response::Redirect`] (a sharded server telling a
+//! v4 peer which shard owns the submitted key), and connection-gate /
+//! shard counters appended to [`ServerStats`]. A server mirrors each
+//! peer's generation — a v3 `Hello` is acked at v3 and the connection
+//! stays on the v3 layout — so every older client keeps working.
+//!
 //! The version byte leads the payload so a future protocol bump is
 //! detected before any tag is interpreted; a server that receives an
 //! unknown version replies [`Response::Error`] (whose encoding is
@@ -48,8 +56,10 @@ use crate::codec::{CodecConfig, MAX_MESSAGE_BYTES};
 /// counters, per-phase latency histograms and persistent-store
 /// telemetry; 3 — `Hello`/`HelloAck` codec negotiation (chunked
 /// streaming, per-chunk CRC-32, optional compression) and
-/// [`CodecCounters`] appended to [`ServerStats`].
-pub const PROTOCOL_VERSION: u8 = 3;
+/// [`CodecCounters`] appended to [`ServerStats`]; 4 — the fleet
+/// surface: `SubmitDirect`, `Redirect`, and connection-gate + shard
+/// counters appended to [`ServerStats`].
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Oldest protocol version this build still decodes. Messages from a
 /// v2 peer are answered in v2 layout, so old clients keep working
@@ -377,6 +387,23 @@ pub struct ServerStats {
     /// Wire-codec telemetry (v3-only on the wire; zeroed when talking
     /// to a v2 server).
     pub codec: CodecCounters,
+    /// Connections currently inside the bounded accept gate (v4-only
+    /// on the wire; zeroed when talking to an older server).
+    pub connections_active: u32,
+    /// Concurrent-connection bound of the accept gate (v4-only).
+    pub connections_max: u32,
+    /// Connections shed at the gate with a `Busy` reply because the
+    /// bound was reached (v4-only).
+    pub connections_shed: u64,
+    /// Misrouted v4 submissions answered with [`Response::Redirect`]
+    /// to the owning shard (v4-only).
+    pub redirects: u64,
+    /// This server's index into the fleet peer list (v4-only; 0 when
+    /// unsharded — check `shard_count` first).
+    pub shard_id: u32,
+    /// Shards in the fleet this server belongs to (v4-only; 0 means
+    /// the server is not sharded).
+    pub shard_count: u32,
 }
 
 /// Client → server messages.
@@ -386,8 +413,15 @@ pub enum Request {
     /// with `HelloAck` carrying the agreed configuration. Travels as a
     /// plain frame — the codec starts with the *next* message.
     Hello(CodecConfig),
-    /// Submit a job; answered with `Accepted` or `Busy`.
+    /// Submit a job; answered with `Accepted` or `Busy` — or, on a
+    /// sharded server that does not own the job's content key,
+    /// `Redirect` (v4 peers only; older peers are served locally).
     Submit(JobSpec),
+    /// Submit a job to *this* shard regardless of key ownership
+    /// (v4-born): the balancer's failover path when the owning shard
+    /// is down, and the reason a redirect chain can never loop.
+    /// Answered with `Accepted` or `Busy`, never `Redirect`.
+    SubmitDirect(JobSpec),
     /// Ask where a job is; answered with `Phase`, `Done` or `Failed`.
     Poll(u64),
     /// Block until a job finishes; answered with `Done` or `Failed`.
@@ -428,6 +462,11 @@ pub enum Response {
     /// Travels as a plain frame — the codec starts with the *next*
     /// message.
     HelloAck(CodecConfig),
+    /// This shard does not own the submitted key (v4-born): the
+    /// payload is the owning shard's advertised address. Only ever
+    /// answers [`Request::Submit`] — a `SubmitDirect` is always served
+    /// locally, so following one redirect always terminates.
+    Redirect(String),
 }
 
 // ---------------------------------------------------------------- tags
@@ -437,6 +476,7 @@ const TAG_POLL: u8 = 2;
 const TAG_WAIT: u8 = 3;
 const TAG_STATS: u8 = 4;
 const TAG_HELLO: u8 = 5;
+const TAG_SUBMIT_DIRECT: u8 = 6;
 
 const TAG_ACCEPTED: u8 = 101;
 const TAG_BUSY: u8 = 102;
@@ -446,6 +486,7 @@ const TAG_FAILED: u8 = 105;
 const TAG_STATS_REPLY: u8 = 106;
 const TAG_ERROR: u8 = 107;
 const TAG_HELLO_ACK: u8 = 108;
+const TAG_REDIRECT: u8 = 109;
 
 // ------------------------------------------------------------- writer
 
@@ -713,10 +754,19 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats, version: u8) {
     if version >= 3 {
         put_codec_counters(buf, &s.codec);
     }
+    // ... and v3 peers here: the fleet counters are v4-born
+    if version >= 4 {
+        put_u32(buf, s.connections_active);
+        put_u32(buf, s.connections_max);
+        put_u64(buf, s.connections_shed);
+        put_u64(buf, s.redirects);
+        put_u32(buf, s.shard_id);
+        put_u32(buf, s.shard_count);
+    }
 }
 
 fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError> {
-    Ok(ServerStats {
+    let mut stats = ServerStats {
         workers: r.u32()?,
         queue_capacity: r.u32()?,
         queued: r.u32()?,
@@ -736,7 +786,17 @@ fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError>
         } else {
             CodecCounters::default()
         },
-    })
+        ..ServerStats::default()
+    };
+    if version >= 4 {
+        stats.connections_active = r.u32()?;
+        stats.connections_max = r.u32()?;
+        stats.connections_shed = r.u64()?;
+        stats.redirects = r.u64()?;
+        stats.shard_id = r.u32()?;
+        stats.shard_count = r.u32()?;
+    }
+    Ok(stats)
 }
 
 /// Validates a payload's leading version byte against the supported
@@ -762,7 +822,8 @@ impl Request {
     }
 
     /// Serialises into a frame payload stamped with `version`
-    /// (`Hello` is v3-born and always stamps version 3).
+    /// (`Hello` always stamps the sender's own generation — it *is*
+    /// the version offer — and `SubmitDirect` is v4-born).
     pub fn encode_versioned(&self, version: u8) -> Vec<u8> {
         let mut buf = vec![version];
         match self {
@@ -773,6 +834,11 @@ impl Request {
             }
             Request::Submit(spec) => {
                 put_u8(&mut buf, TAG_SUBMIT);
+                put_spec(&mut buf, spec);
+            }
+            Request::SubmitDirect(spec) => {
+                buf[0] = version.max(4);
+                put_u8(&mut buf, TAG_SUBMIT_DIRECT);
                 put_spec(&mut buf, spec);
             }
             Request::Poll(job) => {
@@ -800,6 +866,7 @@ impl Request {
         let version = check_version(r.u8()?)?;
         let request = match r.u8()? {
             TAG_HELLO if version >= 3 => Request::Hello(read_codec_config(&mut r)?),
+            TAG_SUBMIT_DIRECT if version >= 4 => Request::SubmitDirect(read_spec(&mut r)?),
             TAG_SUBMIT => Request::Submit(read_spec(&mut r)?),
             TAG_POLL => Request::Poll(r.u64()?),
             TAG_WAIT => Request::Wait(r.u64()?),
@@ -819,7 +886,10 @@ impl Response {
 
     /// Serialises into a frame payload stamped with `version`, using
     /// that version's layout (a v2 `Stats` reply omits the codec
-    /// counters; `HelloAck` is v3-born and always stamps version 3).
+    /// counters, a v3 one the fleet counters; `HelloAck` is v3-born
+    /// and stamps at least version 3 — a v4 server acking a v3 peer
+    /// stamps 3, which is how the connection's generation is agreed;
+    /// `Redirect` is v4-born).
     pub fn encode_versioned(&self, version: u8) -> Vec<u8> {
         let mut buf = vec![version];
         match self {
@@ -859,9 +929,14 @@ impl Response {
                 put_str(&mut buf, message);
             }
             Response::HelloAck(config) => {
-                buf[0] = PROTOCOL_VERSION;
+                buf[0] = version.max(3);
                 put_u8(&mut buf, TAG_HELLO_ACK);
                 put_codec_config(&mut buf, config);
+            }
+            Response::Redirect(addr) => {
+                buf[0] = version.max(4);
+                put_u8(&mut buf, TAG_REDIRECT);
+                put_str(&mut buf, addr);
             }
         }
         buf
@@ -891,6 +966,7 @@ impl Response {
             TAG_STATS_REPLY => Response::Stats(read_stats(&mut r, version)?),
             TAG_ERROR => Response::Error(r.string()?),
             TAG_HELLO_ACK if version >= 3 => Response::HelloAck(read_codec_config(&mut r)?),
+            TAG_REDIRECT if version >= 4 => Response::Redirect(r.string()?),
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -981,6 +1057,7 @@ mod tests {
     fn every_message_round_trips() {
         let requests = [
             Request::Submit(spec()),
+            Request::SubmitDirect(spec()),
             Request::Poll(7),
             Request::Wait(u64::MAX),
             Request::Stats,
@@ -1048,12 +1125,19 @@ mod tests {
                     raw_rx_bytes: 1 << 21,
                     wire_rx_bytes: 1 << 19,
                 },
+                connections_active: 3,
+                connections_max: 256,
+                connections_shed: 12,
+                redirects: 4,
+                shard_id: 1,
+                shard_count: 3,
             }),
             Response::Error("unknown job id 9".to_string()),
             Response::HelloAck(CodecConfig {
                 compress: true,
                 chunk_bytes: 4096,
             }),
+            Response::Redirect("127.0.0.1:7212".to_string()),
         ];
         for response in responses {
             assert_eq!(Response::decode(&response.encode()), Ok(response));
@@ -1091,6 +1175,12 @@ mod tests {
         let mut stats = ServerStats {
             workers: 2,
             jobs_done: 9,
+            connections_active: 1,
+            connections_max: 64,
+            connections_shed: 3,
+            redirects: 5,
+            shard_id: 2,
+            shard_count: 4,
             ..ServerStats::default()
         };
         stats.codec.connections_v3 = 7;
@@ -1099,21 +1189,34 @@ mod tests {
 
         let v2 = reply.encode_versioned(2);
         let v3 = reply.encode_versioned(3);
+        let v4 = reply.encode_versioned(4);
         assert_eq!(v2[0], 2);
         assert_eq!(v3[0], 3);
-        // the v2 layout is exactly the v3 layout minus the trailing
-        // codec counters (and the version stamp)
+        assert_eq!(v4[0], 4);
+        // each generation's layout is exactly the next one minus its
+        // trailing counter block (and the version stamp)
         assert_eq!(v3.len() - v2.len(), 9 * 8);
         assert_eq!(v2[1..], v3[1..v2.len()]);
+        assert_eq!(v4.len() - v3.len(), 4 + 4 + 8 + 8 + 4 + 4);
+        assert_eq!(v3[1..], v4[1..v3.len()]);
 
         match Response::decode(&v2).unwrap() {
             Response::Stats(back) => {
                 assert_eq!(back.jobs_done, 9);
                 assert_eq!(back.codec, CodecCounters::default());
+                assert_eq!(back.shard_count, 0);
             }
             other => panic!("v2 stats decoded as {other:?}"),
         }
-        assert_eq!(Response::decode(&v3), Ok(reply));
+        match Response::decode(&v3).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(back.codec.connections_v3, 7);
+                assert_eq!(back.connections_shed, 0, "fleet counters are v4-born");
+                assert_eq!(back.shard_count, 0);
+            }
+            other => panic!("v3 stats decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v4), Ok(reply));
 
         // every v2-stamped request round-trips at the old layout too
         for request in [Request::Poll(3), Request::Wait(4), Request::Stats] {
@@ -1121,6 +1224,41 @@ mod tests {
             assert_eq!(payload[0], 2);
             assert_eq!(Request::decode(&payload), Ok(request));
         }
+    }
+
+    #[test]
+    fn fleet_messages_are_v4_born() {
+        // SubmitDirect and Redirect refuse to encode below v4 (the
+        // stamp is forced up) and refuse to decode below v4 (an older
+        // build would answer BadTag, exactly what a real one does)
+        let direct = Request::SubmitDirect(spec());
+        let payload = direct.encode_versioned(2);
+        assert_eq!(payload[0], 4);
+        assert_eq!(Request::decode(&payload), Ok(direct));
+        let mut downgraded = payload;
+        downgraded[0] = 3;
+        assert_eq!(
+            Request::decode(&downgraded),
+            Err(WireError::BadTag(TAG_SUBMIT_DIRECT))
+        );
+
+        let redirect = Response::Redirect("127.0.0.1:7213".to_string());
+        let payload = redirect.encode_versioned(3);
+        assert_eq!(payload[0], 4);
+        assert_eq!(Response::decode(&payload), Ok(redirect));
+        let mut downgraded = payload;
+        downgraded[0] = 2;
+        assert_eq!(
+            Response::decode(&downgraded),
+            Err(WireError::BadTag(TAG_REDIRECT))
+        );
+
+        // a v4 server acking a v3 peer stamps the ack at the peer's
+        // generation — that is the whole version-mirroring contract
+        let ack = Response::HelloAck(CodecConfig::preferred());
+        assert_eq!(ack.encode_versioned(3)[0], 3);
+        assert_eq!(ack.encode_versioned(4)[0], 4);
+        assert_eq!(ack.encode_versioned(2)[0], 3, "HelloAck is v3-born");
     }
 
     #[test]

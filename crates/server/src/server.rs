@@ -26,7 +26,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -43,6 +43,7 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::report_digest;
+use crate::shard::{ShardError, ShardRing, ShardSpec};
 
 /// How long a connection may sit idle between requests before the
 /// handler closes it (keeps abandoned sockets from pinning threads).
@@ -58,6 +59,11 @@ const WAIT_TICK: Duration = Duration::from_millis(100);
 /// depth, so a client that submitted a job always has ample time to
 /// collect it.
 const FINISHED_RETENTION: usize = 4096;
+
+/// Concurrent-connection bound when [`ServeOptions::max_connections`]
+/// is 0. Far above any sane client fleet, far below the OS thread
+/// ceiling a connection flood would otherwise hit.
+const DEFAULT_MAX_CONNECTIONS: usize = 256;
 
 /// Tunables for [`Server::bind`]. `Default` is a loopback address on
 /// an OS-assigned port, one worker per hardware thread, a 256 MiB
@@ -78,6 +84,15 @@ pub struct ServeOptions {
     /// existing artifacts warm-start the index on boot, and every cold
     /// job writes through to it.
     pub store_dir: Option<PathBuf>,
+    /// Concurrent-connection bound; one handler thread exists per
+    /// active connection, and an accepted connection past the bound is
+    /// shed with a `Busy` reply instead of a thread. 0 means the
+    /// default of 256.
+    pub max_connections: usize,
+    /// Fleet membership, when this server is one shard of a sharded
+    /// tier: the full peer list and this server's index into it.
+    /// `None` serves every key itself (single-node mode).
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServeOptions {
@@ -88,6 +103,8 @@ impl Default for ServeOptions {
             cache_bytes: 256 << 20,
             queue_depth: 0,
             store_dir: None,
+            max_connections: 0,
+            shard: None,
         }
     }
 }
@@ -238,6 +255,13 @@ impl CodecTelemetry {
     }
 }
 
+/// A sharded server's placement state: the fleet ring and this
+/// server's own index in it.
+struct ShardState {
+    ring: ShardRing,
+    id: usize,
+}
+
 /// State shared by the accept loop, connection handlers and workers.
 struct Shared {
     queue: Mutex<VecDeque<QueuedJob>>,
@@ -258,6 +282,16 @@ struct Shared {
     jobs_done: AtomicU64,
     busy_rejections: AtomicU64,
     coalesced: AtomicU64,
+    /// Fleet placement; `None` in single-node mode.
+    shards: Option<ShardState>,
+    /// Live connection handlers (the accept gate's level).
+    conn_active: AtomicUsize,
+    /// The accept gate's bound.
+    conn_max: usize,
+    /// Connections shed at the gate.
+    conn_shed: AtomicU64,
+    /// Plain submissions answered with the owner's address.
+    redirects: AtomicU64,
     stop: AtomicBool,
     workers: usize,
     queue_capacity: usize,
@@ -268,7 +302,12 @@ struct Shared {
 #[derive(Debug)]
 enum Enqueue {
     Accepted(u64),
-    Busy { queued: u32, capacity: u32 },
+    Busy {
+        queued: u32,
+        capacity: u32,
+    },
+    /// Another shard owns this key; the payload is its address.
+    Redirect(String),
 }
 
 impl Shared {
@@ -278,6 +317,7 @@ impl Shared {
         cache_bytes: usize,
         job_threads: usize,
         disk: Option<DiskTier>,
+        conn_max: usize,
     ) -> Self {
         Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -294,6 +334,11 @@ impl Shared {
             jobs_done: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shards: None,
+            conn_active: AtomicUsize::new(0),
+            conn_max,
+            conn_shed: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             workers,
             queue_capacity,
@@ -302,9 +347,17 @@ impl Shared {
     }
 
     /// Validates a spec, canonicalises its workload text and either
-    /// queues it (`Accepted`) or applies backpressure (`Busy`). The
-    /// error carries a client-facing message.
-    fn try_enqueue(&self, mut spec: JobSpec) -> Result<Enqueue, String> {
+    /// queues it (`Accepted`), applies backpressure (`Busy`), or —
+    /// sharded, non-`direct`, and the canonical key belongs to another
+    /// shard — answers the owner's address (`Redirect`). The error
+    /// carries a client-facing message.
+    ///
+    /// `direct` submissions (`SubmitDirect`, and every plain submit
+    /// from a pre-v4 peer, which could not parse a redirect) always
+    /// execute locally: that is the balancer's failover path onto a
+    /// non-owner, which must never be bounced back toward a dead
+    /// owner.
+    fn try_enqueue(&self, mut spec: JobSpec, direct: bool) -> Result<Enqueue, String> {
         let set = TestSet::from_text(&spec.set_text).map_err(|e| format!("cube file: {e}"))?;
         if set.is_empty() {
             return Err("cube file: test set is empty".to_string());
@@ -314,6 +367,18 @@ impl Shared {
         // reject bad knobs at the door, not in a worker
         engine_from_spec(&spec, self.job_threads).map_err(|e| format!("config: {e}"))?;
         let key = cache_key(&spec);
+
+        // ownership is decided on the canonical key, so a client that
+        // hashed non-canonical text still converges in one redirect
+        if !direct {
+            if let Some(state) = &self.shards {
+                let owner = state.ring.owner(key);
+                if owner != state.id {
+                    self.redirects.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Enqueue::Redirect(state.ring.shards()[owner].clone()));
+                }
+            }
+        }
 
         let mut queue = self.queue.lock().expect("queue mutex");
         if queue.len() >= self.queue_capacity {
@@ -383,6 +448,13 @@ impl Shared {
             embed: phases.embed,
             segment: phases.segment,
             codec: self.codec.snapshot(),
+            connections_active: self.conn_active.load(Ordering::Relaxed) as u32,
+            connections_max: self.conn_max as u32,
+            connections_shed: self.conn_shed.load(Ordering::Relaxed),
+            redirects: self.redirects.load(Ordering::Relaxed),
+            shard_id: self.shards.as_ref().map_or(0, |s| s.id as u32),
+            // 0 = single-node; a sharded server reports its fleet size
+            shard_count: self.shards.as_ref().map_or(0, |s| s.ring.len() as u32),
         }
     }
 }
@@ -718,15 +790,29 @@ fn set_state(shared: &Shared, id: u64, state: JobState) {
 }
 
 /// Answers one decoded request. `Wait` blocks (with a stop check);
-/// everything else is immediate.
-fn respond(shared: &Shared, request: Request) -> Response {
+/// everything else is immediate. `version` is the connection's agreed
+/// protocol generation: a pre-v4 peer cannot parse `Redirect`, so its
+/// plain submissions are served locally even on a non-owner shard
+/// (exactly-once cluster-wide is a property of v4/balancer traffic;
+/// legacy traffic degrades to at-least-once with bit-identical
+/// answers).
+fn respond(shared: &Shared, request: Request, version: u8) -> Response {
     match request {
         // negotiation is handled at the connection layer; a second
         // Hello mid-connection is a protocol violation
         Request::Hello(_) => Response::Error("codec already negotiated".to_string()),
-        Request::Submit(spec) => match shared.try_enqueue(spec) {
+        Request::Submit(spec) => match shared.try_enqueue(spec, version < 4) {
             Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
             Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
+            Ok(Enqueue::Redirect(addr)) => Response::Redirect(addr),
+            Err(message) => Response::Error(message),
+        },
+        Request::SubmitDirect(spec) => match shared.try_enqueue(spec, true) {
+            Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
+            Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
+            Ok(Enqueue::Redirect(_)) => {
+                unreachable!("direct submissions are never redirected")
+            }
             Err(message) => Response::Error(message),
         },
         Request::Poll(id) => {
@@ -809,14 +895,22 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let response = match Request::decode(&payload) {
             Ok(Request::Hello(offer)) if !transport.is_framed() => {
                 let agreed = CodecConfig::negotiate(offer);
-                version = PROTOCOL_VERSION;
+                // the connection runs at min(peer, us): the ack's
+                // version byte mirrors the agreement back, so a newer
+                // client downgrades itself instead of sending messages
+                // this build can't parse
+                version = match peek_version(&payload) {
+                    Some(v) if v < PROTOCOL_VERSION => v,
+                    _ => PROTOCOL_VERSION,
+                };
                 if !counted {
                     counted = true;
                     shared.codec.connections_v3.fetch_add(1, Ordering::Relaxed);
                 }
                 // the ack travels as a plain frame; the codec applies
                 // from the next message on
-                if write_frame(&mut stream, &Response::HelloAck(agreed).encode()).is_err() {
+                let ack = Response::HelloAck(agreed).encode_versioned(version);
+                if write_frame(&mut stream, &ack).is_err() {
                     return;
                 }
                 transport = Transport::Framed(Codec::new(agreed));
@@ -834,7 +928,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                         _ => PROTOCOL_VERSION,
                     };
                 }
-                respond(shared, request)
+                respond(shared, request, version)
             }
             Err(e) => Response::Error(e.to_string()),
         };
@@ -848,6 +942,74 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
         if shared.stop.load(Ordering::Relaxed) {
             return;
+        }
+    }
+}
+
+/// A live slot in the accept gate: incremented on acquire, released
+/// on drop — in every handler exit path, including panics, so a
+/// crashing connection can never leak its slot.
+struct ConnPermit {
+    shared: Arc<Shared>,
+}
+
+impl ConnPermit {
+    /// Claims a slot, or `None` when the gate is full. Lock-free: a
+    /// compare-exchange loop on the active count.
+    fn try_acquire(shared: &Arc<Shared>) -> Option<ConnPermit> {
+        let mut active = shared.conn_active.load(Ordering::Relaxed);
+        loop {
+            if active >= shared.conn_max {
+                return None;
+            }
+            match shared.conn_active.compare_exchange_weak(
+                active,
+                active + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(ConnPermit {
+                        shared: Arc::clone(shared),
+                    })
+                }
+                Err(now) => active = now,
+            }
+        }
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.shared.conn_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Dispatches one accepted connection: a handler thread inside the
+/// gate, or a shed `Busy` reply on the accept thread when the gate is
+/// full — the flood case costs one bounded write, never a thread.
+fn dispatch_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    match ConnPermit::try_acquire(shared) {
+        Some(permit) => {
+            let shared = Arc::clone(shared);
+            thread::spawn(move || {
+                handle_connection(&shared, stream);
+                drop(permit);
+            });
+        }
+        None => {
+            shared.conn_shed.fetch_add(1, Ordering::Relaxed);
+            // a plain v2-stamped frame every client generation parses:
+            // the codec never negotiated, and Busy's layout is
+            // version-invariant. Bounded write so a dead peer can't
+            // stall the accept loop.
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let reply = Response::Busy {
+                queued: shared.conn_max as u32,
+                capacity: shared.conn_max as u32,
+            }
+            .encode_versioned(MIN_PROTOCOL_VERSION);
+            let _ = write_frame(&mut stream, &reply);
         }
     }
 }
@@ -893,7 +1055,12 @@ impl Server {
             })?),
             None => None,
         };
-        Ok(Server {
+        let max_connections = if options.max_connections == 0 {
+            DEFAULT_MAX_CONNECTIONS
+        } else {
+            options.max_connections
+        };
+        let mut server = Server {
             listener,
             shared: Arc::new(Shared::new(
                 workers,
@@ -901,8 +1068,32 @@ impl Server {
                 options.cache_bytes,
                 job_threads,
                 disk,
+                max_connections,
             )),
-        })
+        };
+        if let Some(spec) = &options.shard {
+            server.set_shards(spec.clone()).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("shard config: {e}"))
+            })?;
+        }
+        Ok(server)
+    }
+
+    /// Configures fleet membership on a bound-but-not-yet-serving
+    /// server. This exists apart from [`ServeOptions::shard`] for
+    /// tests that bind several servers on port 0 and only then know
+    /// the fleet's real addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] for a degenerate peer list or an out-of-range
+    /// id.
+    pub fn set_shards(&mut self, spec: ShardSpec) -> Result<(), ShardError> {
+        let ring = spec.ring()?;
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("set_shards is called before any thread shares the server state");
+        shared.shards = Some(ShardState { ring, id: spec.id });
+        Ok(())
     }
 
     /// The actual bound address (resolves port 0).
@@ -938,8 +1129,7 @@ impl Server {
         }
         loop {
             let (stream, _) = self.listener.accept()?;
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || handle_connection(&shared, stream));
+            dispatch_connection(&shared, stream);
         }
     }
 
@@ -964,8 +1154,7 @@ impl Server {
                 if accept_shared.stop.load(Ordering::Relaxed) {
                     return;
                 }
-                let shared = Arc::clone(&accept_shared);
-                thread::spawn(move || handle_connection(&shared, stream));
+                dispatch_connection(&accept_shared, stream);
             }
         });
         ServerHandle {
@@ -1047,19 +1236,19 @@ mod tests {
     /// `Busy` and nothing is buffered past the bound.
     #[test]
     fn bounded_queue_rejects_with_busy_never_buffers() {
-        let shared = Shared::new(1, 2, 1 << 20, 1, None);
+        let shared = Shared::new(1, 2, 1 << 20, 1, None, 256);
         let spec = mini_spec();
         for _ in 0..2 {
             assert!(matches!(
-                shared.try_enqueue(spec.clone()),
+                shared.try_enqueue(spec.clone(), false),
                 Ok(Enqueue::Accepted(_))
             ));
         }
-        match shared.try_enqueue(spec.clone()).unwrap() {
+        match shared.try_enqueue(spec.clone(), false).unwrap() {
             Enqueue::Busy { queued, capacity } => {
                 assert_eq!((queued, capacity), (2, 2));
             }
-            Enqueue::Accepted(_) => panic!("queue overflowed its bound"),
+            other => panic!("queue overflowed its bound: {other:?}"),
         }
         assert_eq!(shared.queue.lock().unwrap().len(), 2);
         assert_eq!(shared.stats().busy_rejections, 1);
@@ -1072,8 +1261,8 @@ mod tests {
         // regression: the Queued insert must precede queue visibility,
         // or a fast worker's finished state gets clobbered by the
         // submitter and the job hangs as Queued forever
-        let shared = Shared::new(1, 4, 1 << 20, 1, None);
-        let Enqueue::Accepted(id) = shared.try_enqueue(mini_spec()).unwrap() else {
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let Enqueue::Accepted(id) = shared.try_enqueue(mini_spec(), false).unwrap() else {
             panic!("queue has room");
         };
         // simulate the fast worker: pop and finish before the
@@ -1083,14 +1272,14 @@ mod tests {
         set_state(&shared, id, JobState::Failed("finished first".into()));
         // try_enqueue already returned: nothing may overwrite this
         assert!(matches!(
-            respond(&shared, Request::Poll(id)),
+            respond(&shared, Request::Poll(id), PROTOCOL_VERSION),
             Response::Failed(_)
         ));
     }
 
     #[test]
     fn finished_retention_is_bounded_and_evicts_oldest() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
         let overflow = 50u64;
         for id in 0..(FINISHED_RETENTION as u64 + overflow) {
             set_state(&shared, id, JobState::Failed("x".into()));
@@ -1108,8 +1297,8 @@ mod tests {
 
     #[test]
     fn workers_abandon_the_backlog_on_stop() {
-        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1, None));
-        shared.try_enqueue(mini_spec()).unwrap();
+        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1, None, 256));
+        shared.try_enqueue(mini_spec(), false).unwrap();
         shared.stop.store(true, Ordering::Relaxed);
         let worker = Arc::clone(&shared);
         thread::spawn(move || worker_loop(&worker))
@@ -1125,28 +1314,31 @@ mod tests {
 
     #[test]
     fn invalid_submissions_fail_at_the_door() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
         let mut bad = mini_spec();
         bad.set_text = "no header".to_string();
-        assert!(shared.try_enqueue(bad).is_err());
+        assert!(shared.try_enqueue(bad, false).is_err());
         let mut bad = mini_spec();
         bad.segment = 0;
-        assert!(shared.try_enqueue(bad).unwrap_err().starts_with("config:"));
+        assert!(shared
+            .try_enqueue(bad, false)
+            .unwrap_err()
+            .starts_with("config:"));
         let mut empty = mini_spec();
         empty.set_text = "chains 2 depth 3\n".to_string();
-        assert!(shared.try_enqueue(empty).is_err());
+        assert!(shared.try_enqueue(empty, false).is_err());
         assert_eq!(shared.queue.lock().unwrap().len(), 0);
     }
 
     #[test]
     fn poll_and_wait_know_unknown_jobs() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
         assert!(matches!(
-            respond(&shared, Request::Poll(99)),
+            respond(&shared, Request::Poll(99), PROTOCOL_VERSION),
             Response::Error(_)
         ));
         assert!(matches!(
-            respond(&shared, Request::Wait(99)),
+            respond(&shared, Request::Wait(99), PROTOCOL_VERSION),
             Response::Error(_)
         ));
     }
@@ -1155,10 +1347,10 @@ mod tests {
     /// time and produces an identical report (modulo telemetry).
     #[test]
     fn execute_is_deterministic_and_cache_flags_are_honest() {
-        let shared = Shared::new(1, 4, 64 << 20, 1, None);
+        let shared = Shared::new(1, 4, 64 << 20, 1, None, 256);
         let spec = mini_spec();
-        shared.try_enqueue(spec.clone()).unwrap();
-        shared.try_enqueue(spec).unwrap();
+        shared.try_enqueue(spec.clone(), false).unwrap();
+        shared.try_enqueue(spec, false).unwrap();
         let mut queue = shared.queue.lock().unwrap();
         let first = queue.pop_front().unwrap();
         let second = queue.pop_front().unwrap();
@@ -1186,9 +1378,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ss-server-disk-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
 
-        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()));
+        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()), 256);
         let spec = mini_spec();
-        shared.try_enqueue(spec.clone()).unwrap();
+        shared.try_enqueue(spec.clone(), false).unwrap();
         let job = shared.queue.lock().unwrap().pop_front().unwrap();
         let cold = execute(&shared, &job).unwrap();
         assert_eq!(cold.tier, CacheTier::Cold);
@@ -1196,9 +1388,9 @@ mod tests {
         drop(shared);
 
         // restart: fresh memory cache, same directory
-        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()));
+        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()), 256);
         assert_eq!(shared.stats().disk.entries, 1, "index warm-started");
-        shared.try_enqueue(spec).unwrap();
+        shared.try_enqueue(spec, false).unwrap();
         let job = shared.queue.lock().unwrap().pop_front().unwrap();
         let warm = execute(&shared, &job).unwrap();
         assert_eq!(warm.tier, CacheTier::Disk);
@@ -1209,5 +1401,144 @@ mod tests {
         assert_eq!(stats.disk_corruptions, 0);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sharded(peers: &[&str], id: usize) -> Shared {
+        let mut shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let spec = ShardSpec {
+            peers: peers.iter().map(|s| (*s).to_string()).collect(),
+            id,
+        };
+        shared.shards = Some(ShardState {
+            ring: spec.ring().unwrap(),
+            id: spec.id,
+        });
+        shared
+    }
+
+    /// A sharded server redirects a plain v4 submission it does not
+    /// own to the owner's address, serves the key it does own, and
+    /// always serves direct submissions — on the canonical key, so a
+    /// non-canonical text variant redirects to the same owner.
+    #[test]
+    fn non_owners_redirect_and_direct_submissions_stick() {
+        let peers = ["10.0.0.1:7113", "10.0.0.2:7113", "10.0.0.3:7113"];
+        let mut spec = mini_spec();
+        let canonical_key = {
+            let set = TestSet::from_text(&spec.set_text).unwrap();
+            let mut c = spec.clone();
+            c.set_text = set.to_text();
+            cache_key(&c)
+        };
+        let ring = ShardRing::new(peers.iter().map(|s| (*s).to_string()).collect()).unwrap();
+        let owner = ring.owner(canonical_key);
+        let non_owner = (owner + 1) % peers.len();
+
+        let shared = sharded(&peers, non_owner);
+        match shared.try_enqueue(spec.clone(), false).unwrap() {
+            Enqueue::Redirect(addr) => assert_eq!(addr, peers[owner]),
+            other => panic!("expected a redirect, got {other:?}"),
+        }
+        assert_eq!(shared.stats().redirects, 1);
+        assert_eq!(shared.queue.lock().unwrap().len(), 0, "nothing queued");
+
+        // same workload, non-canonical text: same owner
+        spec.set_text = format!("# comment\n{}", spec.set_text);
+        match shared.try_enqueue(spec.clone(), false).unwrap() {
+            Enqueue::Redirect(addr) => assert_eq!(addr, peers[owner]),
+            other => panic!("expected a redirect, got {other:?}"),
+        }
+
+        // direct lands locally even on the non-owner (failover path)
+        assert!(matches!(
+            shared.try_enqueue(spec.clone(), true).unwrap(),
+            Enqueue::Accepted(_)
+        ));
+
+        // the owner serves its own key
+        let shared = sharded(&peers, owner);
+        assert!(matches!(
+            shared.try_enqueue(spec, false).unwrap(),
+            Enqueue::Accepted(_)
+        ));
+        let stats = shared.stats();
+        assert_eq!(stats.redirects, 0);
+        assert_eq!((stats.shard_id, stats.shard_count), (owner as u32, 3));
+    }
+
+    /// Legacy peers never see a Redirect they cannot parse: a plain
+    /// submission at a pre-v4 generation is served locally.
+    #[test]
+    fn legacy_submissions_are_served_locally_on_non_owners() {
+        let peers = ["10.0.0.1:7113", "10.0.0.2:7113"];
+        let spec = mini_spec();
+        let key = {
+            let set = TestSet::from_text(&spec.set_text).unwrap();
+            let mut c = spec.clone();
+            c.set_text = set.to_text();
+            cache_key(&c)
+        };
+        let ring = ShardRing::new(peers.iter().map(|s| (*s).to_string()).collect()).unwrap();
+        let non_owner = (ring.owner(key) + 1) % peers.len();
+        let shared = sharded(&peers, non_owner);
+        for version in [2, 3] {
+            assert!(matches!(
+                respond(&shared, Request::Submit(spec.clone()), version),
+                Response::Accepted(_)
+            ));
+        }
+        assert!(matches!(
+            respond(&shared, Request::Submit(spec), PROTOCOL_VERSION),
+            Response::Redirect(_)
+        ));
+    }
+
+    /// The accept gate: permits are bounded, shed connections get a
+    /// parsable Busy reply without a handler thread, and dropping a
+    /// permit frees its slot.
+    #[test]
+    fn accept_gate_bounds_connections_and_sheds_with_busy() {
+        let shared = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 2));
+        let a = ConnPermit::try_acquire(&shared).expect("slot 1");
+        let b = ConnPermit::try_acquire(&shared).expect("slot 2");
+        assert!(
+            ConnPermit::try_acquire(&shared).is_none(),
+            "gate must be full at its bound"
+        );
+        assert_eq!(shared.conn_active.load(Ordering::Relaxed), 2);
+        drop(a);
+        let c = ConnPermit::try_acquire(&shared).expect("freed slot is reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(shared.conn_active.load(Ordering::Relaxed), 0);
+
+        // end to end: a server bound at 1 connection sheds the second
+        // with a typed Busy while the first is parked inside a handler
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let gate = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 1));
+        let accept_gate = Arc::clone(&gate);
+        let accept = thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                dispatch_connection(&accept_gate, stream);
+            }
+        });
+        let hold = TcpStream::connect(addr).unwrap();
+        // wait until the first handler actually owns its permit
+        while gate.conn_active.load(Ordering::Relaxed) == 0 {
+            thread::yield_now();
+        }
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let payload = crate::protocol::read_frame(&mut shed).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Busy { queued, capacity } => assert_eq!((queued, capacity), (1, 1)),
+            other => panic!("shed reply was {other:?}"),
+        }
+        accept.join().unwrap();
+        assert_eq!(gate.stats().connections_shed, 1);
+        assert_eq!(gate.stats().connections_max, 1);
+        assert_eq!(gate.stats().connections_active, 1);
+        drop(hold);
     }
 }

@@ -13,7 +13,8 @@
 //! state-skip gen       <profile> <seed>             # emit a synthetic set
 //! state-skip workloads                              # list the corpus
 //! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N] [--store-dir D]
-//! state-skip submit    [--addr A] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
+//!                      [--peers A1,A2,.. --shard-id I] [--max-conns N]
+//! state-skip submit    [--addr A | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
@@ -64,7 +65,8 @@ const USAGE: &str = "usage:
   state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
   state-skip workloads
   state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers] [--store-dir D]
-  state-skip submit    [--addr A=127.0.0.1:7113] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
+                       [--peers A1,A2,.. --shard-id I] [--max-conns N=256]
+  state-skip submit    [--addr A=127.0.0.1:7113 | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
 
 --threads N caps the engine's worker threads (default: all hardware
 threads); results are bit-identical at every thread count.
@@ -79,7 +81,14 @@ whole corpus without re-running synthesis. submit --workload names a
 corpus entry from `state-skip workloads` (paper profiles use their
 paper LFSR size). stats with no path prints the serving telemetry of a
 running server: per-tier hit/miss counters, store occupancy and
-per-phase latency histograms.";
+per-phase latency histograms.
+
+A fleet shards the content-key space: start every server with the same
+--peers list (the exact addresses clients will use) and its own
+--shard-id index, then submit with the comma-separated --addr list —
+the client balances each workload to its owning shard and fails over
+when shards die. --max-conns bounds concurrent connections per server;
+excess connections are shed with a Busy reply instead of a thread.";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -421,6 +430,23 @@ fn serve(args: &[String]) -> Result<(), String> {
         None => 0,
     };
     let store_dir = take_value_flag(&mut args, "--store-dir")?.map(std::path::PathBuf::from);
+    let max_connections: usize = match take_value_flag(&mut args, "--max-conns")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("not a connection bound: {v:?}"))?,
+        None => 0,
+    };
+    let peers = take_value_flag(&mut args, "--peers")?;
+    let shard_id = take_value_flag(&mut args, "--shard-id")?;
+    let shard = match (peers, shard_id) {
+        (Some(peers), Some(id)) => {
+            let id: usize = id.parse().map_err(|_| format!("not a shard id: {id:?}"))?;
+            let peers: Vec<String> = peers.split(',').map(str::to_string).collect();
+            Some(ss_server::ShardSpec { peers, id })
+        }
+        (None, None) => None,
+        _ => return Err("--peers and --shard-id go together".into()),
+    };
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}"));
     }
@@ -430,16 +456,22 @@ fn serve(args: &[String]) -> Result<(), String> {
         cache_bytes: cache_mb << 20,
         queue_depth,
         store_dir: store_dir.clone(),
+        max_connections,
+        shard: shard.clone(),
     })
     .map_err(|e| e.to_string())?;
     println!(
-        "listening on {} ({} workers, queue {}, cache {} MB{})",
+        "listening on {} ({} workers, queue {}, cache {} MB{}{})",
         server.local_addr().map_err(|e| e.to_string())?,
         server.workers(),
         server.queue_capacity(),
         cache_mb,
         match &store_dir {
             Some(dir) => format!(", store {}", dir.display()),
+            None => String::new(),
+        },
+        match &shard {
+            Some(s) => format!(", shard {}/{} as {}", s.id, s.peers.len(), s.self_addr()),
             None => String::new(),
         }
     );
@@ -497,9 +529,27 @@ fn submit(args: &[String]) -> Result<(), String> {
     let engine = builder.build().map_err(|e| e.to_string())?;
     let spec = JobSpec::new(&set, engine.config());
 
-    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
-    let (job, report) = client.run(&spec).map_err(|e| e.to_string())?;
-    println!("submitted {} cubes as job {job} to {addr}", set.len());
+    // a comma-separated --addr is a fleet: balance to the owning shard
+    let (job, report, served_by) = if addr.contains(',') {
+        let peers: Vec<String> = addr.split(',').map(str::to_string).collect();
+        let mut balancer = ss_server::Balancer::new(peers).map_err(|e| e.to_string())?;
+        let run = balancer.run(&spec).map_err(|e| e.to_string())?;
+        let served_by = balancer
+            .ring()
+            .shards()
+            .get(run.shard)
+            .cloned()
+            .unwrap_or_else(|| "redirect target".to_string());
+        if run.failovers > 0 {
+            eprintln!("note: {} shard(s) failed over", run.failovers);
+        }
+        (run.job, run.report, served_by)
+    } else {
+        let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+        let (job, report) = client.run(&spec).map_err(|e| e.to_string())?;
+        (job, report, addr.clone())
+    };
+    println!("submitted {} cubes as job {job} to {served_by}", set.len());
     println!(
         "result: n={} L={} S={} k={}: {} seeds, TDV {} bits, TSL {} -> {} vectors ({:.1}% shorter)",
         report.lfsr_size,
@@ -551,13 +601,35 @@ fn server_stats(args: &[String]) -> Result<(), String> {
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}"));
     }
-    let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
+    // a comma-separated --addr scrapes every shard of a fleet in turn
+    let mut first = true;
+    for addr in addr.split(',') {
+        if !std::mem::take(&mut first) {
+            println!();
+        }
+        print_server_stats(addr)?;
+    }
+    Ok(())
+}
+
+fn print_server_stats(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     let s = client.stats().map_err(|e| e.to_string())?;
 
     println!("server {addr}");
     println!(
         "workers {}  queue {}/{}  jobs done {}  busy rejections {}  coalesced {}",
         s.workers, s.queued, s.queue_capacity, s.jobs_done, s.busy_rejections, s.coalesced
+    );
+    if s.shard_count > 0 {
+        println!(
+            "shard {}/{}  redirects {}",
+            s.shard_id, s.shard_count, s.redirects
+        );
+    }
+    println!(
+        "connections {}/{} active  shed {}",
+        s.connections_active, s.connections_max, s.connections_shed
     );
     println!();
 
