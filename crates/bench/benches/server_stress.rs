@@ -30,6 +30,12 @@
 //!   the 4-shard fleet holds the whole working set and answers from
 //!   warm memory. On a multi-core host the fleet also scales compute;
 //!   the capacity effect makes the row meaningful even on one core.
+//! * **replicated failover** — a 3-shard fleet with replication
+//!   factor 2 is warmed, one shard is killed, and the full key
+//!   population is timed against the degraded fleet. Asserted: every
+//!   answer stays bit-identical and costs zero cold re-synthesis
+//!   (failover lands on warm replicas), with the healthy:degraded
+//!   wall-clock ratio recorded as the price of the death.
 //!
 //! Results land in `BENCH_server.json` at the workspace root, next to
 //! `BENCH_packed.json` and `BENCH_encode.json`.
@@ -384,16 +390,22 @@ fn fleet_working_set() -> (Vec<JobSpec>, Vec<u64>, u64) {
     (specs, digests, working_set)
 }
 
-/// Binds `shards` servers on ephemeral ports, one worker and
-/// `cache_bytes` of memory tier each, then wires the full peer list
-/// into every one before spawning.
-fn spawn_fleet(shards: usize, cache_bytes: usize) -> (Vec<String>, Vec<ServerHandle>) {
+/// Binds `shards` servers on ephemeral ports, one worker,
+/// `cache_bytes` of memory tier and replication factor `replicas`
+/// each, then wires the full peer list into every one before
+/// spawning.
+fn spawn_fleet(
+    shards: usize,
+    cache_bytes: usize,
+    replicas: usize,
+) -> (Vec<String>, Vec<ServerHandle>) {
     let servers: Vec<Server> = (0..shards)
         .map(|_| {
             Server::bind(&ServeOptions {
                 workers: 1,
                 cache_bytes,
                 queue_depth: 16,
+                replicas,
                 ..ServeOptions::default()
             })
             .expect("bind shard")
@@ -411,6 +423,7 @@ fn spawn_fleet(shards: usize, cache_bytes: usize) -> (Vec<String>, Vec<ServerHan
                 .set_shards(ShardSpec {
                     peers: peers.clone(),
                     id,
+                    epoch: 0,
                 })
                 .expect("shard spec");
             server.spawn()
@@ -430,7 +443,11 @@ fn measure_fleet(
     specs: &[JobSpec],
     digests: &[u64],
 ) -> FleetRow {
-    let (peers, handles) = spawn_fleet(shards, cache_bytes);
+    // replication off: this sweep deliberately under-provisions each
+    // shard's cache to measure capacity scaling, and replica copies
+    // would both consume that budget and blur the exactly-once
+    // synthesis arithmetic; the replicated row is measured separately
+    let (peers, handles) = spawn_fleet(shards, cache_bytes, 1);
 
     let mut warm = Balancer::new(peers.clone())
         .expect("warm-up balancer")
@@ -499,7 +516,98 @@ fn measure_fleet(
     row
 }
 
-fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow], fleet: &[FleetRow]) {
+struct FailoverRow {
+    shards: usize,
+    replicas: usize,
+    jobs: usize,
+    healthy_wall_s: f64,
+    degraded_wall_s: f64,
+    replicas_pushed: u64,
+    failovers: u64,
+}
+
+/// The self-healing row: a 3-shard fleet with replication factor 2 is
+/// warmed over the whole key population, write-behind replication is
+/// allowed to settle, one shard is killed, and the full key population
+/// is timed again against the degraded fleet. The contract asserted
+/// here is the one `tests/fleet_chaos.rs` pins functionally: every
+/// degraded answer is bit-identical and costs **zero** cold
+/// re-synthesis, because failover lands on a warm replica.
+fn measure_replicated_failover(specs: &[JobSpec], digests: &[u64]) -> FailoverRow {
+    const REPLICAS: usize = 2;
+    let shards = 3;
+    // ample cache: this row measures failover latency, not capacity
+    let (peers, mut handles) = spawn_fleet(shards, 64 << 20, REPLICAS);
+
+    let mut balancer = Balancer::new(peers)
+        .expect("failover balancer")
+        .with_policy(RetryPolicy::seeded(17));
+    // untimed warm-up: every key cold on its owner
+    for (spec, digest) in specs.iter().zip(digests) {
+        let run = balancer.run(spec).expect("failover warm-up");
+        assert_eq!(run.report.digest, *digest, "failover warm-up diverged");
+    }
+
+    // healthy reference pass, timed
+    let start = Instant::now();
+    for (spec, digest) in specs.iter().zip(digests) {
+        let run = balancer.run(spec).expect("healthy pass");
+        assert_eq!(run.report.digest, *digest, "healthy answer diverged");
+    }
+    let healthy_wall_s = start.elapsed().as_secs_f64();
+
+    // write-behind replication settles: R=2 on 3 shards puts exactly
+    // one replica copy of every key somewhere in the fleet
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    let received = loop {
+        let received: u64 = handles.iter().map(|h| h.stats().replicas_received).sum();
+        if received >= specs.len() as u64 {
+            break received;
+        }
+        assert!(Instant::now() < deadline, "replication never settled");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+
+    let survivor_synthesis: u64 = handles[1..].iter().map(|h| h.stats().synthesis.count).sum();
+    handles.remove(0).shutdown();
+
+    // degraded pass, timed: the balancer discovers the death, marks
+    // the shard down and drains onto the replicas
+    let start = Instant::now();
+    let mut failovers = 0u64;
+    for (spec, digest) in specs.iter().zip(digests) {
+        let run = balancer.run(spec).expect("degraded pass");
+        assert_eq!(run.report.digest, *digest, "degraded answer diverged");
+        failovers += u64::from(run.failovers);
+    }
+    let degraded_wall_s = start.elapsed().as_secs_f64();
+
+    assert!(failovers > 0, "killing a shard produced no failovers");
+    let after: u64 = handles.iter().map(|h| h.stats().synthesis.count).sum();
+    assert_eq!(
+        after, survivor_synthesis,
+        "degraded fleet re-synthesized a replicated key"
+    );
+    for handle in handles {
+        handle.shutdown();
+    }
+    FailoverRow {
+        shards,
+        replicas: REPLICAS,
+        jobs: specs.len(),
+        healthy_wall_s,
+        degraded_wall_s,
+        replicas_pushed: received,
+        failovers,
+    }
+}
+
+fn write_json(
+    latency: &[LatencyRow],
+    throughput: &[ThroughputRow],
+    fleet: &[FleetRow],
+    failover: &FailoverRow,
+) {
     let mut workloads = String::new();
     for (i, row) in latency.iter().enumerate() {
         if i > 0 {
@@ -557,9 +665,20 @@ fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow], fleet: &[Fle
             row.failovers
         ));
     }
+    let failover_row = format!(
+        "    {{\"shards\": {}, \"replicas\": {}, \"jobs\": {}, \"healthy_wall_s\": {:.6e}, \"degraded_wall_s\": {:.6e}, \"degraded_slowdown\": {:.2}, \"replicas_pushed\": {}, \"failovers\": {}, \"resyntheses\": 0}}",
+        failover.shards,
+        failover.replicas,
+        failover.jobs,
+        failover.healthy_wall_s,
+        failover.degraded_wall_s,
+        failover.degraded_wall_s / failover.healthy_wall_s,
+        failover.replicas_pushed,
+        failover.failovers
+    );
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"fleet_cache_fraction\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"fleet\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"fleet_cache_fraction\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"fleet\": [\n{}\n  ],\n  \"replicated_failover\": [\n{}\n  ]\n}}\n",
         WINDOW,
         SEGMENT,
         SPEEDUP,
@@ -570,7 +689,8 @@ fn write_json(latency: &[LatencyRow], throughput: &[ThroughputRow], fleet: &[Fle
         DISCONNECT_RETRIES.load(Ordering::Relaxed),
         workloads,
         fanout,
-        fleet_rows
+        fleet_rows,
+        failover_row
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, json).expect("write BENCH_server.json");
@@ -646,7 +766,30 @@ fn bench_server_stress(_c: &mut Criterion) {
         ]);
     }
     println!("{table}");
-    write_json(&latency, &throughput, &fleet);
+
+    let failover = measure_replicated_failover(&specs, &fleet_digests);
+    let mut table = Table::new([
+        "shards",
+        "replicas",
+        "jobs",
+        "healthy",
+        "degraded",
+        "slowdown",
+        "failovers",
+        "resynth",
+    ]);
+    table.add_row([
+        failover.shards.to_string(),
+        failover.replicas.to_string(),
+        failover.jobs.to_string(),
+        format!("{:.3} s", failover.healthy_wall_s),
+        format!("{:.3} s", failover.degraded_wall_s),
+        format!("{:.2}x", failover.degraded_wall_s / failover.healthy_wall_s),
+        failover.failovers.to_string(),
+        "0".to_string(),
+    ]);
+    println!("{table}");
+    write_json(&latency, &throughput, &fleet, &failover);
 
     // CI contract for the fleet sweep. With each shard capped below
     // the working set, the widest fleet holds every key warm on its

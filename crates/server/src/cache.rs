@@ -67,6 +67,11 @@ pub struct CachedArtifacts {
     pub dropped: usize,
     /// The window-based seed encoding.
     pub encoding: EncodingResult,
+    /// Digest of the finished report these artifacts deterministically
+    /// produce (see [`report_digest`](crate::report_digest)) — carried
+    /// so replication can build a verifiable store envelope without
+    /// re-running the finish stages.
+    pub report_digest: u64,
 }
 
 impl CachedArtifacts {
@@ -212,6 +217,16 @@ impl ArtifactCache {
         );
     }
 
+    /// Every resident `(key, entry)` pair, unordered, without touching
+    /// recency or hit accounting — the enumeration a reconfigured
+    /// shard walks to re-replicate keys whose ranked set changed.
+    pub fn entries(&self) -> Vec<(u64, Arc<CachedArtifacts>)> {
+        self.map
+            .iter()
+            .map(|(&key, slot)| (key, Arc::clone(&slot.artifacts)))
+            .collect()
+    }
+
     /// Telemetry snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -251,6 +266,7 @@ mod tests {
             set: encodable,
             dropped: dropped.len(),
             encoding,
+            report_digest: seed,
         })
     }
 
@@ -397,6 +413,7 @@ mod tests {
                 set: encodable,
                 dropped: dropped.len(),
                 encoding,
+                report_digest: 9,
             })
         };
         let mut cache = ArtifactCache::new(per_entry * 2 + per_entry / 2);

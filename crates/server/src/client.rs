@@ -32,7 +32,7 @@
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -519,6 +519,55 @@ impl Client {
         }
     }
 
+    /// Probes the server's membership view: `(epoch, shard id, peer
+    /// list)`; the shard id is `u32::MAX` when the server is unsharded
+    /// or was reconfigured out of its ring. Needs a v5 peer.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, a protocol-level server error, or
+    /// [`ClientError::Server`] when the peer predates v5.
+    pub fn ping(&mut self) -> Result<(u64, u32, Vec<String>), ClientError> {
+        if self.version < 5 {
+            return Err(ClientError::Server(format!(
+                "peer speaks v{}; Ping needs v5",
+                self.version
+            )));
+        }
+        match self.call(&Request::Ping)? {
+            Response::Pong {
+                epoch,
+                shard_id,
+                peers,
+            } => Ok((epoch, shard_id, peers)),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("ping answered oddly")),
+        }
+    }
+
+    /// Installs a new membership view on the server (the admin side of
+    /// live reconfiguration). Answers the epoch in force afterwards —
+    /// `epoch` itself when the swap happened, the server's current
+    /// epoch when the request was stale. Needs a v5 peer.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, [`ClientError::Server`] for a
+    /// degenerate peer list, an unsharded server, or a pre-v5 peer.
+    pub fn reconfigure(&mut self, epoch: u64, peers: Vec<String>) -> Result<u64, ClientError> {
+        if self.version < 5 {
+            return Err(ClientError::Server(format!(
+                "peer speaks v{}; Reconfigure needs v5",
+                self.version
+            )));
+        }
+        match self.call(&Request::Reconfigure { epoch, peers })? {
+            Response::Ack { epoch } => Ok(epoch),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("reconfigure answered oddly")),
+        }
+    }
+
     /// Aggregate server telemetry.
     ///
     /// # Errors
@@ -609,6 +658,19 @@ pub struct BalancedRun {
     pub failovers: u32,
 }
 
+/// First down-mark duration after a failed exchange with a shard.
+const DOWN_BASE: Duration = Duration::from_millis(50);
+
+/// Longest a down mark may last before the next recovery probe.
+const DOWN_CAP: Duration = Duration::from_secs(2);
+
+/// One shard's entry in the balancer's health table: skip it until
+/// `until`, then let one submission through as a recovery probe.
+struct DownState {
+    until: Instant,
+    backoff: Duration,
+}
+
 /// Client-side fleet router: owns one lazy connection per shard,
 /// hashes every submission's content key on the shared [`ShardRing`],
 /// and runs each job on its owning shard — falling over along the
@@ -654,6 +716,13 @@ pub struct Balancer {
     ring: ShardRing,
     conns: Vec<Option<Client>>,
     policy: RetryPolicy,
+    /// Health table, parallel to the ring: `Some` marks a shard down.
+    /// Marks expire on a decorrelated-jitter schedule, so a revived
+    /// shard drains traffic back within one backoff and a dead one is
+    /// probed ever more rarely (capped) instead of in lockstep.
+    down: Vec<Option<DownState>>,
+    /// Jitter source for down-mark durations.
+    rng: SmallRng,
 }
 
 impl Balancer {
@@ -666,10 +735,17 @@ impl Balancer {
     pub fn new(peers: Vec<String>) -> Result<Balancer, ShardError> {
         let ring = ShardRing::new(peers)?;
         let conns = (0..ring.len()).map(|_| None).collect();
+        let down = (0..ring.len()).map(|_| None).collect();
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         Ok(Balancer {
             ring,
             conns,
             policy: RetryPolicy::new(),
+            down,
+            rng: SmallRng::seed_from_u64(clock ^ u64::from(std::process::id())),
         })
     }
 
@@ -687,8 +763,74 @@ impl Balancer {
         &self.ring
     }
 
+    /// The membership epoch of the ring this balancer routes on.
+    pub fn epoch(&self) -> u64 {
+        self.ring.epoch()
+    }
+
+    /// Marks a shard down, extending its mark on a decorrelated-jitter
+    /// schedule: `uniform(base, 3 × previous)`, capped.
+    fn mark_down(&mut self, shard: usize) {
+        let backoff = match &self.down[shard] {
+            Some(d) => (d.backoff * 3).min(DOWN_CAP),
+            None => DOWN_BASE,
+        };
+        let lo = DOWN_BASE.as_micros() as u64;
+        let hi = (backoff.as_micros() as u64).max(lo + 1);
+        let wait = Duration::from_micros(self.rng.gen_range(lo..hi));
+        self.down[shard] = Some(DownState {
+            until: Instant::now() + wait,
+            backoff,
+        });
+    }
+
+    /// Whether a shard's down mark is still in force (an expired mark
+    /// lets one submission through as the recovery probe).
+    fn is_down(&self, shard: usize) -> bool {
+        self.down[shard]
+            .as_ref()
+            .is_some_and(|d| Instant::now() < d.until)
+    }
+
+    /// One full attempt against one shard, maintaining its health
+    /// entry: success or a redirect clears the mark (the shard
+    /// answered — it is alive), a retryable failure extends it.
+    fn try_shard(
+        &mut self,
+        shard: usize,
+        spec: &JobSpec,
+        direct: bool,
+    ) -> Result<BalancedRun, ClientError> {
+        match self.run_on(shard, spec, direct) {
+            Ok((job, report)) => {
+                self.down[shard] = None;
+                Ok(BalancedRun {
+                    shard,
+                    job,
+                    report,
+                    failovers: 0,
+                })
+            }
+            // the server computed ownership on the canonical key and
+            // knows better than our raw-text hash: follow that once
+            Err(ClientError::Redirected(addr)) => {
+                self.down[shard] = None;
+                self.follow_redirect(&addr, spec)
+            }
+            Err(e) => {
+                if e.is_retryable() || matches!(e, ClientError::Io(_)) {
+                    self.mark_down(shard);
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Routes one submission: owner first, then rendezvous-ordered
-    /// failover.
+    /// failover. Shards under a live down mark are skipped outright —
+    /// no connect timeout paid — unless every candidate is marked, in
+    /// which case the marked shards are tried anyway (a servable key
+    /// must never fail because the health table is pessimistic).
     ///
     /// # Errors
     ///
@@ -696,31 +838,23 @@ impl Balancer {
     /// the first non-retryable error.
     pub fn run(&mut self, spec: &JobSpec) -> Result<BalancedRun, ClientError> {
         let key = cache_key(spec);
+        let ranked = self.ring.ranked(key);
         let mut failovers = 0u32;
         let mut last_err = None;
-        for (attempt, &shard) in self.ring.ranked(key).iter().enumerate() {
+        let mut skipped: Vec<(usize, usize)> = Vec::new();
+        for (attempt, &shard) in ranked.iter().enumerate() {
+            if self.is_down(shard) {
+                skipped.push((attempt, shard));
+                failovers += 1;
+                continue;
+            }
             // fallback shards are submitted direct: they don't own the
             // key, and redirecting back to a dead owner would loop
-            let direct = attempt > 0;
-            match self.run_on(shard, spec, direct) {
-                Ok((job, report)) => {
-                    return Ok(BalancedRun {
-                        shard,
-                        job,
-                        report,
-                        failovers,
-                    })
+            match self.try_shard(shard, spec, attempt > 0) {
+                Ok(mut run) => {
+                    run.failovers += failovers;
+                    return Ok(run);
                 }
-                // the server computed ownership on the canonical key
-                // and knows better than our raw-text hash: follow once
-                Err(ClientError::Redirected(addr)) => match self.follow_redirect(&addr, spec) {
-                    Ok(run) => return Ok(run),
-                    Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
-                        failovers += 1;
-                        last_err = Some(e);
-                    }
-                    Err(e) => return Err(e),
-                },
                 Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
                     failovers += 1;
                     last_err = Some(e);
@@ -728,7 +862,94 @@ impl Balancer {
                 Err(e) => return Err(e),
             }
         }
+        // second pass: every unmarked shard failed, so the marked ones
+        // are the only hope left — probe them despite their marks
+        for (attempt, shard) in skipped {
+            match self.try_shard(shard, spec, attempt > 0) {
+                Ok(mut run) => {
+                    run.failovers += failovers;
+                    return Ok(run);
+                }
+                Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Err(last_err.unwrap_or(ClientError::Unexpected("no shards configured")))
+    }
+
+    /// Installs a membership view locally: fresh ring (stamped with
+    /// `epoch`), fresh connections, clean health table.
+    fn adopt(&mut self, epoch: u64, peers: Vec<String>) -> Result<(), ShardError> {
+        let ring = ShardRing::new(peers)?.with_epoch(epoch);
+        self.conns = (0..ring.len()).map(|_| None).collect();
+        self.down = (0..ring.len()).map(|_| None).collect();
+        self.ring = ring;
+        Ok(())
+    }
+
+    /// Pings every shard and adopts the highest strictly-newer
+    /// membership view any peer advertises — the balancer-side half of
+    /// epoch gossip, the route by which a balancer that never saw the
+    /// admin `Reconfigure` still converges. Returns the epoch in force
+    /// afterwards.
+    pub fn refresh_membership(&mut self) -> u64 {
+        let mut best: Option<(u64, Vec<String>)> = None;
+        for shard in 0..self.ring.len() {
+            if self.ensure_conn(shard).is_err() {
+                self.conns[shard] = None;
+                continue;
+            }
+            match self.conns[shard].as_mut().unwrap().ping() {
+                Ok((epoch, _, peers)) if epoch > self.ring.epoch() && !peers.is_empty() => {
+                    if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                        best = Some((epoch, peers));
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => self.conns[shard] = None,
+            }
+        }
+        if let Some((epoch, peers)) = best {
+            let _ = self.adopt(epoch, peers);
+        }
+        self.ring.epoch()
+    }
+
+    /// Pushes a new membership view to the fleet: sends
+    /// `Reconfigure{epoch, peers}` to every member of the union of the
+    /// old and new rings (departing shards must learn they left too),
+    /// then adopts the view locally. Succeeds when at least one peer
+    /// acknowledged — epoch gossip converges the rest within a probe
+    /// interval.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for a degenerate peer list, or the last
+    /// peer's error when no peer acknowledged.
+    pub fn reconfigure(&mut self, epoch: u64, peers: Vec<String>) -> Result<u64, ClientError> {
+        ShardRing::new(peers.clone()).map_err(|e| ClientError::Server(e.to_string()))?;
+        let mut targets: Vec<String> = self.ring.shards().to_vec();
+        for peer in &peers {
+            if !targets.contains(peer) {
+                targets.push(peer.clone());
+            }
+        }
+        let mut acks = 0u32;
+        let mut last_err = None;
+        for addr in &targets {
+            match Client::connect(addr).and_then(|mut c| c.reconfigure(epoch, peers.clone())) {
+                Ok(_) => acks += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if acks == 0 {
+            return Err(last_err.unwrap_or(ClientError::Unexpected("no peers to reconfigure")));
+        }
+        self.adopt(epoch, peers)
+            .map_err(|e| ClientError::Server(e.to_string()))?;
+        Ok(epoch)
     }
 
     /// Aggregate telemetry from every reachable shard, in ring order.

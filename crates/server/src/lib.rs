@@ -52,6 +52,15 @@
 //! keeping the cold computation exactly-once *cluster-wide* and
 //! growing aggregate cache capacity linearly with the shard count.
 //!
+//! The fleet also self-heals: each cold artifact is pushed
+//! (write-behind, v5 `Replicate`) to the next `--replicas - 1` shards
+//! of its key's rendezvous order, so a shard death fails over onto a
+//! *warm* replica instead of re-paying synthesis; rings carry a
+//! membership epoch and an admin `Reconfigure` swaps the peer list on
+//! every live process — no restarts — with epoch gossip (`Ping`/`Pong`
+//! between shards, [`Balancer::refresh_membership`] on the client)
+//! converging the whole fleet from a single acknowledgement.
+//!
 //! The `state-skip` binary wires this up as `state-skip serve` /
 //! `state-skip submit`; `crates/bench/benches/server_stress.rs` fans
 //! concurrent clients over the whole registry corpus and records
@@ -78,8 +87,9 @@ pub use codec::{
     MAX_MESSAGE_BYTES, MIN_CHUNK_BYTES,
 };
 pub use protocol::{
-    CacheTier, CodecCounters, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response,
-    ServerStats, TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheTier, CodecCounters, ConnStats, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
+    Response, ServerStats, TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
 pub use shard::{ShardError, ShardRing, ShardSpec};
@@ -143,10 +153,17 @@ mod tests {
         assert_eq!(cold.tier, CacheTier::Cold);
         assert!(cold.seeds > 0 && cold.tsl_proposed < cold.tsl_original);
 
-        // the finished job stays pollable on a fresh connection
+        // the finished job stays pollable on a fresh connection; the
+        // reply's ConnStats stamp is per-connection by design, so it
+        // differs from the submitting connection's — everything else
+        // must be identical
         let mut other = Client::connect(handle.addr()).unwrap();
         match other.poll(job).unwrap() {
-            JobStatus::Done(report) => assert_eq!(report, cold),
+            JobStatus::Done(mut report) => {
+                assert_ne!(report.conn, cold.conn);
+                report.conn = cold.conn;
+                assert_eq!(report, cold);
+            }
             state => panic!("finished job polled as {state:?}"),
         }
 

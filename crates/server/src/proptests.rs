@@ -27,9 +27,10 @@ use ss_lfsr::LfsrKind;
 
 use crate::codec::{Codec, CodecConfig, CodecError, MIN_CHUNK_BYTES};
 use crate::protocol::{
-    CacheTier, CodecCounters, JobPhase, JobReport, JobSpec, PhaseHistogram, Request, Response,
-    ServerStats, TierStats, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    CacheTier, CodecCounters, ConnStats, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
+    Response, ServerStats, TierStats, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::shard::ShardRing;
 
 fn spec() -> JobSpec {
     JobSpec {
@@ -61,6 +62,14 @@ fn report() -> JobReport {
         digest: 0xDEAD_BEEF_CAFE_F00D,
         tier: CacheTier::Memory,
         service_micros: 12_345,
+        conn: ConnStats {
+            frames_sent: 3,
+            frames_received: 4,
+            raw_tx_bytes: 2048,
+            wire_tx_bytes: 900,
+            raw_rx_bytes: 512,
+            wire_rx_bytes: 300,
+        },
     }
 }
 
@@ -106,6 +115,12 @@ fn stats() -> ServerStats {
         redirects: 3,
         shard_id: 1,
         shard_count: 3,
+        epoch: 4,
+        replicas_sent: 11,
+        replicas_received: 12,
+        replica_queue_drops: 1,
+        reconfigures: 2,
+        peers_down: 1,
     }
 }
 
@@ -118,6 +133,16 @@ fn requests() -> Vec<Request> {
         Request::Poll(7),
         Request::Wait(u64::MAX),
         Request::Stats,
+        Request::Replicate {
+            epoch: 3,
+            key: 0x1234_5678_9ABC_DEF0,
+            bytes: vec![7, 0, 255, 42],
+        },
+        Request::Reconfigure {
+            epoch: 9,
+            peers: vec!["127.0.0.1:7211".to_string(), "127.0.0.1:7212".to_string()],
+        },
+        Request::Ping,
     ]
 }
 
@@ -140,6 +165,12 @@ fn responses() -> Vec<Response> {
             chunk_bytes: MIN_CHUNK_BYTES,
         }),
         Response::Redirect("127.0.0.1:7212".to_string()),
+        Response::Pong {
+            epoch: 5,
+            shard_id: u32::MAX,
+            peers: vec!["127.0.0.1:7211".to_string(), "127.0.0.1:7213".to_string()],
+        },
+        Response::Ack { epoch: 5 },
     ]
 }
 
@@ -190,18 +221,31 @@ fn every_message_round_trips_at_every_version() {
                 Response::HelloAck(_) | Response::Redirect(_) => {
                     assert_eq!(back, Ok(response.clone()));
                 }
-                Response::Stats(s) if version < 4 => {
+                Response::Stats(s) if version < 5 => {
                     let mut expect = *s;
                     if version < 3 {
                         expect.codec = CodecCounters::default();
                     }
-                    expect.connections_active = 0;
-                    expect.connections_max = 0;
-                    expect.connections_shed = 0;
-                    expect.redirects = 0;
-                    expect.shard_id = 0;
-                    expect.shard_count = 0;
+                    if version < 4 {
+                        expect.connections_active = 0;
+                        expect.connections_max = 0;
+                        expect.connections_shed = 0;
+                        expect.redirects = 0;
+                        expect.shard_id = 0;
+                        expect.shard_count = 0;
+                    }
+                    expect.epoch = 0;
+                    expect.replicas_sent = 0;
+                    expect.replicas_received = 0;
+                    expect.replica_queue_drops = 0;
+                    expect.reconfigures = 0;
+                    expect.peers_down = 0;
                     assert_eq!(back, Ok(Response::Stats(expect)));
+                }
+                Response::Done(r) if version < 5 => {
+                    let mut expect = *r;
+                    expect.conn = ConnStats::default();
+                    assert_eq!(back, Ok(Response::Done(expect)));
                 }
                 _ => assert_eq!(back, Ok(response.clone()), "v{version}"),
             }
@@ -314,5 +358,53 @@ proptest! {
         let codec = Codec::new(CodecConfig { compress, chunk_bytes: chunk });
         let frames = codec.encode_frames(&message).unwrap();
         prop_assert_eq!(codec.decode_frames(frames).unwrap(), message);
+    }
+
+    /// Removing one peer from a ring remaps only the keys that peer
+    /// held and never reorders the survivors: for every key, the
+    /// reduced ring's rendezvous order is the full ring's order with
+    /// the removed peer deleted. Replication correctness rests on
+    /// this — a key's replica set after a shard death is its old set
+    /// minus the dead shard plus the next runner-up, so a warm replica
+    /// is always the failover target.
+    #[test]
+    fn ring_removal_preserves_survivor_order(
+        n in 2usize..8,
+        removed_seed in any::<usize>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let removed = removed_seed % n;
+        let peers: Vec<String> = (0..n).map(|i| format!("10.1.0.{i}:7113")).collect();
+        let full = ShardRing::new(peers.clone()).unwrap();
+        let survivors: Vec<String> = peers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let reduced = ShardRing::new(survivors).unwrap();
+        for key in keys {
+            let full_order: Vec<&String> = full
+                .ranked(key)
+                .into_iter()
+                .filter(|&i| i != removed)
+                .map(|i| &full.shards()[i])
+                .collect();
+            let reduced_order: Vec<&String> = reduced
+                .ranked(key)
+                .into_iter()
+                .map(|i| &reduced.shards()[i])
+                .collect();
+            prop_assert_eq!(full_order, reduced_order, "survivor order changed");
+            // the replica-set algebra follows: the reduced set is a
+            // prefix-consistent repair of the full set
+            let full_replicas: Vec<String> = full
+                .replicas(key, 2)
+                .into_iter()
+                .filter(|a| *a != full.shards()[removed])
+                .collect();
+            let reduced_replicas = reduced.replicas(key, 2);
+            prop_assert_eq!(&reduced_replicas[..full_replicas.len()], &full_replicas[..]);
+        }
     }
 }

@@ -35,6 +35,18 @@
 //! peer's generation — a v3 `Hello` is acked at v3 and the connection
 //! stays on the v3 layout — so every older client keeps working.
 //!
+//! Version 5 adds the resilience surface: [`Request::Replicate`] (a
+//! shard pushing a finished artifact envelope to a ring peer),
+//! [`Request::Reconfigure`] (the admin path that swaps the fleet's
+//! peer list under a new ring epoch without restarting any process),
+//! [`Request::Ping`] / [`Response::Pong`] (lightweight membership
+//! probes that also gossip the current epoch and peer list),
+//! [`Response::Ack`], per-connection codec totals appended to
+//! [`JobReport`], and replication/epoch counters appended to
+//! [`ServerStats`]. All of it is v5-born: the new tags refuse to
+//! decode below v5 and stamp at least v5 on encode, so every older
+//! peer keeps speaking its own generation untouched.
+//!
 //! The version byte leads the payload so a future protocol bump is
 //! detected before any tag is interpreted; a server that receives an
 //! unknown version replies [`Response::Error`] (whose encoding is
@@ -58,8 +70,11 @@ use crate::codec::{CodecConfig, MAX_MESSAGE_BYTES};
 /// streaming, per-chunk CRC-32, optional compression) and
 /// [`CodecCounters`] appended to [`ServerStats`]; 4 — the fleet
 /// surface: `SubmitDirect`, `Redirect`, and connection-gate + shard
-/// counters appended to [`ServerStats`].
-pub const PROTOCOL_VERSION: u8 = 4;
+/// counters appended to [`ServerStats`]; 5 — the resilience surface:
+/// `Replicate`/`Reconfigure`/`Ping`/`Pong`/`Ack`, per-connection
+/// [`ConnStats`] appended to [`JobReport`], and ring-epoch +
+/// replication counters appended to [`ServerStats`].
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Oldest protocol version this build still decodes. Messages from a
 /// v2 peer are answered in v2 layout, so old clients keep working
@@ -176,6 +191,30 @@ pub enum CacheTier {
     Memory,
 }
 
+/// Per-connection wire totals as seen by the server at the moment a
+/// job's `Done` reply is built (protocol v5): frame counts and
+/// raw-vs-wire byte accounting for *this* connection only — the
+/// connection-scoped slice of the server-global [`CodecCounters`].
+///
+/// All zeros on a legacy (pre-v3) connection, where no codec chain is
+/// in play, and when talking to a pre-v5 server, where the field does
+/// not travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnStats {
+    /// Chunk frames the server wrote on this connection.
+    pub frames_sent: u64,
+    /// Chunk frames the server read on this connection.
+    pub frames_received: u64,
+    /// Message bytes handed to the codec for transmission.
+    pub raw_tx_bytes: u64,
+    /// Bytes actually put on the wire to carry them.
+    pub wire_tx_bytes: u64,
+    /// Message bytes reassembled from frames received.
+    pub raw_rx_bytes: u64,
+    /// Bytes read off the wire to carry them.
+    pub wire_rx_bytes: u64,
+}
+
 /// Completed-job numbers the server returns — the serving-layer view
 /// of a `PipelineReport`, plus cache and timing telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +249,10 @@ pub struct JobReport {
     pub tier: CacheTier,
     /// Server-side service time in microseconds (excludes queueing).
     pub service_micros: u64,
+    /// This connection's wire totals at reply time (v5-only on the
+    /// wire; zeroed when talking to an older server or over a legacy
+    /// unframed connection).
+    pub conn: ConnStats,
 }
 
 impl JobReport {
@@ -404,6 +447,24 @@ pub struct ServerStats {
     /// Shards in the fleet this server belongs to (v4-only; 0 means
     /// the server is not sharded).
     pub shard_count: u32,
+    /// Ring epoch this server is currently serving under (v5-only; 0
+    /// until the first `Reconfigure`, and always 0 when unsharded).
+    pub epoch: u64,
+    /// Artifact envelopes this shard pushed to ring peers and saw
+    /// acknowledged (v5-only).
+    pub replicas_sent: u64,
+    /// Artifact envelopes this shard accepted from ring peers after
+    /// integrity verification (v5-only).
+    pub replicas_received: u64,
+    /// Replication work items dropped because the bounded write-behind
+    /// queue was full or the envelope exceeded a frame (v5-only).
+    pub replica_queue_drops: u64,
+    /// `Reconfigure` messages that actually advanced the ring epoch
+    /// (v5-only; stale or repeated epochs are acked but not counted).
+    pub reconfigures: u64,
+    /// Ring peers the health prober currently considers unreachable
+    /// (v5-only).
+    pub peers_down: u32,
 }
 
 /// Client → server messages.
@@ -428,6 +489,34 @@ pub enum Request {
     Wait(u64),
     /// Fetch aggregate telemetry; answered with `Stats`.
     Stats,
+    /// A ring peer pushing a finished artifact envelope for a key this
+    /// server is a replica of (v5-born, shard-to-shard). The bytes are
+    /// an `ss-store` artifact envelope for `key`; the receiver verifies
+    /// it end to end before admitting it to its cache tiers. Answered
+    /// with `Ack` (or `Error` if the envelope fails verification).
+    Replicate {
+        /// Ring epoch the sender was serving under.
+        epoch: u64,
+        /// Content key of the replicated artifact.
+        key: u64,
+        /// Serialised artifact envelope (`Artifact::to_bytes`).
+        bytes: Vec<u8>,
+    },
+    /// Administratively swap the fleet's peer list (v5-born). An epoch
+    /// above the server's current one atomically installs the new ring
+    /// and triggers re-replication of keys whose ranked set changed; a
+    /// stale or equal epoch is acked idempotently without any change.
+    /// Answered with `Ack` carrying the epoch actually in force.
+    Reconfigure {
+        /// Monotonic ring epoch the new peer list is stamped with.
+        epoch: u64,
+        /// The full new fleet address list, in ring order.
+        peers: Vec<String>,
+    },
+    /// Lightweight liveness + membership probe (v5-born); answered
+    /// with `Pong` carrying the server's epoch, shard id, and peer
+    /// list — the gossip channel epochs converge through.
+    Ping,
 }
 
 /// Server → client messages.
@@ -467,6 +556,25 @@ pub enum Response {
     /// answers [`Request::Submit`] — a `SubmitDirect` is always served
     /// locally, so following one redirect always terminates.
     Redirect(String),
+    /// Liveness + membership answer to [`Request::Ping`] (v5-born):
+    /// the ring epoch this server serves under, its shard id
+    /// (`u32::MAX` when the server is not a member of its own ring or
+    /// is unsharded), and its current peer list.
+    Pong {
+        /// Ring epoch in force on the answering server.
+        epoch: u64,
+        /// The answering server's index into `peers`, or `u32::MAX`.
+        shard_id: u32,
+        /// The answering server's current fleet address list.
+        peers: Vec<String>,
+    },
+    /// Acknowledgement for [`Request::Replicate`] and
+    /// [`Request::Reconfigure`] (v5-born), carrying the ring epoch in
+    /// force after the request was applied.
+    Ack {
+        /// Ring epoch in force on the answering server.
+        epoch: u64,
+    },
 }
 
 // ---------------------------------------------------------------- tags
@@ -477,6 +585,9 @@ const TAG_WAIT: u8 = 3;
 const TAG_STATS: u8 = 4;
 const TAG_HELLO: u8 = 5;
 const TAG_SUBMIT_DIRECT: u8 = 6;
+const TAG_REPLICATE: u8 = 7;
+const TAG_RECONFIGURE: u8 = 8;
+const TAG_PING: u8 = 9;
 
 const TAG_ACCEPTED: u8 = 101;
 const TAG_BUSY: u8 = 102;
@@ -487,6 +598,8 @@ const TAG_STATS_REPLY: u8 = 106;
 const TAG_ERROR: u8 = 107;
 const TAG_HELLO_ACK: u8 = 108;
 const TAG_REDIRECT: u8 = 109;
+const TAG_PONG: u8 = 110;
+const TAG_ACK: u8 = 111;
 
 // ------------------------------------------------------------- writer
 
@@ -505,6 +618,18 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_peers(buf: &mut Vec<u8>, peers: &[String]) {
+    put_u32(buf, peers.len() as u32);
+    for peer in peers {
+        put_str(buf, peer);
+    }
 }
 
 // ------------------------------------------------------------- reader
@@ -550,6 +675,25 @@ impl<'a> Reader<'a> {
             return Err(WireError::Oversize(len));
         }
         String::from_utf8(self.take(len)?.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len as u64 > MAX_MESSAGE_BYTES {
+            return Err(WireError::Oversize(len));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn peers(&mut self) -> Result<Vec<String>, WireError> {
+        let count = self.u32()? as usize;
+        // a fleet list is short; push per element rather than trusting
+        // a wire-declared capacity
+        let mut peers = Vec::new();
+        for _ in 0..count {
+            peers.push(self.string()?);
+        }
+        Ok(peers)
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -602,7 +746,27 @@ fn read_spec(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
     })
 }
 
-fn put_report(buf: &mut Vec<u8>, report: &JobReport) {
+fn put_conn_stats(buf: &mut Vec<u8>, c: &ConnStats) {
+    put_u64(buf, c.frames_sent);
+    put_u64(buf, c.frames_received);
+    put_u64(buf, c.raw_tx_bytes);
+    put_u64(buf, c.wire_tx_bytes);
+    put_u64(buf, c.raw_rx_bytes);
+    put_u64(buf, c.wire_rx_bytes);
+}
+
+fn read_conn_stats(r: &mut Reader<'_>) -> Result<ConnStats, WireError> {
+    Ok(ConnStats {
+        frames_sent: r.u64()?,
+        frames_received: r.u64()?,
+        raw_tx_bytes: r.u64()?,
+        wire_tx_bytes: r.u64()?,
+        raw_rx_bytes: r.u64()?,
+        wire_rx_bytes: r.u64()?,
+    })
+}
+
+fn put_report(buf: &mut Vec<u8>, report: &JobReport, version: u8) {
     put_u32(buf, report.lfsr_size);
     put_u32(buf, report.window);
     put_u32(buf, report.segment);
@@ -624,9 +788,13 @@ fn put_report(buf: &mut Vec<u8>, report: &JobReport) {
         },
     );
     put_u64(buf, report.service_micros);
+    // pre-v5 peers expect the report to end at the service time
+    if version >= 5 {
+        put_conn_stats(buf, &report.conn);
+    }
 }
 
-fn read_report(r: &mut Reader<'_>) -> Result<JobReport, WireError> {
+fn read_report(r: &mut Reader<'_>, version: u8) -> Result<JobReport, WireError> {
     Ok(JobReport {
         lfsr_size: r.u32()?,
         window: r.u32()?,
@@ -647,6 +815,11 @@ fn read_report(r: &mut Reader<'_>) -> Result<JobReport, WireError> {
             _ => return Err(WireError::BadField("tier")),
         },
         service_micros: r.u64()?,
+        conn: if version >= 5 {
+            read_conn_stats(r)?
+        } else {
+            ConnStats::default()
+        },
     })
 }
 
@@ -763,6 +936,15 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats, version: u8) {
         put_u32(buf, s.shard_id);
         put_u32(buf, s.shard_count);
     }
+    // ... and v4 peers here: epoch + replication counters are v5-born
+    if version >= 5 {
+        put_u64(buf, s.epoch);
+        put_u64(buf, s.replicas_sent);
+        put_u64(buf, s.replicas_received);
+        put_u64(buf, s.replica_queue_drops);
+        put_u64(buf, s.reconfigures);
+        put_u32(buf, s.peers_down);
+    }
 }
 
 fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError> {
@@ -796,6 +978,14 @@ fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError>
         stats.shard_id = r.u32()?;
         stats.shard_count = r.u32()?;
     }
+    if version >= 5 {
+        stats.epoch = r.u64()?;
+        stats.replicas_sent = r.u64()?;
+        stats.replicas_received = r.u64()?;
+        stats.replica_queue_drops = r.u64()?;
+        stats.reconfigures = r.u64()?;
+        stats.peers_down = r.u32()?;
+    }
     Ok(stats)
 }
 
@@ -821,14 +1011,17 @@ impl Request {
         self.encode_versioned(PROTOCOL_VERSION)
     }
 
-    /// Serialises into a frame payload stamped with `version`
-    /// (`Hello` always stamps the sender's own generation — it *is*
-    /// the version offer — and `SubmitDirect` is v4-born).
+    /// Serialises into a frame payload stamped with `version`, floored
+    /// at each message's birth version (`Hello` is v3-born — the
+    /// stamp *is* the version offer, so [`encode`](Self::encode) offers
+    /// this build's generation — `SubmitDirect` is v4-born, and the
+    /// resilience messages `Replicate`/`Reconfigure`/`Ping` are
+    /// v5-born).
     pub fn encode_versioned(&self, version: u8) -> Vec<u8> {
         let mut buf = vec![version];
         match self {
             Request::Hello(config) => {
-                buf[0] = PROTOCOL_VERSION;
+                buf[0] = version.max(3);
                 put_u8(&mut buf, TAG_HELLO);
                 put_codec_config(&mut buf, config);
             }
@@ -850,6 +1043,23 @@ impl Request {
                 put_u64(&mut buf, *job);
             }
             Request::Stats => put_u8(&mut buf, TAG_STATS),
+            Request::Replicate { epoch, key, bytes } => {
+                buf[0] = version.max(5);
+                put_u8(&mut buf, TAG_REPLICATE);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *key);
+                put_bytes(&mut buf, bytes);
+            }
+            Request::Reconfigure { epoch, peers } => {
+                buf[0] = version.max(5);
+                put_u8(&mut buf, TAG_RECONFIGURE);
+                put_u64(&mut buf, *epoch);
+                put_peers(&mut buf, peers);
+            }
+            Request::Ping => {
+                buf[0] = version.max(5);
+                put_u8(&mut buf, TAG_PING);
+            }
         }
         buf
     }
@@ -867,6 +1077,16 @@ impl Request {
         let request = match r.u8()? {
             TAG_HELLO if version >= 3 => Request::Hello(read_codec_config(&mut r)?),
             TAG_SUBMIT_DIRECT if version >= 4 => Request::SubmitDirect(read_spec(&mut r)?),
+            TAG_REPLICATE if version >= 5 => Request::Replicate {
+                epoch: r.u64()?,
+                key: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            TAG_RECONFIGURE if version >= 5 => Request::Reconfigure {
+                epoch: r.u64()?,
+                peers: r.peers()?,
+            },
+            TAG_PING if version >= 5 => Request::Ping,
             TAG_SUBMIT => Request::Submit(read_spec(&mut r)?),
             TAG_POLL => Request::Poll(r.u64()?),
             TAG_WAIT => Request::Wait(r.u64()?),
@@ -914,7 +1134,7 @@ impl Response {
             }
             Response::Done(report) => {
                 put_u8(&mut buf, TAG_DONE);
-                put_report(&mut buf, report);
+                put_report(&mut buf, report, version);
             }
             Response::Failed(message) => {
                 put_u8(&mut buf, TAG_FAILED);
@@ -937,6 +1157,22 @@ impl Response {
                 buf[0] = version.max(4);
                 put_u8(&mut buf, TAG_REDIRECT);
                 put_str(&mut buf, addr);
+            }
+            Response::Pong {
+                epoch,
+                shard_id,
+                peers,
+            } => {
+                buf[0] = version.max(5);
+                put_u8(&mut buf, TAG_PONG);
+                put_u64(&mut buf, *epoch);
+                put_u32(&mut buf, *shard_id);
+                put_peers(&mut buf, peers);
+            }
+            Response::Ack { epoch } => {
+                buf[0] = version.max(5);
+                put_u8(&mut buf, TAG_ACK);
+                put_u64(&mut buf, *epoch);
             }
         }
         buf
@@ -961,12 +1197,18 @@ impl Response {
                 1 => JobPhase::Running,
                 _ => return Err(WireError::BadField("phase")),
             }),
-            TAG_DONE => Response::Done(read_report(&mut r)?),
+            TAG_DONE => Response::Done(read_report(&mut r, version)?),
             TAG_FAILED => Response::Failed(r.string()?),
             TAG_STATS_REPLY => Response::Stats(read_stats(&mut r, version)?),
             TAG_ERROR => Response::Error(r.string()?),
             TAG_HELLO_ACK if version >= 3 => Response::HelloAck(read_codec_config(&mut r)?),
             TAG_REDIRECT if version >= 4 => Response::Redirect(r.string()?),
+            TAG_PONG if version >= 5 => Response::Pong {
+                epoch: r.u64()?,
+                shard_id: r.u32()?,
+                peers: r.peers()?,
+            },
+            TAG_ACK if version >= 5 => Response::Ack { epoch: r.u64()? },
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -1050,6 +1292,14 @@ mod tests {
             digest: 0xDEAD_BEEF_CAFE_F00D,
             tier: CacheTier::Disk,
             service_micros: 12_345,
+            conn: ConnStats {
+                frames_sent: 12,
+                frames_received: 11,
+                raw_tx_bytes: 9000,
+                wire_tx_bytes: 4200,
+                raw_rx_bytes: 800,
+                wire_rx_bytes: 850,
+            },
         }
     }
 
@@ -1061,6 +1311,16 @@ mod tests {
             Request::Poll(7),
             Request::Wait(u64::MAX),
             Request::Stats,
+            Request::Replicate {
+                epoch: 3,
+                key: 0x9E37_79B9_7F4A_7C15,
+                bytes: vec![0xAB; 100],
+            },
+            Request::Reconfigure {
+                epoch: 4,
+                peers: vec!["127.0.0.1:7211".to_string(), "127.0.0.1:7212".to_string()],
+            },
+            Request::Ping,
         ];
         for request in requests {
             assert_eq!(Request::decode(&request.encode()), Ok(request));
@@ -1131,6 +1391,12 @@ mod tests {
                 redirects: 4,
                 shard_id: 1,
                 shard_count: 3,
+                epoch: 2,
+                replicas_sent: 15,
+                replicas_received: 14,
+                replica_queue_drops: 1,
+                reconfigures: 2,
+                peers_down: 1,
             }),
             Response::Error("unknown job id 9".to_string()),
             Response::HelloAck(CodecConfig {
@@ -1138,6 +1404,12 @@ mod tests {
                 chunk_bytes: 4096,
             }),
             Response::Redirect("127.0.0.1:7212".to_string()),
+            Response::Pong {
+                epoch: 2,
+                shard_id: u32::MAX,
+                peers: vec!["127.0.0.1:7211".to_string()],
+            },
+            Response::Ack { epoch: 2 },
         ];
         for response in responses {
             assert_eq!(Response::decode(&response.encode()), Ok(response));
@@ -1181,6 +1453,12 @@ mod tests {
             redirects: 5,
             shard_id: 2,
             shard_count: 4,
+            epoch: 6,
+            replicas_sent: 13,
+            replicas_received: 12,
+            replica_queue_drops: 1,
+            reconfigures: 2,
+            peers_down: 1,
             ..ServerStats::default()
         };
         stats.codec.connections_v3 = 7;
@@ -1190,15 +1468,19 @@ mod tests {
         let v2 = reply.encode_versioned(2);
         let v3 = reply.encode_versioned(3);
         let v4 = reply.encode_versioned(4);
+        let v5 = reply.encode_versioned(5);
         assert_eq!(v2[0], 2);
         assert_eq!(v3[0], 3);
         assert_eq!(v4[0], 4);
+        assert_eq!(v5[0], 5);
         // each generation's layout is exactly the next one minus its
         // trailing counter block (and the version stamp)
         assert_eq!(v3.len() - v2.len(), 9 * 8);
         assert_eq!(v2[1..], v3[1..v2.len()]);
         assert_eq!(v4.len() - v3.len(), 4 + 4 + 8 + 8 + 4 + 4);
         assert_eq!(v3[1..], v4[1..v3.len()]);
+        assert_eq!(v5.len() - v4.len(), 8 + 8 + 8 + 8 + 8 + 4);
+        assert_eq!(v4[1..], v5[1..v4.len()]);
 
         match Response::decode(&v2).unwrap() {
             Response::Stats(back) => {
@@ -1216,7 +1498,15 @@ mod tests {
             }
             other => panic!("v3 stats decoded as {other:?}"),
         }
-        assert_eq!(Response::decode(&v4), Ok(reply));
+        match Response::decode(&v4).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(back.shard_count, 4);
+                assert_eq!(back.epoch, 0, "epoch + replica counters are v5-born");
+                assert_eq!(back.replicas_sent, 0);
+            }
+            other => panic!("v4 stats decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v5), Ok(reply));
 
         // every v2-stamped request round-trips at the old layout too
         for request in [Request::Poll(3), Request::Wait(4), Request::Stats] {
@@ -1259,6 +1549,74 @@ mod tests {
         assert_eq!(ack.encode_versioned(3)[0], 3);
         assert_eq!(ack.encode_versioned(4)[0], 4);
         assert_eq!(ack.encode_versioned(2)[0], 3, "HelloAck is v3-born");
+    }
+
+    #[test]
+    fn resilience_messages_are_v5_born() {
+        // every resilience message forces its stamp up to v5 on encode
+        // and refuses to decode below v5 — an older build answers
+        // BadTag, exactly what a real one does
+        let requests = [
+            Request::Replicate {
+                epoch: 1,
+                key: 42,
+                bytes: vec![1, 2, 3],
+            },
+            Request::Reconfigure {
+                epoch: 2,
+                peers: vec!["127.0.0.1:7211".to_string()],
+            },
+            Request::Ping,
+        ];
+        for request in requests {
+            let payload = request.encode_versioned(2);
+            assert_eq!(payload[0], 5, "{request:?} must be stamped v5");
+            assert_eq!(Request::decode(&payload), Ok(request.clone()));
+            let mut downgraded = payload;
+            downgraded[0] = 4;
+            assert!(
+                matches!(Request::decode(&downgraded), Err(WireError::BadTag(_))),
+                "{request:?} decoded below its birth version"
+            );
+        }
+        let responses = [
+            Response::Pong {
+                epoch: 1,
+                shard_id: 0,
+                peers: vec!["127.0.0.1:7211".to_string()],
+            },
+            Response::Ack { epoch: 1 },
+        ];
+        for response in responses {
+            let payload = response.encode_versioned(3);
+            assert_eq!(payload[0], 5, "{response:?} must be stamped v5");
+            assert_eq!(Response::decode(&payload), Ok(response.clone()));
+            let mut downgraded = payload;
+            downgraded[0] = 4;
+            assert!(
+                matches!(Response::decode(&downgraded), Err(WireError::BadTag(_))),
+                "{response:?} decoded below its birth version"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_v5_peers_speak_the_old_report_layout() {
+        let reply = Response::Done(report());
+        let v4 = reply.encode_versioned(4);
+        let v5 = reply.encode_versioned(5);
+        // the v5 report is exactly the v4 one plus the trailing
+        // 6-counter connection block (and the version stamp)
+        assert_eq!(v5.len() - v4.len(), 6 * 8);
+        assert_eq!(v4[1..], v5[1..v4.len()]);
+        match Response::decode(&v4).unwrap() {
+            Response::Done(back) => {
+                assert_eq!(back.digest, report().digest);
+                assert_eq!(back.conn, ConnStats::default(), "conn stats are v5-born");
+            }
+            other => panic!("v4 report decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v5), Ok(reply));
     }
 
     #[test]
@@ -1305,8 +1663,9 @@ mod tests {
         *resp.last_mut().unwrap() = 7;
         assert_eq!(Response::decode(&resp), Err(WireError::BadField("phase")));
         // tier byte sits just before the trailing 8-byte service time
+        // and the 48-byte v5 connection block
         let mut done = Response::Done(report()).encode();
-        let at = done.len() - 9;
+        let at = done.len() - 57;
         done[at] = 9;
         assert_eq!(Response::decode(&done), Err(WireError::BadField("tier")));
     }

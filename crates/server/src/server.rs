@@ -10,6 +10,12 @@
 //!                  worker pool (N threads) ◀─────────┘
 //!                  │  pop → Running → execute → Done/Failed
 //!                  └─ artifact cache (Mutex<ArtifactCache>)
+//!
+//! sharded only:
+//!   replicator ── drains the bounded write-behind queue, pushing
+//!                 cold artifacts to ring peers (v5 Replicate)
+//!   prober     ── pings ring peers, feeds the health table, adopts
+//!                 higher ring epochs gossiped back in Pong
 //! ```
 //!
 //! Backpressure is explicit: the queue never grows past its capacity —
@@ -38,9 +44,9 @@ use ss_testdata::TestSet;
 use crate::cache::{cache_key, ArtifactCache, CachedArtifacts};
 use crate::codec::{Codec, CodecConfig, CodecError, Transport, WireStats};
 use crate::protocol::{
-    peek_version, write_frame, CacheTier, CodecCounters, JobPhase, JobReport, JobSpec,
-    PhaseHistogram, Request, Response, ServerStats, TierStats, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    peek_version, read_frame, write_frame, CacheTier, CodecCounters, ConnStats, JobPhase,
+    JobReport, JobSpec, PhaseHistogram, Request, Response, ServerStats, TierStats, MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::report_digest;
 use crate::shard::{ShardError, ShardRing, ShardSpec};
@@ -64,6 +70,26 @@ const FINISHED_RETENTION: usize = 4096;
 /// is 0. Far above any sane client fleet, far below the OS thread
 /// ceiling a connection flood would otherwise hit.
 const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
+/// Replication factor when [`ServeOptions::replicas`] is 0 on a
+/// sharded server: the owner plus one warm copy, so any single shard
+/// death costs zero recomputation.
+const DEFAULT_REPLICAS: usize = 2;
+
+/// Bound on the write-behind replication queue. Replication is best
+/// effort: past this backlog new work is dropped (and counted) rather
+/// than buffered without limit.
+const REPLICATION_QUEUE_DEPTH: usize = 1024;
+
+/// How often the prober pings ring peers (health + epoch gossip).
+const PROBE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Connect timeout for shard-to-shard frames (probes and replica
+/// pushes); a dead peer costs at most this per attempt.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Read/write timeout once a peer connection is up.
+const PEER_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Tunables for [`Server::bind`]. `Default` is a loopback address on
 /// an OS-assigned port, one worker per hardware thread, a 256 MiB
@@ -93,6 +119,11 @@ pub struct ServeOptions {
     /// tier: the full peer list and this server's index into it.
     /// `None` serves every key itself (single-node mode).
     pub shard: Option<ShardSpec>,
+    /// Replication factor on a sharded server: every cold artifact is
+    /// pushed to the first `replicas` shards of its key's rendezvous
+    /// order (the owner plus `replicas - 1` warm copies). 0 means the
+    /// default of 2; 1 disables replication. Ignored when unsharded.
+    pub replicas: usize,
 }
 
 impl Default for ServeOptions {
@@ -105,6 +136,7 @@ impl Default for ServeOptions {
             store_dir: None,
             max_connections: 0,
             shard: None,
+            replicas: 0,
         }
     }
 }
@@ -256,10 +288,29 @@ impl CodecTelemetry {
 }
 
 /// A sharded server's placement state: the fleet ring and this
-/// server's own index in it.
+/// server's own position in it. Swapped atomically (under its mutex)
+/// by `Reconfigure` — `self_addr` is pinned at startup so the server
+/// can re-find (or lose) its index in any future ring.
 struct ShardState {
     ring: ShardRing,
-    id: usize,
+    /// This server's index into the ring's peer list, or `None` after
+    /// a reconfiguration removed it — a removed shard owns nothing and
+    /// redirects every plain submission, but keeps serving direct
+    /// traffic and its warm cache until drained.
+    id: Option<usize>,
+    /// The address this server is known by in fleet peer lists.
+    self_addr: String,
+}
+
+/// One unit of write-behind replication: push `key`'s artifact to
+/// every address in `targets`. `entry` is the in-memory artifact when
+/// the producer held it; `None` makes the replicator load the
+/// envelope from the disk tier (the re-replication path for keys that
+/// were only on disk when the ring changed).
+struct ReplicationTask {
+    key: u64,
+    entry: Option<Arc<CachedArtifacts>>,
+    targets: Vec<String>,
 }
 
 /// State shared by the accept loop, connection handlers and workers.
@@ -282,8 +333,25 @@ struct Shared {
     jobs_done: AtomicU64,
     busy_rejections: AtomicU64,
     coalesced: AtomicU64,
-    /// Fleet placement; `None` in single-node mode.
-    shards: Option<ShardState>,
+    /// Fleet placement; `None` in single-node mode. Behind a mutex so
+    /// `Reconfigure` can swap the ring live, without restarting.
+    shards: Mutex<Option<ShardState>>,
+    /// Replication factor (1 = off); fixed per process.
+    replicas: usize,
+    /// The bounded write-behind replication queue.
+    repl_queue: Mutex<VecDeque<ReplicationTask>>,
+    repl_cv: Condvar,
+    /// Replica pushes acknowledged by a peer.
+    replicas_sent: AtomicU64,
+    /// Replica pushes accepted from peers after verification.
+    replicas_received: AtomicU64,
+    /// Replication work dropped (full queue or oversize envelope).
+    replica_drops: AtomicU64,
+    /// Reconfigurations that actually advanced the epoch.
+    reconfigures: AtomicU64,
+    /// Ring peers the prober (or a failed push) currently considers
+    /// unreachable.
+    peers_down: Mutex<HashSet<String>>,
     /// Live connection handlers (the accept gate's level).
     conn_active: AtomicUsize,
     /// The accept gate's bound.
@@ -318,6 +386,7 @@ impl Shared {
         job_threads: usize,
         disk: Option<DiskTier>,
         conn_max: usize,
+        replicas: usize,
     ) -> Self {
         Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -334,7 +403,15 @@ impl Shared {
             jobs_done: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
-            shards: None,
+            shards: Mutex::new(None),
+            replicas: replicas.max(1),
+            repl_queue: Mutex::new(VecDeque::new()),
+            repl_cv: Condvar::new(),
+            replicas_sent: AtomicU64::new(0),
+            replicas_received: AtomicU64::new(0),
+            replica_drops: AtomicU64::new(0),
+            reconfigures: AtomicU64::new(0),
+            peers_down: Mutex::new(HashSet::new()),
             conn_active: AtomicUsize::new(0),
             conn_max,
             conn_shed: AtomicU64::new(0),
@@ -369,11 +446,13 @@ impl Shared {
         let key = cache_key(&spec);
 
         // ownership is decided on the canonical key, so a client that
-        // hashed non-canonical text still converges in one redirect
+        // hashed non-canonical text still converges in one redirect;
+        // a server reconfigured out of its own ring owns nothing
         if !direct {
-            if let Some(state) = &self.shards {
+            let shards = self.shards.lock().expect("shards mutex");
+            if let Some(state) = shards.as_ref() {
                 let owner = state.ring.owner(key);
-                if owner != state.id {
+                if state.id != Some(owner) {
                     self.redirects.fetch_add(1, Ordering::Relaxed);
                     return Ok(Enqueue::Redirect(state.ring.shards()[owner].clone()));
                 }
@@ -418,6 +497,17 @@ impl Shared {
                 evictions: d.corruptions.load(Ordering::Relaxed),
             }
         });
+        let (epoch, shard_id, shard_count) = {
+            let shards = self.shards.lock().expect("shards mutex");
+            match shards.as_ref() {
+                Some(s) => (
+                    s.ring.epoch(),
+                    s.id.map_or(u32::MAX, |id| id as u32),
+                    s.ring.len() as u32,
+                ),
+                None => (0, 0, 0),
+            }
+        };
         let phases = self.phases.lock().expect("phases mutex");
         ServerStats {
             workers: self.workers as u32,
@@ -452,10 +542,54 @@ impl Shared {
             connections_max: self.conn_max as u32,
             connections_shed: self.conn_shed.load(Ordering::Relaxed),
             redirects: self.redirects.load(Ordering::Relaxed),
-            shard_id: self.shards.as_ref().map_or(0, |s| s.id as u32),
+            shard_id,
             // 0 = single-node; a sharded server reports its fleet size
-            shard_count: self.shards.as_ref().map_or(0, |s| s.ring.len() as u32),
+            shard_count,
+            epoch,
+            replicas_sent: self.replicas_sent.load(Ordering::Relaxed),
+            replicas_received: self.replicas_received.load(Ordering::Relaxed),
+            replica_queue_drops: self.replica_drops.load(Ordering::Relaxed),
+            reconfigures: self.reconfigures.load(Ordering::Relaxed),
+            peers_down: self.peers_down.lock().expect("peers_down mutex").len() as u32,
         }
+    }
+
+    /// The current membership view: `(epoch, own shard id, peer
+    /// list)` — what `Pong` advertises. Unsharded servers answer
+    /// `(0, u32::MAX, [])`.
+    fn membership(&self) -> (u64, u32, Vec<String>) {
+        let shards = self.shards.lock().expect("shards mutex");
+        match shards.as_ref() {
+            Some(s) => (
+                s.ring.epoch(),
+                s.id.map_or(u32::MAX, |id| id as u32),
+                s.ring.shards().to_vec(),
+            ),
+            None => (0, u32::MAX, Vec::new()),
+        }
+    }
+
+    /// Marks a ring peer reachable/unreachable in the health table.
+    fn note_peer(&self, addr: &str, up: bool) {
+        let mut down = self.peers_down.lock().expect("peers_down mutex");
+        if up {
+            down.remove(addr);
+        } else {
+            down.insert(addr.to_string());
+        }
+    }
+
+    /// Queues one replication task, dropping (and counting) when the
+    /// bounded queue is full — write-behind is best effort by design.
+    fn push_replication(&self, task: ReplicationTask) {
+        let mut queue = self.repl_queue.lock().expect("repl queue mutex");
+        if queue.len() >= REPLICATION_QUEUE_DEPTH {
+            self.replica_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        queue.push_back(task);
+        drop(queue);
+        self.repl_cv.notify_one();
     }
 }
 
@@ -596,6 +730,7 @@ fn disk_lookup(shared: &Shared, job: &QueuedJob) -> Option<(PipelineReport, usiz
         set: artifact.set,
         dropped: artifact.dropped as usize,
         encoding: artifact.encoding,
+        report_digest: artifact.report_digest,
     });
     match finish_stages(&entry) {
         Ok((report, embed_micros, segment_micros))
@@ -675,13 +810,17 @@ fn execute(shared: &Shared, job: &QueuedJob) -> Result<JobReport, String> {
                     set: encodable,
                     dropped,
                     encoding,
+                    report_digest: report_digest(&report),
                 });
-                store_write_through(shared, job.key, &entry, report_digest(&report));
+                store_write_through(shared, job.key, &entry, entry.report_digest);
                 shared
                     .cache
                     .lock()
                     .expect("cache mutex")
-                    .insert(job.key, entry);
+                    .insert(job.key, Arc::clone(&entry));
+                // write-behind: push warm copies to the key's replica
+                // set so losing this shard re-pays nothing
+                schedule_replication(shared, job.key, entry);
                 (report, dropped, CacheTier::Cold)
             }
         },
@@ -720,6 +859,319 @@ fn store_write_through(shared: &Shared, key: u64, entry: &CachedArtifacts, diges
     }
 }
 
+/// Queues write-behind replication of a freshly computed cold key to
+/// the other members of its replica set. No-op unless the server is
+/// sharded with a factor above 1.
+fn schedule_replication(shared: &Shared, key: u64, entry: Arc<CachedArtifacts>) {
+    if shared.replicas <= 1 {
+        return;
+    }
+    let targets = {
+        let shards = shared.shards.lock().expect("shards mutex");
+        match shards.as_ref() {
+            Some(state) => state
+                .ring
+                .replicas(key, shared.replicas)
+                .into_iter()
+                .filter(|addr| *addr != state.self_addr)
+                .collect::<Vec<_>>(),
+            None => return,
+        }
+    };
+    if targets.is_empty() {
+        return;
+    }
+    shared.push_replication(ReplicationTask {
+        key,
+        entry: Some(entry),
+        targets,
+    });
+}
+
+/// The addresses `key` must newly be pushed to when the ring changes
+/// from `old` to `new`: members of the new replica set that are
+/// neither in the old set (they already hold a copy) nor this server.
+/// `None` when nothing gained the key.
+fn replica_targets(
+    old: &ShardRing,
+    new: &ShardRing,
+    key: u64,
+    factor: usize,
+    self_addr: &str,
+) -> Option<Vec<String>> {
+    let old_set: HashSet<String> = old.replicas(key, factor).into_iter().collect();
+    let targets: Vec<String> = new
+        .replicas(key, factor)
+        .into_iter()
+        .filter(|addr| !old_set.contains(addr) && addr != self_addr)
+        .collect();
+    if targets.is_empty() {
+        None
+    } else {
+        Some(targets)
+    }
+}
+
+/// Atomically swaps the ring for a strictly newer membership view and
+/// queues re-replication of every locally held key whose replica set
+/// gained members — the warm-copy guarantee must survive the ring
+/// change. Idempotent: a stale or repeated epoch answers the epoch in
+/// force without touching anything.
+///
+/// # Errors
+///
+/// A client-facing message when the server is unsharded or the peer
+/// list is degenerate.
+fn apply_reconfigure(shared: &Shared, epoch: u64, peers: Vec<String>) -> Result<u64, String> {
+    let mut shards = shared.shards.lock().expect("shards mutex");
+    let Some(state) = shards.as_mut() else {
+        return Err("server is not sharded".to_string());
+    };
+    if epoch <= state.ring.epoch() {
+        return Ok(state.ring.epoch());
+    }
+    let new_ring = ShardRing::new(peers)
+        .map_err(|e| format!("reconfigure: {e}"))?
+        .with_epoch(epoch);
+    let new_id = new_ring
+        .shards()
+        .iter()
+        .position(|addr| *addr == state.self_addr);
+    if shared.replicas > 1 {
+        // every key this server holds, memory tier first so the
+        // replicator can reuse the live Arc; disk-only keys get a
+        // load-on-push task (lock order: shards → cache / disk.index,
+        // never the reverse — nothing locks shards under those)
+        let mut tasks: Vec<ReplicationTask> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (key, entry) in shared.cache.lock().expect("cache mutex").entries() {
+            seen.insert(key);
+            if let Some(targets) = replica_targets(
+                &state.ring,
+                &new_ring,
+                key,
+                shared.replicas,
+                &state.self_addr,
+            ) {
+                tasks.push(ReplicationTask {
+                    key,
+                    entry: Some(entry),
+                    targets,
+                });
+            }
+        }
+        if let Some(disk) = shared.disk.as_ref() {
+            for &key in disk.index.lock().expect("disk index mutex").keys() {
+                if seen.contains(&key) {
+                    continue;
+                }
+                if let Some(targets) = replica_targets(
+                    &state.ring,
+                    &new_ring,
+                    key,
+                    shared.replicas,
+                    &state.self_addr,
+                ) {
+                    tasks.push(ReplicationTask {
+                        key,
+                        entry: None,
+                        targets,
+                    });
+                }
+            }
+        }
+        for task in tasks {
+            shared.push_replication(task);
+        }
+    }
+    state.ring = new_ring;
+    state.id = new_id;
+    {
+        let members: HashSet<&String> = state.ring.shards().iter().collect();
+        shared
+            .peers_down
+            .lock()
+            .expect("peers_down mutex")
+            .retain(|peer| members.contains(peer));
+    }
+    shared.reconfigures.fetch_add(1, Ordering::Relaxed);
+    Ok(epoch)
+}
+
+/// Accepts one `Replicate` push: decodes the artifact envelope,
+/// re-verifies that the artifacts reproduce the digest they claim
+/// (nothing off the wire is trusted), and lands the copy in the normal
+/// memory → disk tiers. Deliberately records no synthesis, no phase
+/// timings and no cache miss — ingestion is not service traffic.
+fn ingest_replica(shared: &Shared, key: u64, bytes: &[u8]) -> Response {
+    let artifact = match Artifact::from_bytes(bytes, key, Some(shared.job_threads)) {
+        Ok(artifact) => artifact,
+        Err(e) => return Response::Error(format!("replica {key:016x}: {e}")),
+    };
+    let entry = Arc::new(CachedArtifacts {
+        ctx: artifact.ctx,
+        set: artifact.set,
+        dropped: artifact.dropped as usize,
+        encoding: artifact.encoding,
+        report_digest: artifact.report_digest,
+    });
+    match finish_stages(&entry) {
+        Ok((report, ..)) if report_digest(&report) == entry.report_digest => {
+            store_write_through(shared, key, &entry, entry.report_digest);
+            shared.cache.lock().expect("cache mutex").insert(key, entry);
+            shared.replicas_received.fetch_add(1, Ordering::Relaxed);
+            Response::Ack {
+                epoch: shared.membership().0,
+            }
+        }
+        Ok((report, ..)) => Response::Error(format!(
+            "replica {key:016x}: claims digest {:016x}, artifacts reproduce {:016x}",
+            entry.report_digest,
+            report_digest(&report)
+        )),
+        Err(e) => Response::Error(format!("replica {key:016x}: {e}")),
+    }
+}
+
+/// One plain-frame request/response exchange with a ring peer, under
+/// the peer timeouts. Shard-to-shard frames skip `Hello`: v5 messages
+/// are plain frames both ends of a fleet parse by construction.
+fn send_peer_request(addr: &str, request: &Request) -> Result<Response, String> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or_else(|| format!("{addr}: no usable address"))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock, PEER_CONNECT_TIMEOUT).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(PEER_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(PEER_IO_TIMEOUT));
+    write_frame(&mut stream, &request.encode()).map_err(|e| e.to_string())?;
+    let payload = read_frame(&mut stream).map_err(|e| e.to_string())?;
+    Response::decode(&payload).map_err(|e| e.to_string())
+}
+
+/// Pushes one replication task to its targets: resolves the artifact
+/// (live entry, or loaded off disk for re-replication), serialises the
+/// envelope once and sends it to each target. Best effort — a failed
+/// push marks the peer down and moves on; the prober's next successful
+/// round brings it back.
+fn replicate_task(shared: &Shared, task: ReplicationTask) {
+    let artifact = match task.entry {
+        Some(entry) => Artifact {
+            ctx: entry.ctx.clone(),
+            set: entry.set.clone(),
+            dropped: entry.dropped as u64,
+            encoding: entry.encoding.clone(),
+            report_digest: entry.report_digest,
+        },
+        None => match shared
+            .disk
+            .as_ref()
+            .map(|disk| disk.store.get(task.key, Some(shared.job_threads)))
+        {
+            Some(Ok(Some(artifact))) => artifact,
+            // gone or unreadable: nothing to push; the key recomputes
+            // cold wherever it lands next
+            _ => return,
+        },
+    };
+    let bytes = artifact.to_bytes(task.key);
+    // a Replicate travels as one frame; an envelope that cannot fit is
+    // dropped and counted, never split
+    if bytes.len() + 64 > MAX_FRAME_BYTES {
+        shared.replica_drops.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let epoch = shared.membership().0;
+    for target in &task.targets {
+        let request = Request::Replicate {
+            epoch,
+            key: task.key,
+            bytes: bytes.clone(),
+        };
+        match send_peer_request(target, &request) {
+            Ok(Response::Ack { .. }) => {
+                shared.replicas_sent.fetch_add(1, Ordering::Relaxed);
+                shared.note_peer(target, true);
+            }
+            // the peer answered but refused (verification, version):
+            // it is alive, just not a replica holder
+            Ok(_) => shared.note_peer(target, true),
+            Err(_) => shared.note_peer(target, false),
+        }
+    }
+}
+
+/// The write-behind replication thread: drains the bounded queue until
+/// stop.
+fn replicator_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.repl_queue.lock().expect("repl queue mutex");
+            loop {
+                if shared.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                let (q, _) = shared
+                    .repl_cv
+                    .wait_timeout(queue, WAIT_TICK)
+                    .expect("repl queue mutex");
+                queue = q;
+            }
+        };
+        replicate_task(shared, task);
+    }
+}
+
+/// The health/gossip thread: pings every ring peer each interval,
+/// feeds the health table, and adopts any strictly newer membership
+/// view a peer advertises in `Pong` — so one `Reconfigure` sent to one
+/// shard converges the whole fleet within a probe interval.
+fn prober_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let (epoch, _, peers) = shared.membership();
+        let self_addr = {
+            let shards = shared.shards.lock().expect("shards mutex");
+            shards.as_ref().map(|s| s.self_addr.clone())
+        };
+        for peer in &peers {
+            if Some(peer.as_str()) == self_addr.as_deref() {
+                continue;
+            }
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match send_peer_request(peer, &Request::Ping) {
+                Ok(Response::Pong {
+                    epoch: peer_epoch,
+                    peers: peer_list,
+                    ..
+                }) => {
+                    shared.note_peer(peer, true);
+                    if peer_epoch > epoch {
+                        let _ = apply_reconfigure(shared, peer_epoch, peer_list);
+                    }
+                }
+                // a pre-v5 peer answers Error — alive, no gossip
+                Ok(_) => shared.note_peer(peer, true),
+                Err(_) => shared.note_peer(peer, false),
+            }
+        }
+        // sleep in small steps so shutdown stays prompt
+        let mut slept = Duration::ZERO;
+        while slept < PROBE_INTERVAL && !shared.stop.load(Ordering::Relaxed) {
+            thread::sleep(WAIT_TICK.min(PROBE_INTERVAL - slept));
+            slept += WAIT_TICK;
+        }
+    }
+}
+
 /// Projects a full [`PipelineReport`] onto the wire-sized
 /// [`JobReport`].
 fn job_report(
@@ -744,6 +1196,9 @@ fn job_report(
         digest: report_digest(report),
         tier,
         service_micros: service.as_micros() as u64,
+        // stamped by the connection handler at reply time; a worker
+        // has no wire context
+        conn: ConnStats::default(),
     }
 }
 
@@ -846,6 +1301,19 @@ fn respond(shared: &Shared, request: Request, version: u8) -> Response {
             }
         }
         Request::Stats => Response::Stats(shared.stats()),
+        Request::Replicate { key, bytes, .. } => ingest_replica(shared, key, &bytes),
+        Request::Reconfigure { epoch, peers } => match apply_reconfigure(shared, epoch, peers) {
+            Ok(epoch) => Response::Ack { epoch },
+            Err(message) => Response::Error(message),
+        },
+        Request::Ping => {
+            let (epoch, shard_id, peers) = shared.membership();
+            Response::Pong {
+                epoch,
+                shard_id,
+                peers,
+            }
+        }
     }
 }
 
@@ -868,6 +1336,9 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // reply generation: mirrors the peer until negotiation pins v3
     let mut version = MIN_PROTOCOL_VERSION;
     let mut counted = false;
+    // per-connection codec totals, echoed inside every v5 Done so a
+    // client sees its own wire costs without a Stats round-trip
+    let mut conn = ConnStats::default();
     loop {
         let (payload, rx) = match transport.read_message(&mut stream) {
             Ok(message) => message,
@@ -891,8 +1362,11 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         };
         if transport.is_framed() {
             shared.codec.add_rx(rx);
+            conn.frames_received += rx.frames;
+            conn.raw_rx_bytes += rx.raw_bytes;
+            conn.wire_rx_bytes += rx.wire_bytes;
         }
-        let response = match Request::decode(&payload) {
+        let mut response = match Request::decode(&payload) {
             Ok(Request::Hello(offer)) if !transport.is_framed() => {
                 let agreed = CodecConfig::negotiate(offer);
                 // the connection runs at min(peer, us): the ack's
@@ -932,10 +1406,20 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
             Err(e) => Response::Error(e.to_string()),
         };
+        // the snapshot is taken at reply-build time: it covers every
+        // frame up to and including this request, not the reply itself
+        if version >= 5 {
+            if let Response::Done(ref mut report) = response {
+                report.conn = conn;
+            }
+        }
         match transport.write_message(&mut stream, &response.encode_versioned(version)) {
             Ok(tx) => {
                 if transport.is_framed() {
                     shared.codec.add_tx(tx);
+                    conn.frames_sent += tx.frames;
+                    conn.raw_tx_bytes += tx.raw_bytes;
+                    conn.wire_tx_bytes += tx.wire_bytes;
                 }
             }
             Err(_) => return,
@@ -1060,6 +1544,11 @@ impl Server {
         } else {
             options.max_connections
         };
+        let replicas = if options.replicas == 0 {
+            DEFAULT_REPLICAS
+        } else {
+            options.replicas
+        };
         let mut server = Server {
             listener,
             shared: Arc::new(Shared::new(
@@ -1069,6 +1558,7 @@ impl Server {
                 job_threads,
                 disk,
                 max_connections,
+                replicas,
             )),
         };
         if let Some(spec) = &options.shard {
@@ -1090,9 +1580,14 @@ impl Server {
     /// id.
     pub fn set_shards(&mut self, spec: ShardSpec) -> Result<(), ShardError> {
         let ring = spec.ring()?;
+        let self_addr = spec.self_addr().to_string();
         let shared = Arc::get_mut(&mut self.shared)
             .expect("set_shards is called before any thread shares the server state");
-        shared.shards = Some(ShardState { ring, id: spec.id });
+        *shared.shards.get_mut().expect("shards mutex") = Some(ShardState {
+            ring,
+            id: Some(spec.id),
+            self_addr,
+        });
         Ok(())
     }
 
@@ -1127,6 +1622,12 @@ impl Server {
             let shared = Arc::clone(&shared);
             thread::spawn(move || worker_loop(&shared));
         }
+        if shared.shards.lock().expect("shards mutex").is_some() {
+            let replicator = Arc::clone(&shared);
+            thread::spawn(move || replicator_loop(&replicator));
+            let prober = Arc::clone(&shared);
+            thread::spawn(move || prober_loop(&prober));
+        }
         loop {
             let (stream, _) = self.listener.accept()?;
             dispatch_connection(&shared, stream);
@@ -1147,6 +1648,13 @@ impl Server {
                 thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let mut aux: Vec<JoinHandle<()>> = Vec::new();
+        if shared.shards.lock().expect("shards mutex").is_some() {
+            let replicator = Arc::clone(&shared);
+            aux.push(thread::spawn(move || replicator_loop(&replicator)));
+            let prober = Arc::clone(&shared);
+            aux.push(thread::spawn(move || prober_loop(&prober)));
+        }
         let accept_shared = Arc::clone(&shared);
         let listener = self.listener;
         let accept = thread::spawn(move || {
@@ -1162,6 +1670,7 @@ impl Server {
             shared,
             accept: Some(accept),
             workers,
+            aux,
         }
     }
 }
@@ -1173,6 +1682,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The replicator and prober threads of a sharded server.
+    aux: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -1198,11 +1709,15 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         self.shared.queue_cv.notify_all();
         self.shared.jobs_cv.notify_all();
+        self.shared.repl_cv.notify_all();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        for aux in self.aux.drain(..) {
+            let _ = aux.join();
         }
     }
 }
@@ -1236,7 +1751,7 @@ mod tests {
     /// `Busy` and nothing is buffered past the bound.
     #[test]
     fn bounded_queue_rejects_with_busy_never_buffers() {
-        let shared = Shared::new(1, 2, 1 << 20, 1, None, 256);
+        let shared = Shared::new(1, 2, 1 << 20, 1, None, 256, 1);
         let spec = mini_spec();
         for _ in 0..2 {
             assert!(matches!(
@@ -1261,7 +1776,7 @@ mod tests {
         // regression: the Queued insert must precede queue visibility,
         // or a fast worker's finished state gets clobbered by the
         // submitter and the job hangs as Queued forever
-        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
         let Enqueue::Accepted(id) = shared.try_enqueue(mini_spec(), false).unwrap() else {
             panic!("queue has room");
         };
@@ -1279,7 +1794,7 @@ mod tests {
 
     #[test]
     fn finished_retention_is_bounded_and_evicts_oldest() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
         let overflow = 50u64;
         for id in 0..(FINISHED_RETENTION as u64 + overflow) {
             set_state(&shared, id, JobState::Failed("x".into()));
@@ -1297,7 +1812,7 @@ mod tests {
 
     #[test]
     fn workers_abandon_the_backlog_on_stop() {
-        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1, None, 256));
+        let shared = Arc::new(Shared::new(1, 8, 1 << 20, 1, None, 256, 1));
         shared.try_enqueue(mini_spec(), false).unwrap();
         shared.stop.store(true, Ordering::Relaxed);
         let worker = Arc::clone(&shared);
@@ -1314,7 +1829,7 @@ mod tests {
 
     #[test]
     fn invalid_submissions_fail_at_the_door() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
         let mut bad = mini_spec();
         bad.set_text = "no header".to_string();
         assert!(shared.try_enqueue(bad, false).is_err());
@@ -1332,7 +1847,7 @@ mod tests {
 
     #[test]
     fn poll_and_wait_know_unknown_jobs() {
-        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
         assert!(matches!(
             respond(&shared, Request::Poll(99), PROTOCOL_VERSION),
             Response::Error(_)
@@ -1347,7 +1862,7 @@ mod tests {
     /// time and produces an identical report (modulo telemetry).
     #[test]
     fn execute_is_deterministic_and_cache_flags_are_honest() {
-        let shared = Shared::new(1, 4, 64 << 20, 1, None, 256);
+        let shared = Shared::new(1, 4, 64 << 20, 1, None, 256, 1);
         let spec = mini_spec();
         shared.try_enqueue(spec.clone(), false).unwrap();
         shared.try_enqueue(spec, false).unwrap();
@@ -1378,7 +1893,15 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ss-server-disk-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
 
-        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()), 256);
+        let shared = Shared::new(
+            1,
+            4,
+            64 << 20,
+            1,
+            Some(DiskTier::open(&dir).unwrap()),
+            256,
+            1,
+        );
         let spec = mini_spec();
         shared.try_enqueue(spec.clone(), false).unwrap();
         let job = shared.queue.lock().unwrap().pop_front().unwrap();
@@ -1388,7 +1911,15 @@ mod tests {
         drop(shared);
 
         // restart: fresh memory cache, same directory
-        let shared = Shared::new(1, 4, 64 << 20, 1, Some(DiskTier::open(&dir).unwrap()), 256);
+        let shared = Shared::new(
+            1,
+            4,
+            64 << 20,
+            1,
+            Some(DiskTier::open(&dir).unwrap()),
+            256,
+            1,
+        );
         assert_eq!(shared.stats().disk.entries, 1, "index warm-started");
         shared.try_enqueue(spec, false).unwrap();
         let job = shared.queue.lock().unwrap().pop_front().unwrap();
@@ -1404,14 +1935,20 @@ mod tests {
     }
 
     fn sharded(peers: &[&str], id: usize) -> Shared {
-        let mut shared = Shared::new(1, 4, 1 << 20, 1, None, 256);
+        sharded_with_replicas(peers, id, 1)
+    }
+
+    fn sharded_with_replicas(peers: &[&str], id: usize, replicas: usize) -> Shared {
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, replicas);
         let spec = ShardSpec {
             peers: peers.iter().map(|s| (*s).to_string()).collect(),
             id,
+            epoch: 0,
         };
-        shared.shards = Some(ShardState {
+        *shared.shards.lock().unwrap() = Some(ShardState {
             ring: spec.ring().unwrap(),
-            id: spec.id,
+            id: Some(spec.id),
+            self_addr: spec.self_addr().to_string(),
         });
         shared
     }
@@ -1498,7 +2035,7 @@ mod tests {
     /// permit frees its slot.
     #[test]
     fn accept_gate_bounds_connections_and_sheds_with_busy() {
-        let shared = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 2));
+        let shared = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 2, 1));
         let a = ConnPermit::try_acquire(&shared).expect("slot 1");
         let b = ConnPermit::try_acquire(&shared).expect("slot 2");
         assert!(
@@ -1516,7 +2053,7 @@ mod tests {
         // with a typed Busy while the first is parked inside a handler
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let gate = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 1));
+        let gate = Arc::new(Shared::new(1, 4, 1 << 20, 1, None, 1, 1));
         let accept_gate = Arc::clone(&gate);
         let accept = thread::spawn(move || {
             for _ in 0..2 {
@@ -1540,5 +2077,175 @@ mod tests {
         assert_eq!(gate.stats().connections_max, 1);
         assert_eq!(gate.stats().connections_active, 1);
         drop(hold);
+    }
+
+    /// `Reconfigure` swaps the ring live: the epoch advances exactly
+    /// once per new view, stale epochs are idempotent, departed peers
+    /// are pruned from the health table, and a server reconfigured out
+    /// of its own ring owns nothing (it redirects every plain
+    /// submission). Unsharded servers refuse outright.
+    #[test]
+    fn reconfigure_swaps_the_ring_live_and_is_idempotent() {
+        let shared = sharded_with_replicas(&["a:1", "b:1", "c:1"], 0, 2);
+        shared.note_peer("c:1", false);
+        assert_eq!(shared.stats().peers_down, 1);
+
+        let epoch = apply_reconfigure(&shared, 1, vec!["a:1".into(), "b:1".into()]).unwrap();
+        assert_eq!(epoch, 1);
+        let stats = shared.stats();
+        assert_eq!(
+            (stats.epoch, stats.shard_count, stats.reconfigures),
+            (1, 2, 1)
+        );
+        assert_eq!(stats.peers_down, 0, "departed peer pruned from health");
+
+        // a stale epoch answers the epoch in force, changes nothing
+        assert_eq!(
+            apply_reconfigure(&shared, 1, vec!["z:1".into()]).unwrap(),
+            1
+        );
+        assert_eq!(shared.stats().reconfigures, 1);
+
+        // removed from its own ring: still serving, owns nothing
+        apply_reconfigure(&shared, 2, vec!["b:1".into(), "c:1".into()]).unwrap();
+        assert_eq!(shared.membership().1, u32::MAX);
+        assert!(matches!(
+            shared.try_enqueue(mini_spec(), false).unwrap(),
+            Enqueue::Redirect(_)
+        ));
+
+        let plain = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
+        assert!(apply_reconfigure(&plain, 1, vec!["a:1".into()]).is_err());
+    }
+
+    /// The re-replication delta: targets are exactly the members of
+    /// the new replica set that neither held the key before nor are
+    /// this server.
+    #[test]
+    fn replica_targets_cover_exactly_the_new_holders() {
+        use crate::cache::Fnv64;
+        let old = ShardRing::new(vec!["a:1".into(), "b:1".into(), "c:1".into()]).unwrap();
+        let new =
+            ShardRing::new(vec!["a:1".into(), "b:1".into(), "c:1".into(), "d:1".into()]).unwrap();
+        for seed in 0..500u64 {
+            let mut h = Fnv64::new();
+            h.write_u64(seed);
+            let key = h.finish();
+            let old_set: HashSet<String> = old.replicas(key, 2).into_iter().collect();
+            match replica_targets(&old, &new, key, 2, "a:1") {
+                Some(targets) => {
+                    for t in &targets {
+                        assert!(!old_set.contains(t), "already a holder");
+                        assert_ne!(t, "a:1", "never pushes to itself");
+                        assert!(new.replicas(key, 2).contains(t), "not a new holder");
+                    }
+                }
+                None => {
+                    for t in new.replicas(key, 2) {
+                        assert!(old_set.contains(&t) || t == "a:1");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_queue_is_bounded_and_drops_are_counted() {
+        let shared = Shared::new(1, 4, 1 << 20, 1, None, 256, 2);
+        for _ in 0..(REPLICATION_QUEUE_DEPTH + 5) {
+            shared.push_replication(ReplicationTask {
+                key: 1,
+                entry: None,
+                targets: vec!["x:1".into()],
+            });
+        }
+        assert_eq!(
+            shared.repl_queue.lock().unwrap().len(),
+            REPLICATION_QUEUE_DEPTH
+        );
+        assert_eq!(shared.stats().replica_queue_drops, 5);
+    }
+
+    /// Replica ingestion verifies before serving: garbage and lying
+    /// digests are refused, a genuine envelope lands in the memory
+    /// tier and serves bit-identically — with zero synthesis recorded,
+    /// because ingestion is not service traffic.
+    #[test]
+    fn replica_ingestion_verifies_before_serving() {
+        let shared = Shared::new(1, 4, 64 << 20, 1, None, 256, 2);
+        assert!(matches!(
+            ingest_replica(&shared, 7, &[0u8; 16]),
+            Response::Error(_)
+        ));
+        assert_eq!(shared.stats().replicas_received, 0);
+
+        // produce a genuine envelope on a second, unrelated server
+        let producer = Shared::new(1, 4, 64 << 20, 1, None, 256, 1);
+        producer.try_enqueue(mini_spec(), false).unwrap();
+        let job = producer.queue.lock().unwrap().pop_front().unwrap();
+        let cold = execute(&producer, &job).unwrap();
+        let (key, entry) = producer.cache.lock().unwrap().entries().pop().unwrap();
+        let artifact = Artifact {
+            ctx: entry.ctx.clone(),
+            set: entry.set.clone(),
+            dropped: entry.dropped as u64,
+            encoding: entry.encoding.clone(),
+            report_digest: entry.report_digest,
+        };
+
+        let bytes = artifact.to_bytes(key);
+        assert!(matches!(
+            ingest_replica(&shared, key, &bytes),
+            Response::Ack { .. }
+        ));
+        let stats = shared.stats();
+        assert_eq!(stats.replicas_received, 1);
+        assert_eq!(stats.synthesis.count, 0, "ingestion never synthesizes");
+
+        // the replica actually serves, bit-identical, from memory
+        shared.try_enqueue(mini_spec(), true).unwrap();
+        let job = shared.queue.lock().unwrap().pop_front().unwrap();
+        let warm = execute(&shared, &job).unwrap();
+        assert_eq!(warm.tier, CacheTier::Memory);
+        assert_eq!(warm.digest, cold.digest);
+
+        // a digest the artifacts cannot reproduce is refused
+        let mut lying = artifact;
+        lying.report_digest ^= 1;
+        assert!(matches!(
+            ingest_replica(&shared, key, &lying.to_bytes(key)),
+            Response::Error(_)
+        ));
+        assert_eq!(shared.stats().replicas_received, 1);
+    }
+
+    /// `Ping` answers the membership view — and on an unsharded server
+    /// the "not a member" sentinel, so probes never confuse modes.
+    #[test]
+    fn ping_answers_the_membership_view() {
+        let shared = sharded(&["a:1", "b:1"], 1);
+        match respond(&shared, Request::Ping, PROTOCOL_VERSION) {
+            Response::Pong {
+                epoch,
+                shard_id,
+                peers,
+            } => {
+                assert_eq!((epoch, shard_id), (0, 1));
+                assert_eq!(peers, vec!["a:1".to_string(), "b:1".to_string()]);
+            }
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        let plain = Shared::new(1, 4, 1 << 20, 1, None, 256, 1);
+        match respond(&plain, Request::Ping, PROTOCOL_VERSION) {
+            Response::Pong {
+                epoch,
+                shard_id,
+                peers,
+            } => {
+                assert_eq!((epoch, shard_id), (0, u32::MAX));
+                assert!(peers.is_empty());
+            }
+            other => panic!("expected Pong, got {other:?}"),
+        }
     }
 }

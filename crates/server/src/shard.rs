@@ -79,6 +79,7 @@ impl std::error::Error for ShardError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRing {
     shards: Vec<String>,
+    epoch: u64,
 }
 
 impl ShardRing {
@@ -100,7 +101,23 @@ impl ShardRing {
                 return Err(ShardError::DuplicateAddr(addr.clone()));
             }
         }
-        Ok(ShardRing { shards })
+        Ok(ShardRing { shards, epoch: 0 })
+    }
+
+    /// Stamps the ring with a membership epoch (epoch 0 is the
+    /// pre-reconfiguration default). The epoch never enters the
+    /// placement hash — two rings over the same addresses place keys
+    /// identically at every epoch — it only orders membership views:
+    /// a server or balancer replaces its ring exactly when it sees one
+    /// with a strictly higher epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> ShardRing {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The membership epoch this ring was stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The shard addresses, in declaration order (the order every
@@ -148,19 +165,35 @@ impl ShardRing {
         order.sort_by_key(|&i| std::cmp::Reverse(Self::score(&self.shards[i], key)));
         order
     }
+
+    /// The addresses of a key's replica set: the first
+    /// `min(factor, len)` shards in rendezvous order. Index 0 is the
+    /// owner; the rest are where the owner pushes `Replicate` copies —
+    /// and exactly where a balancer fails over to, which is why a
+    /// shard death lands on a warm replica.
+    pub fn replicas(&self, key: u64, factor: usize) -> Vec<String> {
+        self.ranked(key)
+            .into_iter()
+            .take(factor.max(1))
+            .map(|i| self.shards[i].clone())
+            .collect()
+    }
 }
 
 /// A sharded server's identity: the full peer list (every shard must
 /// be configured with the *same* list, same order not required — the
 /// ring hashes addresses, not positions) and this server's index into
 /// it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardSpec {
     /// Advertised addresses of every shard in the fleet, including
     /// this one. These must be the exact strings clients balance over.
     pub peers: Vec<String>,
     /// This server's index into `peers`.
     pub id: usize,
+    /// Membership epoch the initial ring is stamped with (0 unless the
+    /// server is joining a fleet that has already been reconfigured).
+    pub epoch: u64,
 }
 
 impl ShardSpec {
@@ -176,7 +209,7 @@ impl ShardSpec {
                 peers: self.peers.len(),
             });
         }
-        ShardRing::new(self.peers.clone())
+        Ok(ShardRing::new(self.peers.clone())?.with_epoch(self.epoch))
     }
 
     /// This server's advertised address.
@@ -207,7 +240,8 @@ mod tests {
         assert_eq!(
             ShardSpec {
                 peers: vec!["a:1".into()],
-                id: 1
+                id: 1,
+                epoch: 0
             }
             .ring(),
             Err(ShardError::BadShardId { id: 1, peers: 1 })
@@ -245,6 +279,41 @@ mod tests {
                 (0.15..=0.35).contains(&share),
                 "shard {i} owns {share:.3} of the key space"
             );
+        }
+    }
+
+    #[test]
+    fn epoch_orders_views_without_touching_placement() {
+        let base = ring(4);
+        let stamped = ring(4).with_epoch(7);
+        assert_eq!(base.epoch(), 0);
+        assert_eq!(stamped.epoch(), 7);
+        for key in 0..200u64 {
+            assert_eq!(base.ranked(key), stamped.ranked(key));
+        }
+        let spec = ShardSpec {
+            peers: (0..3).map(|i| format!("10.0.0.{i}:7113")).collect(),
+            id: 1,
+            epoch: 9,
+        };
+        assert_eq!(spec.ring().unwrap().epoch(), 9);
+    }
+
+    #[test]
+    fn replica_sets_lead_with_the_owner() {
+        let ring = ring(4);
+        for key in 0..200u64 {
+            let mut h = Fnv64::new();
+            h.write_u64(key);
+            let key = h.finish();
+            let replicas = ring.replicas(key, 2);
+            assert_eq!(replicas.len(), 2);
+            assert_eq!(replicas[0], ring.shards()[ring.owner(key)]);
+            assert_ne!(replicas[0], replicas[1]);
+            // a factor past the fleet size saturates, never panics;
+            // factor 0 still names the owner
+            assert_eq!(ring.replicas(key, 10).len(), 4);
+            assert_eq!(ring.replicas(key, 0), replicas[..1]);
         }
     }
 

@@ -13,8 +13,9 @@
 //! state-skip gen       <profile> <seed>             # emit a synthetic set
 //! state-skip workloads                              # list the corpus
 //! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N] [--store-dir D]
-//!                      [--peers A1,A2,.. --shard-id I] [--max-conns N]
+//!                      [--peers A1,A2,.. --shard-id I] [--replicas R] [--max-conns N]
 //! state-skip submit    [--addr A | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
+//! state-skip reconfigure [--addr A1,A2,..] --epoch E --peers P1,P2,..
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
@@ -65,8 +66,9 @@ const USAGE: &str = "usage:
   state-skip gen       <s9234|s13207|s15850|s38417|s38584|mini> <seed>
   state-skip workloads
   state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers] [--store-dir D]
-                       [--peers A1,A2,.. --shard-id I] [--max-conns N=256]
+                       [--peers A1,A2,.. --shard-id I] [--replicas R=2] [--max-conns N=256]
   state-skip submit    [--addr A=127.0.0.1:7113 | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
+  state-skip reconfigure [--addr A1,A2,..] --epoch E --peers P1,P2,..   # swap the fleet's ring live
 
 --threads N caps the engine's worker threads (default: all hardware
 threads); results are bit-identical at every thread count.
@@ -88,7 +90,16 @@ A fleet shards the content-key space: start every server with the same
 --shard-id index, then submit with the comma-separated --addr list —
 the client balances each workload to its owning shard and fails over
 when shards die. --max-conns bounds concurrent connections per server;
-excess connections are shed with a Busy reply instead of a thread.";
+excess connections are shed with a Busy reply instead of a thread.
+
+A replicated fleet self-heals: every cold artifact is pushed to the
+next --replicas - 1 shards of its key's rendezvous order (--replicas 1
+disables), so killing a shard fails over onto a warm copy instead of
+re-running synthesis. reconfigure swaps the fleet's membership without
+restarting anything: --addr lists shards of the *current* fleet (one
+is enough — epoch gossip converges the rest), --epoch must exceed the
+ring's current epoch, and --peers is the complete new address list.
+Shards re-replicate the keys whose placement changed.";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -142,6 +153,7 @@ fn run() -> Result<(), String> {
         "workloads" => workloads(),
         "serve" => serve(&args[1..]),
         "submit" => submit(&args[1..]),
+        "reconfigure" => reconfigure(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -436,13 +448,31 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("not a connection bound: {v:?}"))?,
         None => 0,
     };
+    let replicas: usize = match take_value_flag(&mut args, "--replicas")? {
+        Some(v) => {
+            let n = v
+                .parse()
+                .map_err(|_| format!("not a replication factor: {v:?}"))?;
+            if n == 0 {
+                return Err("--replicas must be >= 1 (1 disables replication)".into());
+            }
+            n
+        }
+        None => 0,
+    };
     let peers = take_value_flag(&mut args, "--peers")?;
     let shard_id = take_value_flag(&mut args, "--shard-id")?;
     let shard = match (peers, shard_id) {
         (Some(peers), Some(id)) => {
             let id: usize = id.parse().map_err(|_| format!("not a shard id: {id:?}"))?;
             let peers: Vec<String> = peers.split(',').map(str::to_string).collect();
-            Some(ss_server::ShardSpec { peers, id })
+            // boot at epoch 0: a live fleet's epoch only moves through
+            // `state-skip reconfigure`, which gossip propagates
+            Some(ss_server::ShardSpec {
+                peers,
+                id,
+                epoch: 0,
+            })
         }
         (None, None) => None,
         _ => return Err("--peers and --shard-id go together".into()),
@@ -458,6 +488,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         store_dir: store_dir.clone(),
         max_connections,
         shard: shard.clone(),
+        replicas,
     })
     .map_err(|e| e.to_string())?;
     println!(
@@ -581,6 +612,54 @@ fn submit(args: &[String]) -> Result<(), String> {
         report.service_micros as f64 / 1e3,
         report.digest
     );
+    // v5 servers stamp the reply with the connection's codec tallies
+    // (v4 and older leave them zero); tx/rx are the server's view
+    let conn = &report.conn;
+    if conn.frames_sent + conn.frames_received > 0 {
+        println!(
+            "link (server view): rx {} frames, {} B wire -> {} B raw; tx {} frames, {} B raw -> {} B wire",
+            conn.frames_received,
+            conn.wire_rx_bytes,
+            conn.raw_rx_bytes,
+            conn.frames_sent,
+            conn.raw_tx_bytes,
+            conn.wire_tx_bytes
+        );
+    }
+    Ok(())
+}
+
+/// `reconfigure`: swap the membership of a live fleet — new epoch, new
+/// peer list — without restarting any shard. One acknowledgement is
+/// enough; epoch gossip between shards converges the rest.
+fn reconfigure(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr")?
+        .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    let epoch: u64 = take_value_flag(&mut args, "--epoch")?
+        .ok_or("missing --epoch (must exceed the ring's current epoch)")?
+        .parse()
+        .map_err(|e| format!("not an epoch: {e}"))?;
+    let peers: Vec<String> = take_value_flag(&mut args, "--peers")?
+        .ok_or("missing --peers (the complete new address list)")?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    // the --addr list is the fleet as the admin knows it; the balancer
+    // broadcasts the new view to old and new members alike and insists
+    // on at least one acknowledgement
+    let current: Vec<String> = addr.split(',').map(str::to_string).collect();
+    let mut balancer = ss_server::Balancer::new(current).map_err(|e| e.to_string())?;
+    let acked = balancer
+        .reconfigure(epoch, peers)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "fleet reconfigured to epoch {acked}: {}",
+        balancer.ring().shards().join(",")
+    );
     Ok(())
 }
 
@@ -601,18 +680,76 @@ fn server_stats(args: &[String]) -> Result<(), String> {
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}"));
     }
-    // a comma-separated --addr scrapes every shard of a fleet in turn
+    // a comma-separated --addr scrapes every shard of a fleet in turn,
+    // then rolls the per-shard counters into one fleet summary row
     let mut first = true;
+    let mut fleet = Vec::new();
     for addr in addr.split(',') {
         if !std::mem::take(&mut first) {
             println!();
         }
-        print_server_stats(addr)?;
+        fleet.push(print_server_stats(addr)?);
+    }
+    if fleet.len() > 1 {
+        println!();
+        print_fleet_summary(&fleet);
     }
     Ok(())
 }
 
-fn print_server_stats(addr: &str) -> Result<(), String> {
+/// The cross-shard rollup printed after a fleet scrape: total load,
+/// aggregate hit rates and the shed/redirect/replication tallies that
+/// tell an operator whether the fleet as a whole is healthy.
+fn print_fleet_summary(fleet: &[ss_server::ServerStats]) {
+    let sum = |f: fn(&ss_server::ServerStats) -> u64| fleet.iter().map(f).sum::<u64>();
+    let hit_rate = |hits: u64, misses: u64| {
+        if hits + misses == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", hits as f64 * 100.0 / (hits + misses) as f64)
+        }
+    };
+    let epochs: Vec<u64> = fleet.iter().map(|s| s.epoch).collect();
+    let converged = epochs.windows(2).all(|w| w[0] == w[1]);
+    println!(
+        "fleet of {}: epoch {}  jobs done {}  redirects {}  failbacks pending {}",
+        fleet.len(),
+        if converged {
+            epochs[0].to_string()
+        } else {
+            // a split epoch view is the one thing an operator must see
+            format!("SPLIT {epochs:?}")
+        },
+        sum(|s| s.jobs_done),
+        sum(|s| s.redirects),
+        sum(|s| u64::from(s.peers_down)),
+    );
+    println!(
+        "fleet conns: {} active / {} max  shed {}  busy rejections {}",
+        sum(|s| u64::from(s.connections_active)),
+        sum(|s| u64::from(s.connections_max)),
+        sum(|s| s.connections_shed),
+        sum(|s| s.busy_rejections),
+    );
+    println!(
+        "fleet cache: memory {} hits / {} misses ({})  disk {} hits / {} misses ({})",
+        sum(|s| s.memory.hits),
+        sum(|s| s.memory.misses),
+        hit_rate(sum(|s| s.memory.hits), sum(|s| s.memory.misses)),
+        sum(|s| s.disk.hits),
+        sum(|s| s.disk.misses),
+        hit_rate(sum(|s| s.disk.hits), sum(|s| s.disk.misses)),
+    );
+    println!(
+        "fleet replication: {} sent  {} received  {} dropped  {} reconfigures",
+        sum(|s| s.replicas_sent),
+        sum(|s| s.replicas_received),
+        sum(|s| s.replica_queue_drops),
+        sum(|s| s.reconfigures),
+    );
+}
+
+fn print_server_stats(addr: &str) -> Result<ss_server::ServerStats, String> {
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     let s = client.stats().map_err(|e| e.to_string())?;
 
@@ -623,8 +760,16 @@ fn print_server_stats(addr: &str) -> Result<(), String> {
     );
     if s.shard_count > 0 {
         println!(
-            "shard {}/{}  redirects {}",
-            s.shard_id, s.shard_count, s.redirects
+            "shard {}/{}  epoch {}  redirects {}",
+            s.shard_id, s.shard_count, s.epoch, s.redirects
+        );
+        println!(
+            "replication: {} sent  {} received  {} dropped  reconfigures {}  peers down {}",
+            s.replicas_sent,
+            s.replicas_received,
+            s.replica_queue_drops,
+            s.reconfigures,
+            s.peers_down
         );
     }
     println!(
@@ -693,7 +838,7 @@ fn print_server_stats(addr: &str) -> Result<(), String> {
         "codec rx: raw {} B <- wire {} B",
         c.raw_rx_bytes, c.wire_rx_bytes
     );
-    Ok(())
+    Ok(s)
 }
 
 /// Compact one-line rendering of the nonzero histogram buckets, e.g.

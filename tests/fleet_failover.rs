@@ -63,6 +63,11 @@ fn spawn_fleet(n: usize) -> (Vec<String>, Vec<Option<ServerHandle>>) {
                 workers: 1,
                 cache_bytes: 64 << 20,
                 queue_depth: 8,
+                // replication off: this test pins the *unreplicated*
+                // exactly-once arithmetic (a legacy fallback recomputes,
+                // a dead shard's keys recompute on the failover target);
+                // the replicated counterpart lives in fleet_chaos.rs
+                replicas: 1,
                 ..ServeOptions::default()
             })
             .unwrap()
@@ -80,6 +85,7 @@ fn spawn_fleet(n: usize) -> (Vec<String>, Vec<Option<ServerHandle>>) {
                 .set_shards(ShardSpec {
                     peers: peers.clone(),
                     id,
+                    epoch: 0,
                 })
                 .unwrap();
             Some(server.spawn())
