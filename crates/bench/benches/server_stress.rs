@@ -36,6 +36,14 @@
 //!   answer stays bit-identical and costs zero cold re-synthesis
 //!   (failover lands on warm replicas), with the healthy:degraded
 //!   wall-clock ratio recorded as the price of the death.
+//! * **trace overhead** — the warm-memory corpus is timed twice
+//!   against one server: once with per-job tracing (the default, every
+//!   job stamps a trace id and the server records spans into its ring)
+//!   and once with the client's tracing disabled (trace id 0, the
+//!   server's span path short-circuits before taking any lock). Both
+//!   passes run best-of-`TRACE_ROUNDS`; the bench *asserts* the traced
+//!   pass stays within 5% of the untraced one, pinning the
+//!   tracing-on-by-default overhead contract in CI.
 //!
 //! Results land in `BENCH_server.json` at the workspace root, next to
 //! `BENCH_packed.json` and `BENCH_encode.json`.
@@ -316,6 +324,115 @@ fn measure_throughput(workers: usize) -> ThroughputRow {
         jobs,
         wall_s,
         codec: stats.codec,
+    }
+}
+
+/// Best-of rounds for the trace-overhead pair; the minimum wall clock
+/// of each mode damps loopback noise so the 5% bound measures the
+/// span-recording cost, not scheduler jitter.
+const TRACE_ROUNDS: usize = 5;
+/// Corpus repeats per timed trace-overhead pass.
+const TRACE_REPEATS: usize = 3;
+/// The CI contract: traced warm-memory throughput must stay within
+/// this factor of untraced.
+const TRACE_OVERHEAD_BOUND: f64 = 1.05;
+
+struct TraceOverheadRow {
+    jobs: usize,
+    traced_wall_s: f64,
+    untraced_wall_s: f64,
+    spans_recorded: u64,
+    spans_evicted: u64,
+}
+
+impl TraceOverheadRow {
+    fn traced_jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.traced_wall_s
+    }
+
+    fn untraced_jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.untraced_wall_s
+    }
+
+    /// Traced:untraced wall-clock ratio — 1.00 is free, 1.05 the bound.
+    fn overhead(&self) -> f64 {
+        self.traced_wall_s / self.untraced_wall_s
+    }
+}
+
+/// Times the warm-memory corpus with tracing on (the default: every
+/// job carries a trace id, the server records spans) against the same
+/// corpus with the client's tracing off (trace id 0 on the wire, the
+/// server's span path no-ops). Alternating best-of-`TRACE_ROUNDS`
+/// passes on one live server, so both modes see identical cache state.
+fn measure_trace_overhead() -> TraceOverheadRow {
+    let handle = Server::bind(&ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback")
+    .spawn();
+    let addr = handle.addr();
+    let specs: Vec<JobSpec> = WorkloadRegistry::all()
+        .iter()
+        .map(|w| spec_for(w, THROUGHPUT_PROFILE_SCALE))
+        .collect();
+
+    // warm every key into the memory tier, and pin the digests both
+    // timed modes must reproduce
+    let mut warmer = Client::connect(addr).expect("connect warm-up");
+    let digests: Vec<u64> = specs
+        .iter()
+        .map(|spec| run_resilient(&mut warmer, addr, spec).1.digest)
+        .collect();
+
+    let mut traced = Client::connect(addr).expect("connect traced");
+    traced.set_tracing(true);
+    let mut untraced = Client::connect(addr).expect("connect untraced");
+    untraced.set_tracing(false);
+
+    let jobs = specs.len() * TRACE_REPEATS;
+    let pass = |client: &mut Client, want_trace: bool| -> f64 {
+        let start = Instant::now();
+        for _ in 0..TRACE_REPEATS {
+            for (spec, digest) in specs.iter().zip(&digests) {
+                let (_, report) = run_resilient(client, addr, spec);
+                assert_eq!(
+                    report.tier,
+                    CacheTier::Memory,
+                    "overhead pass missed memory"
+                );
+                assert_eq!(report.digest, *digest, "overhead pass diverged");
+                assert_eq!(
+                    report.trace != 0,
+                    want_trace,
+                    "job traced={} but the mode wants traced={}",
+                    report.trace != 0,
+                    want_trace
+                );
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let (mut traced_wall_s, mut untraced_wall_s) = (f64::MAX, f64::MAX);
+    for _ in 0..TRACE_ROUNDS {
+        untraced_wall_s = untraced_wall_s.min(pass(&mut untraced, false));
+        traced_wall_s = traced_wall_s.min(pass(&mut traced, true));
+    }
+
+    let stats = handle.stats();
+    assert!(
+        stats.spans_recorded > 0,
+        "the traced passes never recorded a span"
+    );
+    handle.shutdown();
+    TraceOverheadRow {
+        jobs,
+        traced_wall_s,
+        untraced_wall_s,
+        spans_recorded: stats.spans_recorded,
+        spans_evicted: stats.spans_evicted,
     }
 }
 
@@ -607,6 +724,7 @@ fn write_json(
     throughput: &[ThroughputRow],
     fleet: &[FleetRow],
     failover: &FailoverRow,
+    trace: &TraceOverheadRow,
 ) {
     let mut workloads = String::new();
     for (i, row) in latency.iter().enumerate() {
@@ -676,9 +794,22 @@ fn write_json(
         failover.replicas_pushed,
         failover.failovers
     );
+    let trace_row = format!(
+        "    {{\"jobs\": {}, \"rounds\": {}, \"traced_wall_s\": {:.6e}, \"untraced_wall_s\": {:.6e}, \"traced_jobs_per_s\": {:.1}, \"untraced_jobs_per_s\": {:.1}, \"overhead_ratio\": {:.4}, \"bound\": {:.2}, \"spans_recorded\": {}, \"spans_evicted\": {}}}",
+        trace.jobs,
+        TRACE_ROUNDS,
+        trace.traced_wall_s,
+        trace.untraced_wall_s,
+        trace.traced_jobs_per_s(),
+        trace.untraced_jobs_per_s(),
+        trace.overhead(),
+        TRACE_OVERHEAD_BOUND,
+        trace.spans_recorded,
+        trace.spans_evicted
+    );
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"fleet_cache_fraction\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"fleet\": [\n{}\n  ],\n  \"replicated_failover\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"server_stress\",\n  \"command\": \"cargo bench -p ss-bench --bench server_stress\",\n  \"engine\": \"L={} S={} k={}\",\n  \"ss_scale\": {},\n  \"throughput_profile_scale\": {},\n  \"fleet_cache_fraction\": {},\n  \"available_parallelism\": {},\n  \"disconnect_retries\": {},\n  \"workloads\": [\n{}\n  ],\n  \"throughput\": [\n{}\n  ],\n  \"fleet\": [\n{}\n  ],\n  \"replicated_failover\": [\n{}\n  ],\n  \"trace_overhead\": [\n{}\n  ]\n}}\n",
         WINDOW,
         SEGMENT,
         SPEEDUP,
@@ -690,7 +821,8 @@ fn write_json(
         workloads,
         fanout,
         fleet_rows,
-        failover_row
+        failover_row,
+        trace_row
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, json).expect("write BENCH_server.json");
@@ -789,7 +921,40 @@ fn bench_server_stress(_c: &mut Criterion) {
         "0".to_string(),
     ]);
     println!("{table}");
-    write_json(&latency, &throughput, &fleet, &failover);
+
+    let trace = measure_trace_overhead();
+    let mut table = Table::new(["mode", "jobs", "wall", "jobs/s", "overhead", "spans"]);
+    table.add_row([
+        "untraced".to_string(),
+        trace.jobs.to_string(),
+        format!("{:.3} s", trace.untraced_wall_s),
+        format!("{:.1}", trace.untraced_jobs_per_s()),
+        "1.00x".to_string(),
+        "0".to_string(),
+    ]);
+    table.add_row([
+        "traced".to_string(),
+        trace.jobs.to_string(),
+        format!("{:.3} s", trace.traced_wall_s),
+        format!("{:.1}", trace.traced_jobs_per_s()),
+        format!("{:.2}x", trace.overhead()),
+        trace.spans_recorded.to_string(),
+    ]);
+    println!("{table}");
+    write_json(&latency, &throughput, &fleet, &failover, &trace);
+
+    // CI contract for tracing-on-by-default: stamping a trace id on
+    // every job and recording its spans may cost at most 5% of
+    // warm-memory throughput — an untraced job's span path must stay
+    // a no-op, and a traced one must stay cheap enough to leave on
+    assert!(
+        trace.overhead() <= TRACE_OVERHEAD_BOUND,
+        "tracing costs {:.1}% of warm-memory throughput (bound {:.0}%): {:.1} traced vs {:.1} untraced jobs/s",
+        (trace.overhead() - 1.0) * 100.0,
+        (TRACE_OVERHEAD_BOUND - 1.0) * 100.0,
+        trace.traced_jobs_per_s(),
+        trace.untraced_jobs_per_s()
+    );
 
     // CI contract for the fleet sweep. With each shard capped below
     // the working set, the widest fleet holds every key warm on its

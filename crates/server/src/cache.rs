@@ -18,6 +18,7 @@
 //! larger than the whole budget is simply not cached.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use ss_core::{EncodingResult, HardwareCtx};
@@ -72,6 +73,11 @@ pub struct CachedArtifacts {
     /// so replication can build a verifiable store envelope without
     /// re-running the finish stages.
     pub report_digest: u64,
+    /// The last trace that produced or served this entry (0 when every
+    /// toucher was untraced). Carried so reconfigure-driven
+    /// re-replication pushes attribute the copy to the trace that made
+    /// it — pure telemetry, never part of the cache key or the result.
+    pub trace: AtomicU64,
 }
 
 impl CachedArtifacts {
@@ -267,6 +273,7 @@ mod tests {
             dropped: dropped.len(),
             encoding,
             report_digest: seed,
+            trace: AtomicU64::new(0),
         })
     }
 
@@ -281,6 +288,7 @@ mod tests {
             ps_taps: 3,
             hw_seed: 1,
             fill_seed: 1,
+            trace: crate::protocol::TraceContext::default(),
         }
     }
 
@@ -414,6 +422,7 @@ mod tests {
                 dropped: dropped.len(),
                 encoding,
                 report_digest: 9,
+                trace: AtomicU64::new(0),
             })
         };
         let mut cache = ArtifactCache::new(per_entry * 2 + per_entry / 2);

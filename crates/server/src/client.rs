@@ -41,9 +41,11 @@ use crate::cache::cache_key;
 use crate::codec::{Codec, CodecConfig, CodecError, Transport};
 use crate::protocol::{
     peek_version, read_frame, write_frame, JobPhase, JobReport, JobSpec, Request, Response,
-    ServerStats, WireError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ServerStats, Span, SpanDump, SpanKind, TraceContext, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::shard::{ShardError, ShardRing};
+use ss_telemetry::{fresh_trace_id, span_id, wall_micros, TraceClock};
 
 /// Error talking to the service.
 #[derive(Debug)]
@@ -351,6 +353,12 @@ pub struct Client {
     /// Protocol generation stamped on requests: 3 after negotiation,
     /// 2 in legacy mode (so an old server decodes them).
     version: u8,
+    /// Whether submissions are stamped with a fresh trace id when they
+    /// carry none. On by default; a no-op below protocol v6 (the
+    /// context field doesn't exist on the wire there).
+    tracing: bool,
+    /// The trace id of the most recent submission (0 when untraced).
+    last_trace: u64,
 }
 
 impl Client {
@@ -391,6 +399,8 @@ impl Client {
                 stream,
                 transport: Transport::Framed(Codec::new(agreed)),
                 version: agreed_version,
+                tracing: true,
+                last_trace: 0,
             }),
             // the accept gate sheds before reading the offer: surface
             // the overload as its retryable error, not a dead client
@@ -403,6 +413,8 @@ impl Client {
                 stream,
                 transport: Transport::Legacy,
                 version: 2,
+                tracing: true,
+                last_trace: 0,
             }),
             _ => Err(ClientError::Unexpected("hello answered oddly")),
         }
@@ -421,6 +433,8 @@ impl Client {
             stream,
             transport: Transport::Legacy,
             version: 2,
+            tracing: true,
+            last_trace: 0,
         })
     }
 
@@ -445,6 +459,38 @@ impl Client {
         self.version
     }
 
+    /// Enables or disables trace stamping for future submissions
+    /// (default on). Disabling never strips a context the caller put
+    /// on the spec themselves.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace id of the most recent submission through this client
+    /// — 0 when it was untraced (tracing off, or a pre-v6 peer).
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
+    }
+
+    /// Gives `spec` a trace context for this connection: a spec that
+    /// already carries one keeps it verbatim; otherwise a fresh root
+    /// trace is minted when tracing is on and the peer speaks v6.
+    /// Either way [`Client::last_trace`] remembers what went out.
+    fn stamp(&mut self, spec: &JobSpec) -> JobSpec {
+        let mut spec = spec.clone();
+        if !spec.trace.is_active() && self.tracing && self.version >= 6 {
+            spec.trace = TraceContext::root(fresh_trace_id());
+        }
+        self.last_trace = if self.version >= 6 {
+            spec.trace.trace
+        } else {
+            // the context never travels below v6 — whatever the spec
+            // says, the server sees an untraced submission
+            0
+        };
+        spec
+    }
+
     /// Submits a job once; the caller decides what `Busy` means.
     ///
     /// # Errors
@@ -454,7 +500,8 @@ impl Client {
     /// or [`ClientError::Redirected`] when a sharded server says
     /// another shard owns this key.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
-        self.submit_request(&Request::Submit(spec.clone()))
+        let spec = self.stamp(spec);
+        self.submit_request(&Request::Submit(spec))
     }
 
     /// Submits bypassing shard ownership: a sharded server executes a
@@ -468,10 +515,11 @@ impl Client {
     ///
     /// As [`Client::submit`].
     pub fn submit_direct(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        let spec = self.stamp(spec);
         let request = if self.version >= 4 {
-            Request::SubmitDirect(spec.clone())
+            Request::SubmitDirect(spec)
         } else {
-            Request::Submit(spec.clone())
+            Request::Submit(spec)
         };
         self.submit_request(&request)
     }
@@ -480,7 +528,7 @@ impl Client {
         match self.call(request)? {
             Response::Accepted(id) => Ok(SubmitOutcome::Accepted(id)),
             Response::Busy { queued, capacity } => Ok(SubmitOutcome::Busy { queued, capacity }),
-            Response::Redirect(addr) => Err(ClientError::Redirected(addr)),
+            Response::Redirect { addr, .. } => Err(ClientError::Redirected(addr)),
             Response::Error(m) => Err(ClientError::Server(m)),
             _ => Err(ClientError::Unexpected("submit answered oddly")),
         }
@@ -497,7 +545,7 @@ impl Client {
             Response::Phase(JobPhase::Queued) => Ok(JobStatus::Queued),
             Response::Phase(JobPhase::Running) => Ok(JobStatus::Running),
             Response::Done(report) => Ok(JobStatus::Done(report)),
-            Response::Failed(m) => Ok(JobStatus::Failed(m)),
+            Response::Failed { message, .. } => Ok(JobStatus::Failed(message)),
             Response::Error(m) => Err(ClientError::Server(m)),
             _ => Err(ClientError::Unexpected("poll answered oddly")),
         }
@@ -513,7 +561,7 @@ impl Client {
     pub fn wait(&mut self, job: u64) -> Result<JobReport, ClientError> {
         match self.call(&Request::Wait(job))? {
             Response::Done(report) => Ok(report),
-            Response::Failed(m) => Err(ClientError::Job(m)),
+            Response::Failed { message, .. } => Err(ClientError::Job(message)),
             Response::Error(m) => Err(ClientError::Server(m)),
             _ => Err(ClientError::Unexpected("wait answered oddly")),
         }
@@ -581,6 +629,30 @@ impl Client {
         }
     }
 
+    /// Drains the server's span ring for one trace (all traces when
+    /// `trace` is 0 — a debugging convenience). The dump carries the
+    /// server's `(wall, mono)` clock pair, so dumps from different
+    /// shards can be [`stitched`](ss_telemetry::stitch) into one
+    /// timeline. Needs a v6 peer.
+    ///
+    /// # Errors
+    ///
+    /// Transport/wire failures, a protocol-level server error, or
+    /// [`ClientError::Server`] when the peer predates v6.
+    pub fn trace_dump(&mut self, trace: u64) -> Result<SpanDump, ClientError> {
+        if self.version < 6 {
+            return Err(ClientError::Server(format!(
+                "peer speaks v{}; TraceDump needs v6",
+                self.version
+            )));
+        }
+        match self.call(&Request::TraceDump { trace })? {
+            Response::Spans(dump) => Ok(dump),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            _ => Err(ClientError::Unexpected("trace dump answered oddly")),
+        }
+    }
+
     /// Submit-and-wait with default backpressure handling: `Busy`
     /// retries pace themselves with fresh [`RetryPolicy`] jitter and
     /// no overall deadline — the queue bound guarantees progress as
@@ -629,11 +701,14 @@ impl Client {
         policy: &mut RetryPolicy,
         direct: bool,
     ) -> Result<(u64, JobReport), ClientError> {
+        // stamp once up front so every `Busy` retry resubmits the same
+        // trace instead of minting a fresh id per attempt
+        let spec = self.stamp(spec);
         let job = loop {
             let outcome = if direct {
-                self.submit_direct(spec)?
+                self.submit_direct(&spec)?
             } else {
-                self.submit(spec)?
+                self.submit(&spec)?
             };
             match outcome {
                 SubmitOutcome::Accepted(id) => break id,
@@ -656,6 +731,10 @@ pub struct BalancedRun {
     /// How many shards were skipped (down, saturated past the
     /// deadline, or dead mid-call) before one answered.
     pub failovers: u32,
+    /// The trace id stamped on the submission (0 when tracing was off
+    /// or the serving shard predates v6). Feed it to
+    /// [`Balancer::trace_dump`] to reconstruct the job's timeline.
+    pub trace: u64,
 }
 
 /// First down-mark duration after a failed exchange with a shard.
@@ -723,7 +802,19 @@ pub struct Balancer {
     down: Vec<Option<DownState>>,
     /// Jitter source for down-mark durations.
     rng: SmallRng,
+    /// Whether submissions are stamped with a fresh trace (default on).
+    tracing: bool,
+    /// Monotonic clock for the balancer's own spans.
+    clock: TraceClock,
+    /// Per-process sequence feeding [`span_id`].
+    span_seq: u64,
+    /// Spans the balancer recorded locally (failover hops, whole-run
+    /// client-submit spans). Bounded: recording stops at capacity.
+    local_spans: Vec<Span>,
 }
+
+/// Most spans a balancer keeps locally before dropping new ones.
+const LOCAL_SPAN_CAPACITY: usize = 4096;
 
 impl Balancer {
     /// Builds a balancer over the fleet's advertised addresses — the
@@ -746,7 +837,49 @@ impl Balancer {
             policy: RetryPolicy::new(),
             down,
             rng: SmallRng::seed_from_u64(clock ^ u64::from(std::process::id())),
+            tracing: true,
+            clock: TraceClock::new(),
+            span_seq: 0,
+            local_spans: Vec::new(),
         })
+    }
+
+    /// Enables or disables trace stamping for future submissions
+    /// (default on). A context the caller put on the spec themselves
+    /// always travels regardless.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Records one balancer-side span (dropped when untraced or at
+    /// capacity — the hot path never grows without bound).
+    fn record_local(&mut self, trace: u64, kind: SpanKind, start_micros: u64, note: String) {
+        if trace == 0 || self.local_spans.len() >= LOCAL_SPAN_CAPACITY {
+            return;
+        }
+        self.span_seq += 1;
+        self.local_spans.push(Span {
+            trace,
+            id: span_id(trace, self.span_seq),
+            parent: 0,
+            kind,
+            start_micros,
+            duration_micros: self.clock.now_micros().saturating_sub(start_micros),
+            note,
+        });
+    }
+
+    /// The spans this balancer recorded locally, packaged with its
+    /// clock pair so they stitch alongside server dumps (conventional
+    /// address label: `"client"`).
+    pub fn local_dump(&self) -> SpanDump {
+        SpanDump {
+            wall_micros: wall_micros(),
+            mono_micros: self.clock.now_micros(),
+            recorded: self.local_spans.len() as u64,
+            evicted: 0,
+            spans: self.local_spans.clone(),
+        }
     }
 
     /// Replaces the backoff policy (seeded for deterministic tests,
@@ -809,6 +942,7 @@ impl Balancer {
                     job,
                     report,
                     failovers: 0,
+                    trace: spec.trace.trace,
                 })
             }
             // the server computed ownership on the canonical key and
@@ -837,25 +971,56 @@ impl Balancer {
     /// The last shard's error when every shard failed retryably, or
     /// the first non-retryable error.
     pub fn run(&mut self, spec: &JobSpec) -> Result<BalancedRun, ClientError> {
-        let key = cache_key(spec);
+        // the balancer mints the trace (rather than each per-shard
+        // client) so every failover attempt travels under one id and
+        // the whole exchange stitches into a single timeline
+        let mut spec = spec.clone();
+        if self.tracing && !spec.trace.is_active() {
+            spec.trace = TraceContext::root(fresh_trace_id());
+        }
+        let trace = spec.trace.trace;
+        let started = self.clock.now_micros();
+        let key = cache_key(&spec);
         let ranked = self.ring.ranked(key);
         let mut failovers = 0u32;
         let mut last_err = None;
         let mut skipped: Vec<(usize, usize)> = Vec::new();
         for (attempt, &shard) in ranked.iter().enumerate() {
+            let addr = self.ring.shards()[shard].clone();
             if self.is_down(shard) {
+                let now = self.clock.now_micros();
+                self.record_local(
+                    trace,
+                    SpanKind::FailoverHop,
+                    now,
+                    format!("{addr} marked down"),
+                );
                 skipped.push((attempt, shard));
                 failovers += 1;
                 continue;
             }
             // fallback shards are submitted direct: they don't own the
             // key, and redirecting back to a dead owner would loop
-            match self.try_shard(shard, spec, attempt > 0) {
+            spec.trace.hop = attempt as u32;
+            let hop_start = self.clock.now_micros();
+            match self.try_shard(shard, &spec, attempt > 0) {
                 Ok(mut run) => {
                     run.failovers += failovers;
+                    self.record_local(
+                        trace,
+                        SpanKind::ClientSubmit,
+                        started,
+                        format!("job {} on {addr}", run.job),
+                    );
                     return Ok(run);
                 }
                 Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
+                    self.record_local(
+                        trace,
+                        SpanKind::FailoverHop,
+                        hop_start,
+                        format!("{addr}: {e}"),
+                    );
                     failovers += 1;
                     last_err = Some(e);
                 }
@@ -865,17 +1030,38 @@ impl Balancer {
         // second pass: every unmarked shard failed, so the marked ones
         // are the only hope left — probe them despite their marks
         for (attempt, shard) in skipped {
-            match self.try_shard(shard, spec, attempt > 0) {
+            let addr = self.ring.shards()[shard].clone();
+            spec.trace.hop = attempt as u32;
+            let hop_start = self.clock.now_micros();
+            match self.try_shard(shard, &spec, attempt > 0) {
                 Ok(mut run) => {
                     run.failovers += failovers;
+                    self.record_local(
+                        trace,
+                        SpanKind::ClientSubmit,
+                        started,
+                        format!("job {} on {addr}", run.job),
+                    );
                     return Ok(run);
                 }
                 Err(e) if e.is_retryable() || matches!(e, ClientError::Io(_)) => {
+                    self.record_local(
+                        trace,
+                        SpanKind::FailoverHop,
+                        hop_start,
+                        format!("{addr}: {e}"),
+                    );
                     last_err = Some(e);
                 }
                 Err(e) => return Err(e),
             }
         }
+        self.record_local(
+            trace,
+            SpanKind::ClientSubmit,
+            started,
+            "all shards failed".into(),
+        );
         Err(last_err.unwrap_or(ClientError::Unexpected("no shards configured")))
     }
 
@@ -968,6 +1154,25 @@ impl Balancer {
             .collect()
     }
 
+    /// One trace's spans from every reachable shard, in ring order —
+    /// the raw material for a stitched cross-shard timeline (append
+    /// [`Balancer::local_dump`] under the label `"client"` to include
+    /// the balancer's own hops).
+    pub fn trace_dump(&mut self, trace: u64) -> Vec<(String, Result<SpanDump, ClientError>)> {
+        (0..self.ring.len())
+            .map(|shard| {
+                let addr = self.ring.shards()[shard].clone();
+                let dump = self
+                    .ensure_conn(shard)
+                    .and_then(|_| self.conns[shard].as_mut().unwrap().trace_dump(trace));
+                if dump.is_err() {
+                    self.conns[shard] = None;
+                }
+                (addr, dump)
+            })
+            .collect()
+    }
+
     fn ensure_conn(&mut self, shard: usize) -> Result<(), ClientError> {
         if self.conns[shard].is_none() {
             let addr = self.ring.shards()[shard].as_str();
@@ -1016,6 +1221,7 @@ impl Balancer {
                 job,
                 report,
                 failovers: 0,
+                trace: spec.trace.trace,
             });
         }
         // an address outside our ring (rolling reconfiguration):
@@ -1028,6 +1234,7 @@ impl Balancer {
             job,
             report,
             failovers: 0,
+            trace: spec.trace.trace,
         })
     }
 }
@@ -1120,6 +1327,7 @@ mod tests {
             ps_taps: 3,
             hw_seed: 1,
             fill_seed: 1,
+            trace: TraceContext::default(),
         };
         match client.run_with(&spec, &mut policy) {
             Err(ClientError::DeadlineExceeded { waited, attempts }) => {

@@ -88,8 +88,8 @@ pub use codec::{
 };
 pub use protocol::{
     CacheTier, CodecCounters, ConnStats, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
-    Response, ServerStats, TierStats, WireError, HISTOGRAM_BUCKETS, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    Response, ServerStats, Span, SpanDump, SpanKind, TierStats, TraceContext, WireError,
+    HISTOGRAM_BUCKETS, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeOptions, Server, ServerHandle};
 pub use shard::{ShardError, ShardRing, ShardSpec};

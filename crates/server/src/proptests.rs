@@ -28,7 +28,8 @@ use ss_lfsr::LfsrKind;
 use crate::codec::{Codec, CodecConfig, CodecError, MIN_CHUNK_BYTES};
 use crate::protocol::{
     CacheTier, CodecCounters, ConnStats, JobPhase, JobReport, JobSpec, PhaseHistogram, Request,
-    Response, ServerStats, TierStats, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    Response, ServerStats, Span, SpanDump, SpanKind, TierStats, TraceContext, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::shard::ShardRing;
 
@@ -43,6 +44,31 @@ fn spec() -> JobSpec {
         ps_taps: 3,
         hw_seed: 77,
         fill_seed: 1,
+        // nonzero so the corpus exercises the v6 context fields (and
+        // the < v6 expectations below must strip them)
+        trace: TraceContext {
+            trace: 0x7AC3_0001_0002_0003,
+            parent: 0x5EED_0004_0005_0006,
+            hop: 2,
+        },
+    }
+}
+
+fn span_dump() -> SpanDump {
+    SpanDump {
+        wall_micros: 1_700_000_000_000_000,
+        mono_micros: 55_123,
+        recorded: 9,
+        evicted: 1,
+        spans: vec![Span {
+            trace: 0x7AC3_0001_0002_0003,
+            id: 0x1122_3344_5566_7788,
+            parent: 0,
+            kind: SpanKind::ReplicatePush,
+            start_micros: 50_000,
+            duration_micros: 1_234,
+            note: "key=00000000deadbeef -> 127.0.0.1:7212".to_string(),
+        }],
     }
 }
 
@@ -70,6 +96,7 @@ fn report() -> JobReport {
             raw_rx_bytes: 512,
             wire_rx_bytes: 300,
         },
+        trace: 0x7AC3_0001_0002_0003,
     }
 }
 
@@ -121,6 +148,8 @@ fn stats() -> ServerStats {
         replica_queue_drops: 1,
         reconfigures: 2,
         peers_down: 1,
+        spans_recorded: 44,
+        spans_evicted: 3,
     }
 }
 
@@ -137,12 +166,16 @@ fn requests() -> Vec<Request> {
             epoch: 3,
             key: 0x1234_5678_9ABC_DEF0,
             bytes: vec![7, 0, 255, 42],
+            trace: 0x7AC3_0001_0002_0003,
         },
         Request::Reconfigure {
             epoch: 9,
             peers: vec!["127.0.0.1:7211".to_string(), "127.0.0.1:7212".to_string()],
         },
         Request::Ping,
+        Request::TraceDump {
+            trace: 0x7AC3_0001_0002_0003,
+        },
     ]
 }
 
@@ -157,14 +190,28 @@ fn responses() -> Vec<Response> {
         Response::Phase(JobPhase::Queued),
         Response::Phase(JobPhase::Running),
         Response::Done(report()),
-        Response::Failed("cube file: missing header line".to_string()),
+        Response::Failed {
+            message: "cube file: missing header line".to_string(),
+            conn: ConnStats {
+                frames_sent: 2,
+                frames_received: 2,
+                raw_tx_bytes: 128,
+                wire_tx_bytes: 90,
+                raw_rx_bytes: 64,
+                wire_rx_bytes: 50,
+            },
+        },
         Response::Stats(stats()),
         Response::Error("unknown job id 9".to_string()),
         Response::HelloAck(CodecConfig {
             compress: false,
             chunk_bytes: MIN_CHUNK_BYTES,
         }),
-        Response::Redirect("127.0.0.1:7212".to_string()),
+        Response::Redirect {
+            addr: "127.0.0.1:7212".to_string(),
+            trace: 0x7AC3_0001_0002_0003,
+        },
+        Response::Spans(span_dump()),
         Response::Pong {
             epoch: 5,
             shard_id: u32::MAX,
@@ -203,25 +250,69 @@ fn every_message_round_trips_at_every_version() {
     for version in MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION {
         for request in requests() {
             let payload = request.encode_versioned(version);
-            // Hello and SubmitDirect force their birth version up; the
-            // rest round-trip at the stamped version
-            assert_eq!(
-                Request::decode(&payload).as_ref(),
-                Ok(&request),
-                "v{version}"
-            );
+            let back = Request::decode(&payload);
+            match &request {
+                // the trace context is a v6 field: a pre-v6 stamp
+                // negotiates it away, everything else survives
+                Request::Submit(s) if version < 6 => {
+                    let mut expect = s.clone();
+                    expect.trace = TraceContext::default();
+                    assert_eq!(back, Ok(Request::Submit(expect)), "v{version}");
+                }
+                Request::SubmitDirect(s) if version < 6 => {
+                    let mut expect = s.clone();
+                    expect.trace = TraceContext::default();
+                    assert_eq!(back, Ok(Request::SubmitDirect(expect)), "v{version}");
+                }
+                Request::Replicate {
+                    epoch, key, bytes, ..
+                } if version < 6 => {
+                    assert_eq!(
+                        back,
+                        Ok(Request::Replicate {
+                            epoch: *epoch,
+                            key: *key,
+                            bytes: bytes.clone(),
+                            trace: 0,
+                        }),
+                        "v{version}"
+                    );
+                }
+                // Hello, SubmitDirect and TraceDump force their birth
+                // version up; the rest round-trip at the stamped one
+                _ => assert_eq!(back.as_ref(), Ok(&request), "v{version}"),
+            }
         }
         for response in responses() {
             let payload = response.encode_versioned(version);
             let back = Response::decode(&payload);
             match &response {
-                // HelloAck and Redirect are version-floored; each
-                // counter block only survives its own generation's
-                // stats layout
-                Response::HelloAck(_) | Response::Redirect(_) => {
+                // HelloAck and Spans are version-floored; each counter
+                // block only survives its own generation's layout
+                Response::HelloAck(_) | Response::Spans(_) => {
                     assert_eq!(back, Ok(response.clone()));
                 }
-                Response::Stats(s) if version < 5 => {
+                Response::Redirect { addr, .. } if version < 6 => {
+                    assert_eq!(
+                        back,
+                        Ok(Response::Redirect {
+                            addr: addr.clone(),
+                            trace: 0,
+                        }),
+                        "v{version}"
+                    );
+                }
+                Response::Failed { message, .. } if version < 6 => {
+                    assert_eq!(
+                        back,
+                        Ok(Response::Failed {
+                            message: message.clone(),
+                            conn: ConnStats::default(),
+                        }),
+                        "v{version}"
+                    );
+                }
+                Response::Stats(s) if version < 6 => {
                     let mut expect = *s;
                     if version < 3 {
                         expect.codec = CodecCounters::default();
@@ -234,17 +325,24 @@ fn every_message_round_trips_at_every_version() {
                         expect.shard_id = 0;
                         expect.shard_count = 0;
                     }
-                    expect.epoch = 0;
-                    expect.replicas_sent = 0;
-                    expect.replicas_received = 0;
-                    expect.replica_queue_drops = 0;
-                    expect.reconfigures = 0;
-                    expect.peers_down = 0;
+                    if version < 5 {
+                        expect.epoch = 0;
+                        expect.replicas_sent = 0;
+                        expect.replicas_received = 0;
+                        expect.replica_queue_drops = 0;
+                        expect.reconfigures = 0;
+                        expect.peers_down = 0;
+                    }
+                    expect.spans_recorded = 0;
+                    expect.spans_evicted = 0;
                     assert_eq!(back, Ok(Response::Stats(expect)));
                 }
-                Response::Done(r) if version < 5 => {
+                Response::Done(r) if version < 6 => {
                     let mut expect = *r;
-                    expect.conn = ConnStats::default();
+                    if version < 5 {
+                        expect.conn = ConnStats::default();
+                    }
+                    expect.trace = 0;
                     assert_eq!(back, Ok(Response::Done(expect)));
                 }
                 _ => assert_eq!(back, Ok(response.clone()), "v{version}"),

@@ -47,6 +47,16 @@
 //! decode below v5 and stamp at least v5 on encode, so every older
 //! peer keeps speaking its own generation untouched.
 //!
+//! Version 6 adds the tracing surface: a [`TraceContext`] appended to
+//! `Submit`/`SubmitDirect` (and echoed through `Replicate` and
+//! `Redirect`), per-connection [`ConnStats`] appended to
+//! [`Response::Failed`], a trace id echoed in [`JobReport`],
+//! span-ring counters appended to [`ServerStats`], and the
+//! [`Request::TraceDump`] / [`Response::Spans`] admin pair that drains
+//! a server's span ring for one trace. As always the new fields are
+//! trailing and version-gated — a v2–v5 peer negotiates tracing away
+//! entirely and its byte layouts stay frozen.
+//!
 //! The version byte leads the payload so a future protocol bump is
 //! detected before any tag is interpreted; a server that receives an
 //! unknown version replies [`Response::Error`] (whose encoding is
@@ -58,6 +68,8 @@ use std::io::{Read, Write};
 use ss_core::EngineConfig;
 use ss_lfsr::LfsrKind;
 use ss_testdata::TestSet;
+
+pub use ss_telemetry::{Span, SpanDump, SpanKind, TraceContext};
 
 use crate::codec::{CodecConfig, MAX_MESSAGE_BYTES};
 
@@ -73,8 +85,12 @@ use crate::codec::{CodecConfig, MAX_MESSAGE_BYTES};
 /// counters appended to [`ServerStats`]; 5 — the resilience surface:
 /// `Replicate`/`Reconfigure`/`Ping`/`Pong`/`Ack`, per-connection
 /// [`ConnStats`] appended to [`JobReport`], and ring-epoch +
-/// replication counters appended to [`ServerStats`].
-pub const PROTOCOL_VERSION: u8 = 5;
+/// replication counters appended to [`ServerStats`]; 6 — the tracing
+/// surface: [`TraceContext`] on submissions (echoed through
+/// `Replicate`/`Redirect`), `TraceDump`/`Spans`, [`ConnStats`] on
+/// [`Response::Failed`], the trace id echoed in [`JobReport`], and
+/// span-ring counters appended to [`ServerStats`].
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Oldest protocol version this build still decodes. Messages from a
 /// v2 peer are answered in v2 layout, so old clients keep working
@@ -155,6 +171,11 @@ pub struct JobSpec {
     pub hw_seed: u64,
     /// RNG seed for the pseudorandom fill of free seed variables.
     pub fill_seed: u64,
+    /// Distributed-tracing context (v6-only on the wire; the zero
+    /// context means untraced). Never shapes results and never enters
+    /// the cache key — two submissions differing only here are the
+    /// same job.
+    pub trace: TraceContext,
 }
 
 impl JobSpec {
@@ -172,7 +193,15 @@ impl JobSpec {
             ps_taps: config.ps_taps as u32,
             hw_seed: config.hw_seed,
             fill_seed: config.fill_seed,
+            trace: TraceContext::default(),
         }
+    }
+
+    /// The same spec carrying `trace` — how a client stamps a
+    /// submission into a trace.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -253,6 +282,10 @@ pub struct JobReport {
     /// wire; zeroed when talking to an older server or over a legacy
     /// unframed connection).
     pub conn: ConnStats,
+    /// The trace this job was submitted under, echoed back (v6-only
+    /// on the wire; 0 when untraced or talking to an older server) —
+    /// what a caller feeds `TraceDump` to reconstruct the timeline.
+    pub trace: u64,
 }
 
 impl JobReport {
@@ -313,13 +346,48 @@ impl PhaseHistogram {
     /// Records one sample.
     pub fn record(&mut self, micros: u64) {
         self.count += 1;
-        self.total_micros += micros;
+        self.total_micros = self.total_micros.saturating_add(micros);
         self.buckets[Self::bucket_index(micros)] += 1;
     }
 
     /// Mean sample in microseconds, or 0 with no samples.
     pub fn mean_micros(&self) -> u64 {
         self.total_micros.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds another histogram into this one — the fleet-aggregate
+    /// summary sums every shard's histograms bucket by bucket.
+    pub fn merge(&mut self, other: &PhaseHistogram) {
+        self.count += other.count;
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Approximate `p`-th percentile (`0.0 < p <= 1.0`) in
+    /// microseconds: the inclusive upper bound of the first bucket the
+    /// cumulative count reaches the rank in. Log₂ buckets bound the
+    /// answer within 2× of the true sample; the open-ended top bucket
+    /// answers `u64::MAX` ("slower than the histogram resolves"), and
+    /// an empty histogram answers 0.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return if i == HISTOGRAM_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
     }
 }
 
@@ -465,6 +533,11 @@ pub struct ServerStats {
     /// Ring peers the health prober currently considers unreachable
     /// (v5-only).
     pub peers_down: u32,
+    /// Spans ever recorded into this server's trace ring (v6-only).
+    pub spans_recorded: u64,
+    /// Spans overwritten in the trace ring under capacity pressure
+    /// (v6-only).
+    pub spans_evicted: u64,
 }
 
 /// Client → server messages.
@@ -501,6 +574,10 @@ pub enum Request {
         key: u64,
         /// Serialised artifact envelope (`Artifact::to_bytes`).
         bytes: Vec<u8>,
+        /// The trace that last produced or served the artifact, so the
+        /// receiver's ingest span lands in the causing trace (v6-only
+        /// on the wire; 0 when untraced).
+        trace: u64,
     },
     /// Administratively swap the fleet's peer list (v5-born). An epoch
     /// above the server's current one atomically installs the new ring
@@ -517,6 +594,12 @@ pub enum Request {
     /// with `Pong` carrying the server's epoch, shard id, and peer
     /// list — the gossip channel epochs converge through.
     Ping,
+    /// Drain the server's span ring for one trace (v6-born, admin);
+    /// `trace` 0 asks for every resident span. Answered with `Spans`.
+    TraceDump {
+        /// The trace to dump, or 0 for everything.
+        trace: u64,
+    },
 }
 
 /// Server → client messages.
@@ -541,7 +624,15 @@ pub enum Response {
     /// The job finished.
     Done(JobReport),
     /// The job ran and failed (bad workload, engine error, ...).
-    Failed(String),
+    Failed {
+        /// What went wrong.
+        message: String,
+        /// This connection's wire totals at reply time, exactly as a
+        /// `Done` carries them (v6-only on the wire; zeroed when
+        /// talking to an older server or over a legacy connection) —
+        /// a failed submission still reports its frame/byte costs.
+        conn: ConnStats,
+    },
     /// Aggregate telemetry.
     Stats(ServerStats),
     /// Protocol-level error (unknown job id, malformed frame, version
@@ -555,7 +646,13 @@ pub enum Response {
     /// payload is the owning shard's advertised address. Only ever
     /// answers [`Request::Submit`] — a `SubmitDirect` is always served
     /// locally, so following one redirect always terminates.
-    Redirect(String),
+    Redirect {
+        /// The owning shard's advertised address.
+        addr: String,
+        /// The declined submission's trace, echoed back so the hop
+        /// stays attributable (v6-only on the wire; 0 when untraced).
+        trace: u64,
+    },
     /// Liveness + membership answer to [`Request::Ping`] (v5-born):
     /// the ring epoch this server serves under, its shard id
     /// (`u32::MAX` when the server is not a member of its own ring or
@@ -575,6 +672,10 @@ pub enum Response {
         /// Ring epoch in force on the answering server.
         epoch: u64,
     },
+    /// The span-ring contents for one trace (v6-born, answers
+    /// [`Request::TraceDump`]): the matching spans plus the clock pair
+    /// that lets a stitcher place them on the wall clock.
+    Spans(SpanDump),
 }
 
 // ---------------------------------------------------------------- tags
@@ -588,6 +689,7 @@ const TAG_SUBMIT_DIRECT: u8 = 6;
 const TAG_REPLICATE: u8 = 7;
 const TAG_RECONFIGURE: u8 = 8;
 const TAG_PING: u8 = 9;
+const TAG_TRACE_DUMP: u8 = 10;
 
 const TAG_ACCEPTED: u8 = 101;
 const TAG_BUSY: u8 = 102;
@@ -600,6 +702,7 @@ const TAG_HELLO_ACK: u8 = 108;
 const TAG_REDIRECT: u8 = 109;
 const TAG_PONG: u8 = 110;
 const TAG_ACK: u8 = 111;
+const TAG_SPANS: u8 = 112;
 
 // ------------------------------------------------------------- writer
 
@@ -720,7 +823,7 @@ fn kind_from_u8(v: u8) -> Result<LfsrKind, WireError> {
     }
 }
 
-fn put_spec(buf: &mut Vec<u8>, spec: &JobSpec) {
+fn put_spec(buf: &mut Vec<u8>, spec: &JobSpec, version: u8) {
     put_u32(buf, spec.window);
     put_u32(buf, spec.segment);
     put_u64(buf, spec.speedup);
@@ -730,9 +833,16 @@ fn put_spec(buf: &mut Vec<u8>, spec: &JobSpec) {
     put_u64(buf, spec.hw_seed);
     put_u64(buf, spec.fill_seed);
     put_str(buf, &spec.set_text);
+    // pre-v6 peers expect the spec to end at the set text — which is
+    // exactly how tracing is negotiated away on old connections
+    if version >= 6 {
+        put_u64(buf, spec.trace.trace);
+        put_u64(buf, spec.trace.parent);
+        put_u32(buf, spec.trace.hop);
+    }
 }
 
-fn read_spec(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
+fn read_spec(r: &mut Reader<'_>, version: u8) -> Result<JobSpec, WireError> {
     Ok(JobSpec {
         window: r.u32()?,
         segment: r.u32()?,
@@ -743,6 +853,69 @@ fn read_spec(r: &mut Reader<'_>) -> Result<JobSpec, WireError> {
         hw_seed: r.u64()?,
         fill_seed: r.u64()?,
         set_text: r.string()?,
+        trace: if version >= 6 {
+            TraceContext {
+                trace: r.u64()?,
+                parent: r.u64()?,
+                hop: r.u32()?,
+            }
+        } else {
+            TraceContext::default()
+        },
+    })
+}
+
+fn put_span(buf: &mut Vec<u8>, span: &Span) {
+    put_u64(buf, span.trace);
+    put_u64(buf, span.id);
+    put_u64(buf, span.parent);
+    put_u8(buf, span.kind as u8);
+    put_u64(buf, span.start_micros);
+    put_u64(buf, span.duration_micros);
+    put_str(buf, &span.note);
+}
+
+fn read_span(r: &mut Reader<'_>) -> Result<Span, WireError> {
+    Ok(Span {
+        trace: r.u64()?,
+        id: r.u64()?,
+        parent: r.u64()?,
+        kind: SpanKind::from_u8(r.u8()?).ok_or(WireError::BadField("span kind"))?,
+        start_micros: r.u64()?,
+        duration_micros: r.u64()?,
+        note: r.string()?,
+    })
+}
+
+fn put_span_dump(buf: &mut Vec<u8>, dump: &SpanDump) {
+    put_u64(buf, dump.wall_micros);
+    put_u64(buf, dump.mono_micros);
+    put_u64(buf, dump.recorded);
+    put_u64(buf, dump.evicted);
+    put_u32(buf, dump.spans.len() as u32);
+    for span in &dump.spans {
+        put_span(buf, span);
+    }
+}
+
+fn read_span_dump(r: &mut Reader<'_>) -> Result<SpanDump, WireError> {
+    let wall_micros = r.u64()?;
+    let mono_micros = r.u64()?;
+    let recorded = r.u64()?;
+    let evicted = r.u64()?;
+    let count = r.u32()? as usize;
+    // a span ring is small; push per element rather than trusting a
+    // wire-declared capacity
+    let mut spans = Vec::new();
+    for _ in 0..count {
+        spans.push(read_span(r)?);
+    }
+    Ok(SpanDump {
+        wall_micros,
+        mono_micros,
+        recorded,
+        evicted,
+        spans,
     })
 }
 
@@ -792,6 +965,11 @@ fn put_report(buf: &mut Vec<u8>, report: &JobReport, version: u8) {
     if version >= 5 {
         put_conn_stats(buf, &report.conn);
     }
+    // ... and pre-v6 peers at the connection stats: the trace echo is
+    // v6-born
+    if version >= 6 {
+        put_u64(buf, report.trace);
+    }
 }
 
 fn read_report(r: &mut Reader<'_>, version: u8) -> Result<JobReport, WireError> {
@@ -820,6 +998,7 @@ fn read_report(r: &mut Reader<'_>, version: u8) -> Result<JobReport, WireError> 
         } else {
             ConnStats::default()
         },
+        trace: if version >= 6 { r.u64()? } else { 0 },
     })
 }
 
@@ -945,6 +1124,11 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats, version: u8) {
         put_u64(buf, s.reconfigures);
         put_u32(buf, s.peers_down);
     }
+    // ... and v5 peers here: the span-ring counters are v6-born
+    if version >= 6 {
+        put_u64(buf, s.spans_recorded);
+        put_u64(buf, s.spans_evicted);
+    }
 }
 
 fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError> {
@@ -985,6 +1169,10 @@ fn read_stats(r: &mut Reader<'_>, version: u8) -> Result<ServerStats, WireError>
         stats.replica_queue_drops = r.u64()?;
         stats.reconfigures = r.u64()?;
         stats.peers_down = r.u32()?;
+    }
+    if version >= 6 {
+        stats.spans_recorded = r.u64()?;
+        stats.spans_evicted = r.u64()?;
     }
     Ok(stats)
 }
@@ -1027,12 +1215,13 @@ impl Request {
             }
             Request::Submit(spec) => {
                 put_u8(&mut buf, TAG_SUBMIT);
-                put_spec(&mut buf, spec);
+                put_spec(&mut buf, spec, version);
             }
             Request::SubmitDirect(spec) => {
-                buf[0] = version.max(4);
+                let stamped = version.max(4);
+                buf[0] = stamped;
                 put_u8(&mut buf, TAG_SUBMIT_DIRECT);
-                put_spec(&mut buf, spec);
+                put_spec(&mut buf, spec, stamped);
             }
             Request::Poll(job) => {
                 put_u8(&mut buf, TAG_POLL);
@@ -1043,12 +1232,21 @@ impl Request {
                 put_u64(&mut buf, *job);
             }
             Request::Stats => put_u8(&mut buf, TAG_STATS),
-            Request::Replicate { epoch, key, bytes } => {
+            Request::Replicate {
+                epoch,
+                key,
+                bytes,
+                trace,
+            } => {
                 buf[0] = version.max(5);
                 put_u8(&mut buf, TAG_REPLICATE);
                 put_u64(&mut buf, *epoch);
                 put_u64(&mut buf, *key);
                 put_bytes(&mut buf, bytes);
+                // v5 replicas expect the payload to end at the bytes
+                if buf[0] >= 6 {
+                    put_u64(&mut buf, *trace);
+                }
             }
             Request::Reconfigure { epoch, peers } => {
                 buf[0] = version.max(5);
@@ -1059,6 +1257,11 @@ impl Request {
             Request::Ping => {
                 buf[0] = version.max(5);
                 put_u8(&mut buf, TAG_PING);
+            }
+            Request::TraceDump { trace } => {
+                buf[0] = version.max(6);
+                put_u8(&mut buf, TAG_TRACE_DUMP);
+                put_u64(&mut buf, *trace);
             }
         }
         buf
@@ -1076,18 +1279,20 @@ impl Request {
         let version = check_version(r.u8()?)?;
         let request = match r.u8()? {
             TAG_HELLO if version >= 3 => Request::Hello(read_codec_config(&mut r)?),
-            TAG_SUBMIT_DIRECT if version >= 4 => Request::SubmitDirect(read_spec(&mut r)?),
+            TAG_SUBMIT_DIRECT if version >= 4 => Request::SubmitDirect(read_spec(&mut r, version)?),
             TAG_REPLICATE if version >= 5 => Request::Replicate {
                 epoch: r.u64()?,
                 key: r.u64()?,
                 bytes: r.bytes()?,
+                trace: if version >= 6 { r.u64()? } else { 0 },
             },
             TAG_RECONFIGURE if version >= 5 => Request::Reconfigure {
                 epoch: r.u64()?,
                 peers: r.peers()?,
             },
             TAG_PING if version >= 5 => Request::Ping,
-            TAG_SUBMIT => Request::Submit(read_spec(&mut r)?),
+            TAG_TRACE_DUMP if version >= 6 => Request::TraceDump { trace: r.u64()? },
+            TAG_SUBMIT => Request::Submit(read_spec(&mut r, version)?),
             TAG_POLL => Request::Poll(r.u64()?),
             TAG_WAIT => Request::Wait(r.u64()?),
             TAG_STATS => Request::Stats,
@@ -1136,9 +1341,13 @@ impl Response {
                 put_u8(&mut buf, TAG_DONE);
                 put_report(&mut buf, report, version);
             }
-            Response::Failed(message) => {
+            Response::Failed { message, conn } => {
                 put_u8(&mut buf, TAG_FAILED);
                 put_str(&mut buf, message);
+                // pre-v6 peers expect failures to end at the message
+                if version >= 6 {
+                    put_conn_stats(&mut buf, conn);
+                }
             }
             Response::Stats(stats) => {
                 put_u8(&mut buf, TAG_STATS_REPLY);
@@ -1153,10 +1362,14 @@ impl Response {
                 put_u8(&mut buf, TAG_HELLO_ACK);
                 put_codec_config(&mut buf, config);
             }
-            Response::Redirect(addr) => {
+            Response::Redirect { addr, trace } => {
                 buf[0] = version.max(4);
                 put_u8(&mut buf, TAG_REDIRECT);
                 put_str(&mut buf, addr);
+                // v4/v5 peers expect the redirect to end at the address
+                if buf[0] >= 6 {
+                    put_u64(&mut buf, *trace);
+                }
             }
             Response::Pong {
                 epoch,
@@ -1173,6 +1386,11 @@ impl Response {
                 buf[0] = version.max(5);
                 put_u8(&mut buf, TAG_ACK);
                 put_u64(&mut buf, *epoch);
+            }
+            Response::Spans(dump) => {
+                buf[0] = version.max(6);
+                put_u8(&mut buf, TAG_SPANS);
+                put_span_dump(&mut buf, dump);
             }
         }
         buf
@@ -1198,17 +1416,28 @@ impl Response {
                 _ => return Err(WireError::BadField("phase")),
             }),
             TAG_DONE => Response::Done(read_report(&mut r, version)?),
-            TAG_FAILED => Response::Failed(r.string()?),
+            TAG_FAILED => Response::Failed {
+                message: r.string()?,
+                conn: if version >= 6 {
+                    read_conn_stats(&mut r)?
+                } else {
+                    ConnStats::default()
+                },
+            },
             TAG_STATS_REPLY => Response::Stats(read_stats(&mut r, version)?),
             TAG_ERROR => Response::Error(r.string()?),
             TAG_HELLO_ACK if version >= 3 => Response::HelloAck(read_codec_config(&mut r)?),
-            TAG_REDIRECT if version >= 4 => Response::Redirect(r.string()?),
+            TAG_REDIRECT if version >= 4 => Response::Redirect {
+                addr: r.string()?,
+                trace: if version >= 6 { r.u64()? } else { 0 },
+            },
             TAG_PONG if version >= 5 => Response::Pong {
                 epoch: r.u64()?,
                 shard_id: r.u32()?,
                 peers: r.peers()?,
             },
             TAG_ACK if version >= 5 => Response::Ack { epoch: r.u64()? },
+            TAG_SPANS if version >= 6 => Response::Spans(read_span_dump(&mut r)?),
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -1273,6 +1502,30 @@ mod tests {
             ps_taps: 3,
             hw_seed: 0x14A2_4108_A00E_3508,
             fill_seed: 1,
+            trace: TraceContext::default(),
+        }
+    }
+
+    fn traced_spec() -> JobSpec {
+        JobSpec {
+            trace: TraceContext {
+                trace: 0x1111_2222_3333_4444,
+                parent: 0x5555_6666_7777_8888,
+                hop: 2,
+            },
+            ..spec()
+        }
+    }
+
+    fn span() -> Span {
+        Span {
+            trace: 0x1111_2222_3333_4444,
+            id: 0x9999_AAAA_BBBB_CCCC,
+            parent: 0x5555_6666_7777_8888,
+            kind: SpanKind::CacheMemory,
+            start_micros: 1_234_567,
+            duration_micros: 89,
+            note: "hop=2".to_string(),
         }
     }
 
@@ -1300,6 +1553,7 @@ mod tests {
                 raw_rx_bytes: 800,
                 wire_rx_bytes: 850,
             },
+            trace: 0x1111_2222_3333_4444,
         }
     }
 
@@ -1307,7 +1561,8 @@ mod tests {
     fn every_message_round_trips() {
         let requests = [
             Request::Submit(spec()),
-            Request::SubmitDirect(spec()),
+            Request::Submit(traced_spec()),
+            Request::SubmitDirect(traced_spec()),
             Request::Poll(7),
             Request::Wait(u64::MAX),
             Request::Stats,
@@ -1315,12 +1570,17 @@ mod tests {
                 epoch: 3,
                 key: 0x9E37_79B9_7F4A_7C15,
                 bytes: vec![0xAB; 100],
+                trace: 0x1111_2222_3333_4444,
             },
             Request::Reconfigure {
                 epoch: 4,
                 peers: vec!["127.0.0.1:7211".to_string(), "127.0.0.1:7212".to_string()],
             },
             Request::Ping,
+            Request::TraceDump {
+                trace: 0x1111_2222_3333_4444,
+            },
+            Request::TraceDump { trace: 0 },
         ];
         for request in requests {
             assert_eq!(Request::decode(&request.encode()), Ok(request));
@@ -1334,7 +1594,17 @@ mod tests {
             Response::Phase(JobPhase::Queued),
             Response::Phase(JobPhase::Running),
             Response::Done(report()),
-            Response::Failed("cube file: missing header line".to_string()),
+            Response::Failed {
+                message: "cube file: missing header line".to_string(),
+                conn: ConnStats {
+                    frames_sent: 2,
+                    frames_received: 2,
+                    raw_tx_bytes: 64,
+                    wire_tx_bytes: 70,
+                    raw_rx_bytes: 512,
+                    wire_rx_bytes: 300,
+                },
+            },
             Response::Stats(ServerStats {
                 workers: 4,
                 queue_capacity: 16,
@@ -1397,19 +1667,39 @@ mod tests {
                 replica_queue_drops: 1,
                 reconfigures: 2,
                 peers_down: 1,
+                spans_recorded: 300,
+                spans_evicted: 44,
             }),
             Response::Error("unknown job id 9".to_string()),
             Response::HelloAck(CodecConfig {
                 compress: true,
                 chunk_bytes: 4096,
             }),
-            Response::Redirect("127.0.0.1:7212".to_string()),
+            Response::Redirect {
+                addr: "127.0.0.1:7212".to_string(),
+                trace: 0x1111_2222_3333_4444,
+            },
             Response::Pong {
                 epoch: 2,
                 shard_id: u32::MAX,
                 peers: vec!["127.0.0.1:7211".to_string()],
             },
             Response::Ack { epoch: 2 },
+            Response::Spans(SpanDump {
+                wall_micros: 1_700_000_000_000_000,
+                mono_micros: 2_345_678,
+                recorded: 10,
+                evicted: 3,
+                spans: vec![
+                    span(),
+                    Span {
+                        kind: SpanKind::FailoverHop,
+                        note: String::new(),
+                        ..span()
+                    },
+                ],
+            }),
+            Response::Spans(SpanDump::default()),
         ];
         for response in responses {
             assert_eq!(Response::decode(&response.encode()), Ok(response));
@@ -1459,6 +1749,8 @@ mod tests {
             replica_queue_drops: 1,
             reconfigures: 2,
             peers_down: 1,
+            spans_recorded: 120,
+            spans_evicted: 7,
             ..ServerStats::default()
         };
         stats.codec.connections_v3 = 7;
@@ -1469,10 +1761,12 @@ mod tests {
         let v3 = reply.encode_versioned(3);
         let v4 = reply.encode_versioned(4);
         let v5 = reply.encode_versioned(5);
+        let v6 = reply.encode_versioned(6);
         assert_eq!(v2[0], 2);
         assert_eq!(v3[0], 3);
         assert_eq!(v4[0], 4);
         assert_eq!(v5[0], 5);
+        assert_eq!(v6[0], 6);
         // each generation's layout is exactly the next one minus its
         // trailing counter block (and the version stamp)
         assert_eq!(v3.len() - v2.len(), 9 * 8);
@@ -1481,6 +1775,8 @@ mod tests {
         assert_eq!(v3[1..], v4[1..v3.len()]);
         assert_eq!(v5.len() - v4.len(), 8 + 8 + 8 + 8 + 8 + 4);
         assert_eq!(v4[1..], v5[1..v4.len()]);
+        assert_eq!(v6.len() - v5.len(), 8 + 8);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
 
         match Response::decode(&v2).unwrap() {
             Response::Stats(back) => {
@@ -1506,7 +1802,15 @@ mod tests {
             }
             other => panic!("v4 stats decoded as {other:?}"),
         }
-        assert_eq!(Response::decode(&v5), Ok(reply));
+        match Response::decode(&v5).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(back.peers_down, 1);
+                assert_eq!(back.spans_recorded, 0, "span counters are v6-born");
+                assert_eq!(back.spans_evicted, 0);
+            }
+            other => panic!("v5 stats decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v6), Ok(reply));
 
         // every v2-stamped request round-trips at the old layout too
         for request in [Request::Poll(3), Request::Wait(4), Request::Stats] {
@@ -1532,7 +1836,10 @@ mod tests {
             Err(WireError::BadTag(TAG_SUBMIT_DIRECT))
         );
 
-        let redirect = Response::Redirect("127.0.0.1:7213".to_string());
+        let redirect = Response::Redirect {
+            addr: "127.0.0.1:7213".to_string(),
+            trace: 0,
+        };
         let payload = redirect.encode_versioned(3);
         assert_eq!(payload[0], 4);
         assert_eq!(Response::decode(&payload), Ok(redirect));
@@ -1561,6 +1868,7 @@ mod tests {
                 epoch: 1,
                 key: 42,
                 bytes: vec![1, 2, 3],
+                trace: 0,
             },
             Request::Reconfigure {
                 epoch: 2,
@@ -1605,10 +1913,14 @@ mod tests {
         let reply = Response::Done(report());
         let v4 = reply.encode_versioned(4);
         let v5 = reply.encode_versioned(5);
+        let v6 = reply.encode_versioned(6);
         // the v5 report is exactly the v4 one plus the trailing
-        // 6-counter connection block (and the version stamp)
+        // 6-counter connection block, and the v6 one adds the trace
+        // echo (and the version stamp)
         assert_eq!(v5.len() - v4.len(), 6 * 8);
         assert_eq!(v4[1..], v5[1..v4.len()]);
+        assert_eq!(v6.len() - v5.len(), 8);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
         match Response::decode(&v4).unwrap() {
             Response::Done(back) => {
                 assert_eq!(back.digest, report().digest);
@@ -1616,7 +1928,14 @@ mod tests {
             }
             other => panic!("v4 report decoded as {other:?}"),
         }
-        assert_eq!(Response::decode(&v5), Ok(reply));
+        match Response::decode(&v5).unwrap() {
+            Response::Done(back) => {
+                assert_eq!(back.conn, report().conn);
+                assert_eq!(back.trace, 0, "the trace echo is v6-born");
+            }
+            other => panic!("v5 report decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v6), Ok(reply));
     }
 
     #[test]
@@ -1662,12 +1981,125 @@ mod tests {
         let mut resp = Response::Phase(JobPhase::Queued).encode();
         *resp.last_mut().unwrap() = 7;
         assert_eq!(Response::decode(&resp), Err(WireError::BadField("phase")));
-        // tier byte sits just before the trailing 8-byte service time
-        // and the 48-byte v5 connection block
+        // tier byte sits just before the trailing 8-byte service time,
+        // the 48-byte v5 connection block, and the 8-byte v6 trace echo
         let mut done = Response::Done(report()).encode();
-        let at = done.len() - 57;
+        let at = done.len() - 65;
         done[at] = 9;
         assert_eq!(Response::decode(&done), Err(WireError::BadField("tier")));
+        // span kind byte is validated too
+        let mut spans = Response::Spans(SpanDump {
+            spans: vec![span()],
+            ..SpanDump::default()
+        })
+        .encode();
+        // kind byte sits 24 bytes into the span record: after the
+        // dump header (4 * 8 + 4 bytes), trace, id and parent
+        let at = 2 + 36 + 24;
+        spans[at] = 200;
+        assert_eq!(
+            Response::decode(&spans),
+            Err(WireError::BadField("span kind"))
+        );
+    }
+
+    #[test]
+    fn trace_messages_are_v6_born() {
+        // TraceDump and Spans force their stamp up to v6 on encode and
+        // refuse to decode below v6 — an older build answers BadTag
+        let dump = Request::TraceDump { trace: 99 };
+        let payload = dump.encode_versioned(2);
+        assert_eq!(payload[0], 6, "TraceDump must be stamped v6");
+        assert_eq!(Request::decode(&payload), Ok(dump));
+        let mut downgraded = payload;
+        downgraded[0] = 5;
+        assert_eq!(
+            Request::decode(&downgraded),
+            Err(WireError::BadTag(TAG_TRACE_DUMP))
+        );
+
+        let spans = Response::Spans(SpanDump::default());
+        let payload = spans.encode_versioned(3);
+        assert_eq!(payload[0], 6, "Spans must be stamped v6");
+        assert_eq!(Response::decode(&payload), Ok(spans));
+        let mut downgraded = payload;
+        downgraded[0] = 5;
+        assert_eq!(
+            Response::decode(&downgraded),
+            Err(WireError::BadTag(TAG_SPANS))
+        );
+    }
+
+    #[test]
+    fn pre_v6_peers_negotiate_tracing_away() {
+        // the v6 spec is exactly the v5 one plus the trailing trace
+        // context — a v5 peer never sees it, and the trace comes back
+        // zeroed, which is the "tracing off" sentinel everywhere
+        let traced = Request::Submit(traced_spec());
+        let v5 = traced.encode_versioned(5);
+        let v6 = traced.encode_versioned(6);
+        assert_eq!(v6.len() - v5.len(), 8 + 8 + 4);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
+        assert_eq!(Request::decode(&v5), Ok(Request::Submit(spec())));
+        assert_eq!(Request::decode(&v6), Ok(traced));
+
+        // same for the replicate push: the trace rides behind the bytes
+        let push = Request::Replicate {
+            epoch: 1,
+            key: 42,
+            bytes: vec![1, 2, 3],
+            trace: 0x1111_2222_3333_4444,
+        };
+        let v5 = push.encode_versioned(5);
+        let v6 = push.encode_versioned(6);
+        assert_eq!(v6.len() - v5.len(), 8);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
+        match Request::decode(&v5).unwrap() {
+            Request::Replicate { trace, .. } => assert_eq!(trace, 0),
+            other => panic!("v5 replicate decoded as {other:?}"),
+        }
+        assert_eq!(Request::decode(&v6), Ok(push));
+
+        // a failure answered to a v5 peer ends at the message; the v6
+        // one carries the connection block
+        let failed = Response::Failed {
+            message: "boom".to_string(),
+            conn: ConnStats {
+                frames_sent: 1,
+                frames_received: 1,
+                raw_tx_bytes: 10,
+                wire_tx_bytes: 12,
+                raw_rx_bytes: 20,
+                wire_rx_bytes: 22,
+            },
+        };
+        let v5 = failed.encode_versioned(5);
+        let v6 = failed.encode_versioned(6);
+        assert_eq!(v6.len() - v5.len(), 6 * 8);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
+        match Response::decode(&v5).unwrap() {
+            Response::Failed { message, conn } => {
+                assert_eq!(message, "boom");
+                assert_eq!(conn, ConnStats::default(), "failure conn stats are v6-born");
+            }
+            other => panic!("v5 failure decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v6), Ok(failed));
+
+        // a redirect answered to a v4/v5 peer ends at the address
+        let redirect = Response::Redirect {
+            addr: "127.0.0.1:7213".to_string(),
+            trace: 0x1111_2222_3333_4444,
+        };
+        let v5 = redirect.encode_versioned(5);
+        let v6 = redirect.encode_versioned(6);
+        assert_eq!(v6.len() - v5.len(), 8);
+        assert_eq!(v5[1..], v6[1..v5.len()]);
+        match Response::decode(&v5).unwrap() {
+            Response::Redirect { trace, .. } => assert_eq!(trace, 0),
+            other => panic!("v5 redirect decoded as {other:?}"),
+        }
+        assert_eq!(Response::decode(&v6), Ok(redirect));
     }
 
     #[test]
@@ -1688,6 +2120,79 @@ mod tests {
         assert_eq!(h.mean_micros(), 150);
         assert_eq!(h.buckets[6], 1, "100us in [64,128)");
         assert_eq!(h.buckets[7], 1, "200us in [128,256)");
+    }
+
+    #[test]
+    fn histogram_zero_duration_samples_land_in_the_first_bucket() {
+        let mut h = PhaseHistogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total_micros, 1);
+        assert_eq!(h.buckets[0], 3);
+        assert_eq!(h.mean_micros(), 0);
+        // the first bucket's upper bound is 1us — a zero-duration
+        // sample still reports a nonzero percentile ceiling
+        assert_eq!(h.percentile_micros(0.5), 1);
+        assert_eq!(h.percentile_micros(0.99), 1);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_is_open_ended() {
+        let mut h = PhaseHistogram::default();
+        h.record(u64::MAX);
+        h.record(1 << 60);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        // the top bucket has no finite upper bound
+        assert_eq!(h.percentile_micros(0.5), u64::MAX);
+        assert_eq!(h.percentile_micros(1.0), u64::MAX);
+        // total saturates rather than wrapping
+        assert_eq!(h.total_micros, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts_and_buckets() {
+        let mut a = PhaseHistogram::default();
+        a.record(100);
+        a.record(1500);
+        let mut b = PhaseHistogram::default();
+        b.record(200);
+        b.record(u64::MAX);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.buckets[6], 1, "100us survives the merge");
+        assert_eq!(merged.buckets[7], 1, "200us survives the merge");
+        assert_eq!(merged.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(merged.total_micros, u64::MAX, "merge saturates too");
+        // merging an empty histogram is the identity
+        let before = merged;
+        merged.merge(&PhaseHistogram::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn histogram_percentiles_walk_the_buckets() {
+        let empty = PhaseHistogram::default();
+        assert_eq!(empty.percentile_micros(0.5), 0, "empty histogram");
+
+        let mut h = PhaseHistogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket 6, bound 127
+        }
+        for _ in 0..9 {
+            h.record(1000); // bucket 9, bound 1023
+        }
+        h.record(100_000); // bucket 16, bound 131071
+        assert_eq!(h.percentile_micros(0.5), 127);
+        assert_eq!(h.percentile_micros(0.9), 127);
+        assert_eq!(h.percentile_micros(0.95), 1023);
+        assert_eq!(h.percentile_micros(0.99), 1023);
+        assert_eq!(h.percentile_micros(1.0), 131_071);
+        // out-of-range fractions clamp to the extremes
+        assert_eq!(h.percentile_micros(0.0), 127);
+        assert_eq!(h.percentile_micros(2.0), 131_071);
     }
 
     #[test]

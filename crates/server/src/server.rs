@@ -39,6 +39,10 @@ use std::time::{Duration, Instant};
 
 use ss_core::{Encoded, Engine, PipelineReport};
 use ss_store::{Artifact, ArtifactStore};
+use ss_telemetry::{
+    span_id, wall_micros, Span, SpanDump, SpanKind, SpanRing, TraceClock, TraceContext,
+    DEFAULT_RING_CAPACITY,
+};
 use ss_testdata::TestSet;
 
 use crate::cache::{cache_key, ArtifactCache, CachedArtifacts};
@@ -148,6 +152,9 @@ struct QueuedJob {
     key: u64,
     set: TestSet,
     spec: JobSpec,
+    /// When the job entered the queue (monotonic µs) — the queue-wait
+    /// span runs from here to the worker pop.
+    enqueued_micros: u64,
 }
 
 /// Lifecycle of a submitted job.
@@ -311,6 +318,10 @@ struct ReplicationTask {
     key: u64,
     entry: Option<Arc<CachedArtifacts>>,
     targets: Vec<String>,
+    /// The trace that produced (or last served) the artifact being
+    /// pushed — carried on the wire so the receiving shard's ingest
+    /// span lands on the same timeline. 0 = untraced.
+    trace: u64,
 }
 
 /// State shared by the accept loop, connection handlers and workers.
@@ -360,6 +371,15 @@ struct Shared {
     conn_shed: AtomicU64,
     /// Plain submissions answered with the owner's address.
     redirects: AtomicU64,
+    /// Monotonic origin every span timestamp is measured from;
+    /// `TraceDump` samples it against the wall clock so readers can
+    /// normalise timestamps across processes.
+    clock: TraceClock,
+    /// Bounded ring of recorded spans (seeded random-replacement
+    /// eviction, drained non-destructively by `TraceDump`).
+    spans: Mutex<SpanRing>,
+    /// Per-process span sequence, folded into span-id derivation.
+    span_seq: AtomicU64,
     stop: AtomicBool,
     workers: usize,
     queue_capacity: usize,
@@ -416,6 +436,9 @@ impl Shared {
             conn_max,
             conn_shed: AtomicU64::new(0),
             redirects: AtomicU64::new(0),
+            clock: TraceClock::new(),
+            spans: Mutex::new(SpanRing::new(DEFAULT_RING_CAPACITY, span_ring_seed())),
+            span_seq: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             workers,
             queue_capacity,
@@ -477,7 +500,13 @@ impl Shared {
             .lock()
             .expect("jobs mutex")
             .set(id, JobState::Queued);
-        queue.push_back(QueuedJob { id, key, set, spec });
+        queue.push_back(QueuedJob {
+            id,
+            key,
+            set,
+            spec,
+            enqueued_micros: self.clock.now_micros(),
+        });
         drop(queue);
         self.queue_cv.notify_one();
         Ok(Enqueue::Accepted(id))
@@ -507,6 +536,10 @@ impl Shared {
                 ),
                 None => (0, 0, 0),
             }
+        };
+        let (spans_recorded, spans_evicted) = {
+            let spans = self.spans.lock().expect("spans mutex");
+            (spans.recorded(), spans.evicted())
         };
         let phases = self.phases.lock().expect("phases mutex");
         ServerStats {
@@ -551,6 +584,49 @@ impl Shared {
             replica_queue_drops: self.replica_drops.load(Ordering::Relaxed),
             reconfigures: self.reconfigures.load(Ordering::Relaxed),
             peers_down: self.peers_down.lock().expect("peers_down mutex").len() as u32,
+            spans_recorded,
+            spans_evicted,
+        }
+    }
+
+    /// Records one span on `trace` — a no-op (no lock, no allocation)
+    /// for the zero trace, which is what keeps untraced traffic free.
+    /// The note closure only runs when the span is actually recorded.
+    fn record_span<F: FnOnce() -> String>(
+        &self,
+        trace: u64,
+        parent: u64,
+        kind: SpanKind,
+        start_micros: u64,
+        duration_micros: u64,
+        note: F,
+    ) {
+        if trace == 0 {
+            return;
+        }
+        let seq = self.span_seq.fetch_add(1, Ordering::Relaxed);
+        self.spans.lock().expect("spans mutex").record(Span {
+            trace,
+            id: span_id(trace, seq),
+            parent,
+            kind,
+            start_micros,
+            duration_micros,
+            note: note(),
+        });
+    }
+
+    /// A non-destructive dump of the span ring (`trace` 0 = every
+    /// span), stamped with paired wall/monotonic clocks so a reader
+    /// can place this process's spans on a shared timeline.
+    fn span_dump(&self, trace: u64) -> SpanDump {
+        let spans = self.spans.lock().expect("spans mutex");
+        SpanDump {
+            wall_micros: wall_micros(),
+            mono_micros: self.clock.now_micros(),
+            recorded: spans.recorded(),
+            evicted: spans.evicted(),
+            spans: spans.snapshot(trace),
         }
     }
 
@@ -591,6 +667,17 @@ impl Shared {
         drop(queue);
         self.repl_cv.notify_one();
     }
+}
+
+/// Eviction seed for the span ring: `SS_CHAOS_SEED` when set (the
+/// chaos harness pins span retention alongside everything else it
+/// derandomises), a fixed constant otherwise — retention is always
+/// deterministic for a given seed and record sequence.
+fn span_ring_seed() -> u64 {
+    std::env::var("SS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5353_5452_4143_4531)
 }
 
 /// Builds the engine a spec describes, with the server's per-job
@@ -731,6 +818,7 @@ fn disk_lookup(shared: &Shared, job: &QueuedJob) -> Option<(PipelineReport, usiz
         dropped: artifact.dropped as usize,
         encoding: artifact.encoding,
         report_digest: artifact.report_digest,
+        trace: AtomicU64::new(job.spec.trace.trace),
     });
     match finish_stages(&entry) {
         Ok((report, embed_micros, segment_micros))
@@ -771,59 +859,125 @@ fn disk_lookup(shared: &Shared, job: &QueuedJob) -> Option<(PipelineReport, usiz
 /// tiers.
 fn execute(shared: &Shared, job: &QueuedJob) -> Result<JobReport, String> {
     let start = Instant::now();
+    let trace = job.spec.trace;
     let (report, dropped, tier) = match lookup_or_claim(shared, job.key) {
         Ok(entry) => {
+            let t0 = shared.clock.now_micros();
             let (report, embed_micros, segment_micros) = finish_stages(&entry)?;
             record_finish_phases(shared, embed_micros, segment_micros);
+            if trace.trace != 0 {
+                // telemetry only: the entry remembers the last trace
+                // that served it, so a later re-replication push can
+                // attribute the copy
+                entry.trace.store(trace.trace, Ordering::Relaxed);
+            }
+            shared.record_span(
+                trace.trace,
+                trace.parent,
+                SpanKind::CacheMemory,
+                t0,
+                shared.clock.now_micros().saturating_sub(t0),
+                || format!("key={:016x} hit", job.key),
+            );
+            shared.record_span(
+                trace.trace,
+                trace.parent,
+                SpanKind::Embed,
+                t0,
+                embed_micros,
+                String::new,
+            );
+            shared.record_span(
+                trace.trace,
+                trace.parent,
+                SpanKind::Segment,
+                t0 + embed_micros,
+                segment_micros,
+                String::new,
+            );
             (report, entry.dropped, CacheTier::Memory)
         }
         // holding the guard: this worker is the (sole) computer for
         // the key, whether it comes off disk or runs cold
-        Err(_pending_guard) => match disk_lookup(shared, job) {
-            Some((report, dropped)) => (report, dropped, CacheTier::Disk),
-            None => {
-                let engine = engine_from_spec(&job.spec, shared.job_threads)?;
-                let t = Instant::now();
-                let ctx = engine.synthesize(&job.set).map_err(|e| e.to_string())?;
-                let (encodable, dropped_idx) = ctx.encodable_subset(&job.set);
-                let synthesis_micros = t.elapsed().as_micros() as u64;
-                let t = Instant::now();
-                let encoded = Encoded::from_ctx_ref(&encodable, &ctx).map_err(|e| e.to_string())?;
-                let encode_micros = t.elapsed().as_micros() as u64;
-                let encoding = encoded.encoding().clone();
-                let t = Instant::now();
-                let embedded = encoded.embed();
-                let embed_micros = t.elapsed().as_micros() as u64;
-                let t = Instant::now();
-                let report = embedded.segment().finish().map_err(|e| e.to_string())?;
-                let segment_micros = t.elapsed().as_micros() as u64;
-                {
-                    let mut phases = shared.phases.lock().expect("phases mutex");
-                    phases.synthesis.record(synthesis_micros);
-                    phases.encode.record(encode_micros);
-                    phases.embed.record(embed_micros);
-                    phases.segment.record(segment_micros);
+        Err(_pending_guard) => {
+            let t_disk = shared.clock.now_micros();
+            match disk_lookup(shared, job) {
+                Some((report, dropped)) => {
+                    shared.record_span(
+                        trace.trace,
+                        trace.parent,
+                        SpanKind::CacheDisk,
+                        t_disk,
+                        shared.clock.now_micros().saturating_sub(t_disk),
+                        || format!("key={:016x} hit", job.key),
+                    );
+                    (report, dropped, CacheTier::Disk)
                 }
-                let dropped = dropped_idx.len();
-                let entry = Arc::new(CachedArtifacts {
-                    ctx,
-                    set: encodable,
-                    dropped,
-                    encoding,
-                    report_digest: report_digest(&report),
-                });
-                store_write_through(shared, job.key, &entry, entry.report_digest);
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache mutex")
-                    .insert(job.key, Arc::clone(&entry));
-                // write-behind: push warm copies to the key's replica
-                // set so losing this shard re-pays nothing
-                schedule_replication(shared, job.key, entry);
-                (report, dropped, CacheTier::Cold)
+                None => {
+                    let engine = engine_from_spec(&job.spec, shared.job_threads)?;
+                    let t0 = shared.clock.now_micros();
+                    let t = Instant::now();
+                    let ctx = engine.synthesize(&job.set).map_err(|e| e.to_string())?;
+                    let (encodable, dropped_idx) = ctx.encodable_subset(&job.set);
+                    let synthesis_micros = t.elapsed().as_micros() as u64;
+                    let t1 = shared.clock.now_micros();
+                    let t = Instant::now();
+                    let encoded =
+                        Encoded::from_ctx_ref(&encodable, &ctx).map_err(|e| e.to_string())?;
+                    let encode_micros = t.elapsed().as_micros() as u64;
+                    let encoding = encoded.encoding().clone();
+                    let t2 = shared.clock.now_micros();
+                    let t = Instant::now();
+                    let embedded = encoded.embed();
+                    let embed_micros = t.elapsed().as_micros() as u64;
+                    let t3 = shared.clock.now_micros();
+                    let t = Instant::now();
+                    let report = embedded.segment().finish().map_err(|e| e.to_string())?;
+                    let segment_micros = t.elapsed().as_micros() as u64;
+                    {
+                        let mut phases = shared.phases.lock().expect("phases mutex");
+                        phases.synthesis.record(synthesis_micros);
+                        phases.encode.record(encode_micros);
+                        phases.embed.record(embed_micros);
+                        phases.segment.record(segment_micros);
+                    }
+                    for (kind, at, micros) in [
+                        (SpanKind::Synthesis, t0, synthesis_micros),
+                        (SpanKind::Encode, t1, encode_micros),
+                        (SpanKind::Embed, t2, embed_micros),
+                        (SpanKind::Segment, t3, segment_micros),
+                    ] {
+                        shared.record_span(
+                            trace.trace,
+                            trace.parent,
+                            kind,
+                            at,
+                            micros,
+                            String::new,
+                        );
+                    }
+                    let dropped = dropped_idx.len();
+                    let entry = Arc::new(CachedArtifacts {
+                        ctx,
+                        set: encodable,
+                        dropped,
+                        encoding,
+                        report_digest: report_digest(&report),
+                        trace: AtomicU64::new(trace.trace),
+                    });
+                    store_write_through(shared, job.key, &entry, entry.report_digest);
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache mutex")
+                        .insert(job.key, Arc::clone(&entry));
+                    // write-behind: push warm copies to the key's replica
+                    // set so losing this shard re-pays nothing
+                    schedule_replication(shared, job.key, entry, trace.trace);
+                    (report, dropped, CacheTier::Cold)
+                }
             }
-        },
+        }
     };
     Ok(job_report(
         &report,
@@ -831,6 +985,7 @@ fn execute(shared: &Shared, job: &QueuedJob) -> Result<JobReport, String> {
         dropped,
         tier,
         start.elapsed(),
+        trace.trace,
     ))
 }
 
@@ -862,7 +1017,7 @@ fn store_write_through(shared: &Shared, key: u64, entry: &CachedArtifacts, diges
 /// Queues write-behind replication of a freshly computed cold key to
 /// the other members of its replica set. No-op unless the server is
 /// sharded with a factor above 1.
-fn schedule_replication(shared: &Shared, key: u64, entry: Arc<CachedArtifacts>) {
+fn schedule_replication(shared: &Shared, key: u64, entry: Arc<CachedArtifacts>, trace: u64) {
     if shared.replicas <= 1 {
         return;
     }
@@ -885,6 +1040,7 @@ fn schedule_replication(shared: &Shared, key: u64, entry: Arc<CachedArtifacts>) 
         key,
         entry: Some(entry),
         targets,
+        trace,
     });
 }
 
@@ -955,6 +1111,7 @@ fn apply_reconfigure(shared: &Shared, epoch: u64, peers: Vec<String>) -> Result<
             ) {
                 tasks.push(ReplicationTask {
                     key,
+                    trace: entry.trace.load(Ordering::Relaxed),
                     entry: Some(entry),
                     targets,
                 });
@@ -976,6 +1133,8 @@ fn apply_reconfigure(shared: &Shared, epoch: u64, peers: Vec<String>) -> Result<
                         key,
                         entry: None,
                         targets,
+                        // a disk-only key carries no live trace
+                        trace: 0,
                     });
                 }
             }
@@ -1003,7 +1162,8 @@ fn apply_reconfigure(shared: &Shared, epoch: u64, peers: Vec<String>) -> Result<
 /// (nothing off the wire is trusted), and lands the copy in the normal
 /// memory → disk tiers. Deliberately records no synthesis, no phase
 /// timings and no cache miss — ingestion is not service traffic.
-fn ingest_replica(shared: &Shared, key: u64, bytes: &[u8]) -> Response {
+fn ingest_replica(shared: &Shared, key: u64, bytes: &[u8], trace: u64) -> Response {
+    let t0 = shared.clock.now_micros();
     let artifact = match Artifact::from_bytes(bytes, key, Some(shared.job_threads)) {
         Ok(artifact) => artifact,
         Err(e) => return Response::Error(format!("replica {key:016x}: {e}")),
@@ -1014,12 +1174,21 @@ fn ingest_replica(shared: &Shared, key: u64, bytes: &[u8]) -> Response {
         dropped: artifact.dropped as usize,
         encoding: artifact.encoding,
         report_digest: artifact.report_digest,
+        trace: AtomicU64::new(trace),
     });
     match finish_stages(&entry) {
         Ok((report, ..)) if report_digest(&report) == entry.report_digest => {
             store_write_through(shared, key, &entry, entry.report_digest);
             shared.cache.lock().expect("cache mutex").insert(key, entry);
             shared.replicas_received.fetch_add(1, Ordering::Relaxed);
+            shared.record_span(
+                trace,
+                0,
+                SpanKind::ReplicaIngest,
+                t0,
+                shared.clock.now_micros().saturating_sub(t0),
+                || format!("key={key:016x}"),
+            );
             Response::Ack {
                 epoch: shared.membership().0,
             }
@@ -1091,11 +1260,21 @@ fn replicate_task(shared: &Shared, task: ReplicationTask) {
             epoch,
             key: task.key,
             bytes: bytes.clone(),
+            trace: task.trace,
         };
+        let t0 = shared.clock.now_micros();
         match send_peer_request(target, &request) {
             Ok(Response::Ack { .. }) => {
                 shared.replicas_sent.fetch_add(1, Ordering::Relaxed);
                 shared.note_peer(target, true);
+                shared.record_span(
+                    task.trace,
+                    0,
+                    SpanKind::ReplicatePush,
+                    t0,
+                    shared.clock.now_micros().saturating_sub(t0),
+                    || format!("key={:016x} -> {target}", task.key),
+                );
             }
             // the peer answered but refused (verification, version):
             // it is alive, just not a replica holder
@@ -1180,6 +1359,7 @@ fn job_report(
     dropped: usize,
     tier: CacheTier,
     service: Duration,
+    trace: u64,
 ) -> JobReport {
     JobReport {
         lfsr_size: report.lfsr_size as u32,
@@ -1199,6 +1379,7 @@ fn job_report(
         // stamped by the connection handler at reply time; a worker
         // has no wire context
         conn: ConnStats::default(),
+        trace,
     }
 }
 
@@ -1224,6 +1405,15 @@ fn worker_loop(shared: &Shared) {
             }
         };
         set_state(shared, job.id, JobState::Running);
+        let popped = shared.clock.now_micros();
+        shared.record_span(
+            job.spec.trace.trace,
+            job.spec.trace.parent,
+            SpanKind::QueueWait,
+            job.enqueued_micros,
+            popped.saturating_sub(job.enqueued_micros),
+            String::new,
+        );
         let state = match execute(shared, &job) {
             Ok(report) => JobState::Done(report),
             Err(message) => JobState::Failed(message),
@@ -1244,6 +1434,17 @@ fn set_state(shared: &Shared, id: u64, state: JobState) {
     shared.jobs.lock().expect("jobs mutex").set(id, state);
 }
 
+/// The active trace context a request carries, if any — what the
+/// connection handler's recv/decode span is attributed to.
+fn request_trace(request: &Request) -> Option<TraceContext> {
+    match request {
+        Request::Submit(spec) | Request::SubmitDirect(spec) if spec.trace.is_active() => {
+            Some(spec.trace)
+        }
+        _ => None,
+    }
+}
+
 /// Answers one decoded request. `Wait` blocks (with a stop check);
 /// everything else is immediate. `version` is the connection's agreed
 /// protocol generation: a pre-v4 peer cannot parse `Redirect`, so its
@@ -1256,12 +1457,28 @@ fn respond(shared: &Shared, request: Request, version: u8) -> Response {
         // negotiation is handled at the connection layer; a second
         // Hello mid-connection is a protocol violation
         Request::Hello(_) => Response::Error("codec already negotiated".to_string()),
-        Request::Submit(spec) => match shared.try_enqueue(spec, version < 4) {
-            Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
-            Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
-            Ok(Enqueue::Redirect(addr)) => Response::Redirect(addr),
-            Err(message) => Response::Error(message),
-        },
+        Request::Submit(spec) => {
+            let trace = spec.trace;
+            match shared.try_enqueue(spec, version < 4) {
+                Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
+                Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
+                Ok(Enqueue::Redirect(addr)) => {
+                    shared.record_span(
+                        trace.trace,
+                        trace.parent,
+                        SpanKind::Redirect,
+                        shared.clock.now_micros(),
+                        0,
+                        || format!("-> {addr}"),
+                    );
+                    Response::Redirect {
+                        addr,
+                        trace: trace.trace,
+                    }
+                }
+                Err(message) => Response::Error(message),
+            }
+        }
         Request::SubmitDirect(spec) => match shared.try_enqueue(spec, true) {
             Ok(Enqueue::Accepted(id)) => Response::Accepted(id),
             Ok(Enqueue::Busy { queued, capacity }) => Response::Busy { queued, capacity },
@@ -1277,7 +1494,10 @@ fn respond(shared: &Shared, request: Request, version: u8) -> Response {
                 Some(JobState::Queued) => Response::Phase(JobPhase::Queued),
                 Some(JobState::Running) => Response::Phase(JobPhase::Running),
                 Some(JobState::Done(report)) => Response::Done(*report),
-                Some(JobState::Failed(message)) => Response::Failed(message.clone()),
+                Some(JobState::Failed(message)) => Response::Failed {
+                    message: message.clone(),
+                    conn: ConnStats::default(),
+                },
             }
         }
         Request::Wait(id) => {
@@ -1286,7 +1506,12 @@ fn respond(shared: &Shared, request: Request, version: u8) -> Response {
                 match jobs.states.get(&id) {
                     None => return Response::Error(format!("unknown job id {id}")),
                     Some(JobState::Done(report)) => return Response::Done(*report),
-                    Some(JobState::Failed(message)) => return Response::Failed(message.clone()),
+                    Some(JobState::Failed(message)) => {
+                        return Response::Failed {
+                            message: message.clone(),
+                            conn: ConnStats::default(),
+                        }
+                    }
                     Some(JobState::Queued | JobState::Running) => {
                         if shared.stop.load(Ordering::Relaxed) {
                             return Response::Error("server shutting down".to_string());
@@ -1301,7 +1526,10 @@ fn respond(shared: &Shared, request: Request, version: u8) -> Response {
             }
         }
         Request::Stats => Response::Stats(shared.stats()),
-        Request::Replicate { key, bytes, .. } => ingest_replica(shared, key, &bytes),
+        Request::Replicate {
+            key, bytes, trace, ..
+        } => ingest_replica(shared, key, &bytes, trace),
+        Request::TraceDump { trace } => Response::Spans(shared.span_dump(trace)),
         Request::Reconfigure { epoch, peers } => match apply_reconfigure(shared, epoch, peers) {
             Ok(epoch) => Response::Ack { epoch },
             Err(message) => Response::Error(message),
@@ -1366,6 +1594,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             conn.raw_rx_bytes += rx.raw_bytes;
             conn.wire_rx_bytes += rx.wire_bytes;
         }
+        let decode_start = shared.clock.now_micros();
         let mut response = match Request::decode(&payload) {
             Ok(Request::Hello(offer)) if !transport.is_framed() => {
                 let agreed = CodecConfig::negotiate(offer);
@@ -1402,17 +1631,37 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                         _ => PROTOCOL_VERSION,
                     };
                 }
+                if let Some(ctx) = request_trace(&request) {
+                    let now = shared.clock.now_micros();
+                    shared.record_span(
+                        ctx.trace,
+                        ctx.parent,
+                        SpanKind::RecvDecode,
+                        decode_start,
+                        now.saturating_sub(decode_start),
+                        || format!("hop={}", ctx.hop),
+                    );
+                }
                 respond(shared, request, version)
             }
             Err(e) => Response::Error(e.to_string()),
         };
         // the snapshot is taken at reply-build time: it covers every
         // frame up to and including this request, not the reply itself
-        if version >= 5 {
-            if let Response::Done(ref mut report) = response {
-                report.conn = conn;
-            }
+        match response {
+            Response::Done(ref mut report) if version >= 5 => report.conn = conn,
+            // failures carry the same per-connection totals from v6 on
+            Response::Failed {
+                conn: ref mut failed_conn,
+                ..
+            } if version >= 6 => *failed_conn = conn,
+            _ => {}
         }
+        let reply_trace = match &response {
+            Response::Done(report) => report.trace,
+            _ => 0,
+        };
+        let tx_start = shared.clock.now_micros();
         match transport.write_message(&mut stream, &response.encode_versioned(version)) {
             Ok(tx) => {
                 if transport.is_framed() {
@@ -1421,6 +1670,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                     conn.raw_tx_bytes += tx.raw_bytes;
                     conn.wire_tx_bytes += tx.wire_bytes;
                 }
+                shared.record_span(
+                    reply_trace,
+                    0,
+                    SpanKind::CodecTx,
+                    tx_start,
+                    shared.clock.now_micros().saturating_sub(tx_start),
+                    || format!("{} wire bytes", tx.wire_bytes),
+                );
             }
             Err(_) => return,
         }
@@ -1788,7 +2045,7 @@ mod tests {
         // try_enqueue already returned: nothing may overwrite this
         assert!(matches!(
             respond(&shared, Request::Poll(id), PROTOCOL_VERSION),
-            Response::Failed(_)
+            Response::Failed { .. }
         ));
     }
 
@@ -2026,7 +2283,7 @@ mod tests {
         }
         assert!(matches!(
             respond(&shared, Request::Submit(spec), PROTOCOL_VERSION),
-            Response::Redirect(_)
+            Response::Redirect { .. }
         ));
     }
 
@@ -2157,6 +2414,7 @@ mod tests {
                 key: 1,
                 entry: None,
                 targets: vec!["x:1".into()],
+                trace: 0,
             });
         }
         assert_eq!(
@@ -2174,7 +2432,7 @@ mod tests {
     fn replica_ingestion_verifies_before_serving() {
         let shared = Shared::new(1, 4, 64 << 20, 1, None, 256, 2);
         assert!(matches!(
-            ingest_replica(&shared, 7, &[0u8; 16]),
+            ingest_replica(&shared, 7, &[0u8; 16], 0),
             Response::Error(_)
         ));
         assert_eq!(shared.stats().replicas_received, 0);
@@ -2195,7 +2453,7 @@ mod tests {
 
         let bytes = artifact.to_bytes(key);
         assert!(matches!(
-            ingest_replica(&shared, key, &bytes),
+            ingest_replica(&shared, key, &bytes, 0),
             Response::Ack { .. }
         ));
         let stats = shared.stats();
@@ -2213,7 +2471,7 @@ mod tests {
         let mut lying = artifact;
         lying.report_digest ^= 1;
         assert!(matches!(
-            ingest_replica(&shared, key, &lying.to_bytes(key)),
+            ingest_replica(&shared, key, &lying.to_bytes(key), 0),
             Response::Error(_)
         ));
         assert_eq!(shared.stats().replicas_received, 1);

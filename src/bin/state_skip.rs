@@ -14,8 +14,9 @@
 //! state-skip workloads                              # list the corpus
 //! state-skip serve     [--addr A] [--workers N] [--cache-mb M] [--queue N] [--store-dir D]
 //!                      [--peers A1,A2,.. --shard-id I] [--replicas R] [--max-conns N]
-//! state-skip submit    [--addr A | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k]
+//! state-skip submit    [--addr A | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L] [S] [k] [--trace-id T]
 //! state-skip reconfigure [--addr A1,A2,..] --epoch E --peers P1,P2,..
+//! state-skip trace     <trace-id> [--addr A1,A2,..]  # stitched cross-shard timeline
 //! ```
 //!
 //! Test sets use the text format of `ss_testdata::TestSet`
@@ -39,7 +40,8 @@ use ss_core::{
     sequence_coverage, Baseline11, ClassicalReseeding, CompressionScheme, Engine, StateSkip, Table,
 };
 use ss_lfsr::SkipCircuit;
-use ss_server::{CacheTier, Client, JobSpec, ServeOptions, Server};
+use ss_server::{CacheTier, Client, JobSpec, ServeOptions, Server, TraceContext};
+use ss_telemetry::{render_timeline, stitch, ShardDump};
 use ss_testdata::{generate_test_set, CubeProfile, TestSet, WorkloadRegistry};
 
 fn main() -> ExitCode {
@@ -56,7 +58,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   state-skip stats     <test_set.txt>                  # local set statistics
-  state-skip stats     [--addr A=127.0.0.1:7113]       # server telemetry
+  state-skip stats     [--addr A=127.0.0.1:7113] [--json]  # server telemetry
   state-skip run       <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
   state-skip run       --bench <f.bench> --cubes <f.cubes> [L=100] [S=5] [k=10] [--threads N]
   state-skip compare   <test_set.txt> [L=100] [S=5] [k=10] [--threads N]
@@ -67,8 +69,9 @@ const USAGE: &str = "usage:
   state-skip workloads
   state-skip serve     [--addr A=127.0.0.1:7113] [--workers N=auto] [--cache-mb M=256] [--queue N=4*workers] [--store-dir D]
                        [--peers A1,A2,.. --shard-id I] [--replicas R=2] [--max-conns N=256]
-  state-skip submit    [--addr A=127.0.0.1:7113 | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10]
+  state-skip submit    [--addr A=127.0.0.1:7113 | --addr A1,A2,..] (--workload <name> | --bench <f> --cubes <f> | <set.txt>) [L=100] [S=5] [k=10] [--trace-id T]
   state-skip reconfigure [--addr A1,A2,..] --epoch E --peers P1,P2,..   # swap the fleet's ring live
+  state-skip trace     <trace-id> [--addr A1,A2,..]    # stitch one job's spans into a timeline
 
 --threads N caps the engine's worker threads (default: all hardware
 threads); results are bit-identical at every thread count.
@@ -99,7 +102,16 @@ re-running synthesis. reconfigure swaps the fleet's membership without
 restarting anything: --addr lists shards of the *current* fleet (one
 is enough — epoch gossip converges the rest), --epoch must exceed the
 ring's current epoch, and --peers is the complete new address list.
-Shards re-replicate the keys whose placement changed.";
+Shards re-replicate the keys whose placement changed.
+
+Every submission through a v6 client carries a trace id (printed on the
+result; pin one with --trace-id, hex or decimal). Each server records
+spans — queue wait, cache lookups, pipeline phases, replication pushes —
+into a bounded ring; trace asks every listed shard for one trace's
+spans and stitches them into a single causally ordered timeline, so one
+command shows where a job's time went across the whole fleet. stats
+--json emits the full telemetry snapshot (per shard plus a fleet
+aggregate) as JSON for dashboards and scripts.";
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -154,6 +166,7 @@ fn run() -> Result<(), String> {
         "serve" => serve(&args[1..]),
         "submit" => submit(&args[1..]),
         "reconfigure" => reconfigure(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -519,6 +532,10 @@ fn submit(args: &[String]) -> Result<(), String> {
     let workload_name = take_value_flag(&mut args, "--workload")?;
     let bench_path = take_value_flag(&mut args, "--bench")?;
     let cubes_path = take_value_flag(&mut args, "--cubes")?;
+    let trace_id = match take_value_flag(&mut args, "--trace-id")? {
+        Some(v) => Some(parse_trace_id(&v)?),
+        None => None,
+    };
 
     // resolve the workload: registry name, .bench + cube pair, or a
     // plain test-set file
@@ -558,10 +575,13 @@ fn submit(args: &[String]) -> Result<(), String> {
         builder = builder.lfsr_size(n);
     }
     let engine = builder.build().map_err(|e| e.to_string())?;
-    let spec = JobSpec::new(&set, engine.config());
+    let mut spec = JobSpec::new(&set, engine.config());
+    if let Some(id) = trace_id {
+        spec.trace = TraceContext::root(id);
+    }
 
     // a comma-separated --addr is a fleet: balance to the owning shard
-    let (job, report, served_by) = if addr.contains(',') {
+    let (job, report, served_by, trace) = if addr.contains(',') {
         let peers: Vec<String> = addr.split(',').map(str::to_string).collect();
         let mut balancer = ss_server::Balancer::new(peers).map_err(|e| e.to_string())?;
         let run = balancer.run(&spec).map_err(|e| e.to_string())?;
@@ -574,11 +594,12 @@ fn submit(args: &[String]) -> Result<(), String> {
         if run.failovers > 0 {
             eprintln!("note: {} shard(s) failed over", run.failovers);
         }
-        (run.job, run.report, served_by)
+        (run.job, run.report, served_by, run.trace)
     } else {
         let mut client = Client::connect(&*addr).map_err(|e| e.to_string())?;
         let (job, report) = client.run(&spec).map_err(|e| e.to_string())?;
-        (job, report, addr.clone())
+        let trace = client.last_trace();
+        (job, report, addr.clone(), trace)
     };
     println!("submitted {} cubes as job {job} to {served_by}", set.len());
     println!(
@@ -626,6 +647,77 @@ fn submit(args: &[String]) -> Result<(), String> {
             conn.wire_tx_bytes
         );
     }
+    // the line `state-skip trace` and the CI smoke step grep for
+    if trace != 0 {
+        println!(
+            "trace: {trace:#018x} (reconstruct with `state-skip trace {trace:#x} --addr {addr}`)"
+        );
+    }
+    Ok(())
+}
+
+/// Parses a trace id: hex with an optional `0x` prefix, or decimal.
+fn parse_trace_id(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>().or_else(|_| u64::from_str_radix(s, 16))
+    };
+    match parsed {
+        Ok(0) => Err("trace id 0 means untraced".into()),
+        Ok(id) => Ok(id),
+        Err(_) => Err(format!("not a trace id: {s:?}")),
+    }
+}
+
+/// `trace`: ask every listed shard for one trace's spans and stitch
+/// them into a single causally ordered cross-shard timeline.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr")?
+        .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    let id_arg = args.first().cloned().ok_or("missing trace id")?;
+    args.remove(0);
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    let trace = parse_trace_id(&id_arg)?;
+    let mut shards = Vec::new();
+    let mut reached = 0usize;
+    for a in addr.split(',') {
+        match Client::connect(a)
+            .and_then(|mut c| c.trace_dump(trace))
+            .map_err(|e| e.to_string())
+        {
+            Ok(dump) => {
+                reached += 1;
+                if dump.evicted > 0 {
+                    eprintln!(
+                        "note: {a} evicted {} span(s) under ring pressure; the timeline may have gaps",
+                        dump.evicted
+                    );
+                }
+                shards.push(ShardDump {
+                    addr: a.to_string(),
+                    dump,
+                });
+            }
+            Err(e) => eprintln!("note: {a}: {e}"),
+        }
+    }
+    if reached == 0 {
+        return Err("no shard answered the trace dump".into());
+    }
+    let timeline = stitch(&shards);
+    print!("{}", render_timeline(trace, &timeline));
+    // denominator = every shard asked, so a dead or unreachable shard
+    // reads as a smaller fraction instead of silently shrinking both
+    println!(
+        "{} span(s) from {} of {} shard(s)",
+        timeline.len(),
+        shards.iter().filter(|s| !s.dump.spans.is_empty()).count(),
+        addr.split(',').count()
+    );
     Ok(())
 }
 
@@ -677,8 +769,21 @@ fn server_stats(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let addr = take_value_flag(&mut args, "--addr")?
         .unwrap_or_else(|| ss_server::DEFAULT_ADDR.to_string());
+    let json = take_bool_flag(&mut args, "--json");
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument {extra:?}"));
+    }
+    if json {
+        // machine-readable: the full snapshot of every shard plus the
+        // fleet aggregate, one JSON document on stdout
+        let mut fleet = Vec::new();
+        for a in addr.split(',') {
+            let mut client = Client::connect(a).map_err(|e| e.to_string())?;
+            let s = client.stats().map_err(|e| e.to_string())?;
+            fleet.push((a.to_string(), s));
+        }
+        println!("{}", stats_json(&fleet));
+        return Ok(());
     }
     // a comma-separated --addr scrapes every shard of a fleet in turn,
     // then rolls the per-shard counters into one fleet summary row
@@ -695,6 +800,17 @@ fn server_stats(args: &[String]) -> Result<(), String> {
         print_fleet_summary(&fleet);
     }
     Ok(())
+}
+
+/// Removes a boolean `--name` flag, answering whether it was present.
+fn take_bool_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    }
 }
 
 /// The cross-shard rollup printed after a fleet scrape: total load,
@@ -747,6 +863,42 @@ fn print_fleet_summary(fleet: &[ss_server::ServerStats]) {
         sum(|s| s.replica_queue_drops),
         sum(|s| s.reconfigures),
     );
+    // merged per-phase latency: one histogram over the whole fleet
+    let merged = |f: fn(&ss_server::ServerStats) -> &ss_server::PhaseHistogram| {
+        let mut h = ss_server::PhaseHistogram::default();
+        for s in fleet {
+            h.merge(f(s));
+        }
+        h
+    };
+    let synthesis = merged(|s| &s.synthesis);
+    println!(
+        "fleet synthesis: {} samples  p50 {}  p95 {}  p99 {} ms",
+        synthesis.count,
+        percentile_ms(&synthesis, 0.50),
+        percentile_ms(&synthesis, 0.95),
+        percentile_ms(&synthesis, 0.99),
+    );
+    println!(
+        "fleet trace spans: {} recorded  {} evicted",
+        sum(|s| s.spans_recorded),
+        sum(|s| s.spans_evicted),
+    );
+}
+
+/// A histogram percentile rendered in milliseconds: `-` with no
+/// samples, an overflow marker when the sample fell in the open-ended
+/// top bucket.
+fn percentile_ms(h: &ss_server::PhaseHistogram, p: f64) -> String {
+    if h.count == 0 {
+        return "-".to_string();
+    }
+    let micros = h.percentile_micros(p);
+    if micros == u64::MAX {
+        ">8388".to_string()
+    } else {
+        format!("{:.2}", micros as f64 / 1e3)
+    }
 }
 
 fn print_server_stats(addr: &str) -> Result<ss_server::ServerStats, String> {
@@ -803,7 +955,16 @@ fn print_server_stats(addr: &str) -> Result<ss_server::ServerStats, String> {
     );
     println!();
 
-    let mut phases = Table::new(["phase", "samples", "mean ms", "total ms", "latency buckets"]);
+    let mut phases = Table::new([
+        "phase",
+        "samples",
+        "mean ms",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "total ms",
+        "latency buckets",
+    ]);
     for (name, h) in [
         ("synthesis", &s.synthesis),
         ("encode", &s.encode),
@@ -814,12 +975,20 @@ fn print_server_stats(addr: &str) -> Result<ss_server::ServerStats, String> {
             name.to_string(),
             h.count.to_string(),
             format!("{:.2}", h.mean_micros() as f64 / 1e3),
+            percentile_ms(h, 0.50),
+            percentile_ms(h, 0.95),
+            percentile_ms(h, 0.99),
             format!("{:.2}", h.total_micros as f64 / 1e3),
             histogram_sketch(h),
         ]);
     }
     println!("{phases}");
-    println!("buckets are log2 microseconds: 2^i <= sample < 2^(i+1)");
+    println!("buckets are log2 microseconds: 2^i <= sample < 2^(i+1); percentiles are bucket upper bounds");
+    println!();
+    println!(
+        "trace spans: {} recorded  {} evicted from the ring",
+        s.spans_recorded, s.spans_evicted
+    );
     println!();
 
     let c = &s.codec;
@@ -839,6 +1008,167 @@ fn print_server_stats(addr: &str) -> Result<ss_server::ServerStats, String> {
         c.raw_rx_bytes, c.wire_rx_bytes
     );
     Ok(s)
+}
+
+/// Minimal JSON string escape: the snapshot only carries addresses and
+/// counter names, but quoting must still be correct for any of them.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One histogram as a JSON object, percentiles included (the open
+/// top bucket surfaces as the JSON `null` rather than a fake number).
+fn histogram_json(h: &ss_server::PhaseHistogram) -> String {
+    let pct = |p: f64| {
+        if h.count == 0 {
+            "null".to_string()
+        } else {
+            match h.percentile_micros(p) {
+                u64::MAX => "null".to_string(),
+                micros => micros.to_string(),
+            }
+        }
+    };
+    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"count\":{},\"total_micros\":{},\"mean_micros\":{},\"p50_micros\":{},\"p95_micros\":{},\"p99_micros\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.total_micros,
+        h.mean_micros(),
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        buckets.join(","),
+    )
+}
+
+fn tier_json(t: &ss_server::TierStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"capacity_bytes\":{},\"evictions\":{}}}",
+        t.hits, t.misses, t.entries, t.bytes, t.capacity_bytes, t.evictions,
+    )
+}
+
+/// One shard's full [`ss_server::ServerStats`] as a JSON object.
+fn server_stats_json(s: &ss_server::ServerStats) -> String {
+    let c = &s.codec;
+    format!(
+        concat!(
+            "{{\"workers\":{},\"queue_capacity\":{},\"queued\":{},\"jobs_done\":{},",
+            "\"busy_rejections\":{},\"coalesced\":{},",
+            "\"memory\":{},\"disk\":{},\"store_writes\":{},\"disk_corruptions\":{},",
+            "\"phases\":{{\"synthesis\":{},\"encode\":{},\"embed\":{},\"segment\":{}}},",
+            "\"codec\":{{\"connections_v2\":{},\"connections_v3\":{},\"frames_sent\":{},",
+            "\"frames_received\":{},\"crc_rejects\":{},\"raw_tx_bytes\":{},\"wire_tx_bytes\":{},",
+            "\"raw_rx_bytes\":{},\"wire_rx_bytes\":{}}},",
+            "\"connections_active\":{},\"connections_max\":{},\"connections_shed\":{},",
+            "\"redirects\":{},\"shard_id\":{},\"shard_count\":{},\"epoch\":{},",
+            "\"replicas_sent\":{},\"replicas_received\":{},\"replica_queue_drops\":{},",
+            "\"reconfigures\":{},\"peers_down\":{},",
+            "\"spans_recorded\":{},\"spans_evicted\":{}}}",
+        ),
+        s.workers,
+        s.queue_capacity,
+        s.queued,
+        s.jobs_done,
+        s.busy_rejections,
+        s.coalesced,
+        tier_json(&s.memory),
+        tier_json(&s.disk),
+        s.store_writes,
+        s.disk_corruptions,
+        histogram_json(&s.synthesis),
+        histogram_json(&s.encode),
+        histogram_json(&s.embed),
+        histogram_json(&s.segment),
+        c.connections_v2,
+        c.connections_v3,
+        c.frames_sent,
+        c.frames_received,
+        c.crc_rejects,
+        c.raw_tx_bytes,
+        c.wire_tx_bytes,
+        c.raw_rx_bytes,
+        c.wire_rx_bytes,
+        s.connections_active,
+        s.connections_max,
+        s.connections_shed,
+        s.redirects,
+        s.shard_id,
+        s.shard_count,
+        s.epoch,
+        s.replicas_sent,
+        s.replicas_received,
+        s.replica_queue_drops,
+        s.reconfigures,
+        s.peers_down,
+        s.spans_recorded,
+        s.spans_evicted,
+    )
+}
+
+/// The whole `stats --json` document: per-shard snapshots plus a fleet
+/// aggregate (sums, and per-phase histograms merged across shards).
+fn stats_json(fleet: &[(String, ss_server::ServerStats)]) -> String {
+    let shards: Vec<String> = fleet
+        .iter()
+        .map(|(addr, s)| {
+            format!(
+                "{{\"addr\":\"{}\",\"stats\":{}}}",
+                json_escape(addr),
+                server_stats_json(s)
+            )
+        })
+        .collect();
+    let sum = |f: fn(&ss_server::ServerStats) -> u64| fleet.iter().map(|(_, s)| f(s)).sum::<u64>();
+    let merged = |f: fn(&ss_server::ServerStats) -> &ss_server::PhaseHistogram| {
+        let mut h = ss_server::PhaseHistogram::default();
+        for (_, s) in fleet {
+            h.merge(f(s));
+        }
+        h
+    };
+    format!(
+        concat!(
+            "{{\"shards\":[{}],\"fleet\":{{\"shard_count\":{},\"jobs_done\":{},",
+            "\"busy_rejections\":{},\"redirects\":{},\"connections_shed\":{},",
+            "\"memory_hits\":{},\"memory_misses\":{},\"disk_hits\":{},\"disk_misses\":{},",
+            "\"replicas_sent\":{},\"replicas_received\":{},\"replica_queue_drops\":{},",
+            "\"spans_recorded\":{},\"spans_evicted\":{},",
+            "\"phases\":{{\"synthesis\":{},\"encode\":{},\"embed\":{},\"segment\":{}}}}}}}",
+        ),
+        shards.join(","),
+        fleet.len(),
+        sum(|s| s.jobs_done),
+        sum(|s| s.busy_rejections),
+        sum(|s| s.redirects),
+        sum(|s| s.connections_shed),
+        sum(|s| s.memory.hits),
+        sum(|s| s.memory.misses),
+        sum(|s| s.disk.hits),
+        sum(|s| s.disk.misses),
+        sum(|s| s.replicas_sent),
+        sum(|s| s.replicas_received),
+        sum(|s| s.replica_queue_drops),
+        sum(|s| s.spans_recorded),
+        sum(|s| s.spans_evicted),
+        histogram_json(&merged(|s| &s.synthesis)),
+        histogram_json(&merged(|s| &s.encode)),
+        histogram_json(&merged(|s| &s.embed)),
+        histogram_json(&merged(|s| &s.segment)),
+    )
 }
 
 /// Compact one-line rendering of the nonzero histogram buckets, e.g.

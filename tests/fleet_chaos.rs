@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 use ss_core::{Encoded, Engine};
 use ss_server::{
     cache_key, report_digest, Balancer, Client, JobSpec, RetryPolicy, ServeOptions, Server,
-    ServerHandle, ShardRing, ShardSpec,
+    ServerHandle, ShardRing, ShardSpec, SpanKind, TraceContext,
 };
+use ss_telemetry::{stitch, ShardDump};
 use ss_testdata::{generate_test_set, CubeProfile, TestSet};
 
 const WINDOW: usize = 16;
@@ -355,6 +356,180 @@ fn seeded_chaos_kill_reconfigure_and_rejoin_stay_bit_identical() {
     });
 
     new_handle.shutdown();
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown();
+    }
+}
+
+/// Pulls the span dump for `trace` from one shard, or panics with the
+/// shard's address in the message.
+fn dump_from(addr: &str, trace: u64) -> ss_server::SpanDump {
+    Client::connect(addr)
+        .and_then(|mut c| c.trace_dump(trace))
+        .unwrap_or_else(|e| panic!("trace dump from {addr}: {e}"))
+}
+
+fn has_kind(dump: &ss_server::SpanDump, kind: SpanKind) -> bool {
+    dump.spans.iter().any(|s| s.kind == kind)
+}
+
+/// The observability acceptance story: a traced job whose owner is
+/// killed mid-workload must still be reconstructable **end to end**
+/// from `TraceDump` spans pulled off the surviving shards — the
+/// replica's ingest (recorded before the kill), the warm failover
+/// serve, and the reconfigure-driven re-replication hop onto the
+/// third shard all stitch under the one pinned trace id, which is a
+/// pure function of `SS_CHAOS_SEED`.
+#[test]
+fn traced_job_surviving_a_shard_kill_reconstructs_across_shards() {
+    let seed = env_u64("SS_CHAOS_SEED", 0xC0_FFEE);
+    let (peers, mut handles) = spawn_fleet(3);
+    let mut balancer = Balancer::new(peers.clone())
+        .unwrap()
+        .with_policy(RetryPolicy::seeded(seed).with_deadline(Duration::from_secs(20)));
+
+    // pin the trace id so the whole story is deterministic in the seed
+    // (the balancer keeps a caller-supplied context instead of minting)
+    let trace = seed | 1;
+    let mut spec = spec_for(42);
+    spec.trace = TraceContext::root(trace);
+    let golden = golden_digest(&spec);
+
+    // cold run lands on the rendezvous owner and carries the trace
+    let cold = balancer.run(&spec).unwrap();
+    assert_eq!(cold.report.digest, golden);
+    assert_eq!(cold.trace, trace, "balancer must keep the pinned trace");
+    assert_eq!(cold.report.trace, trace, "the report echoes the trace id");
+    let owner = cold.shard;
+
+    // the write-behind push delivers the key — trace attached — to the
+    // runner-up replica before the fault fires
+    poll_until("replication of the traced key", || {
+        replicas_received_sum(handles.iter().flatten()) >= 1
+    });
+
+    // kill the owner: its span ring dies with it; what survives is
+    // exactly what the trace already propagated to other processes
+    handles[owner].take().unwrap().shutdown();
+    let survivor_ids: Vec<usize> = (0..3).filter(|&s| s != owner).collect();
+
+    // the same traced job resubmitted mid-kill: failover serves it
+    // warm off the replica, under the same trace id
+    let warm = balancer.run(&spec).unwrap();
+    assert_eq!(warm.report.digest, golden, "failover answer diverged");
+    assert_eq!(warm.trace, trace);
+    assert!(
+        warm.failovers >= 1,
+        "the dead owner must cost a failover hop"
+    );
+    let serving = warm.shard;
+    assert_ne!(serving, owner, "a dead shard cannot have served the job");
+    let other = survivor_ids
+        .iter()
+        .copied()
+        .find(|&s| s != serving)
+        .unwrap();
+
+    // shrink the ring to the survivor pair: placement changes push the
+    // key — originating trace still attached — onto the last shard
+    let survivors: Vec<String> = survivor_ids.iter().map(|&s| peers[s].clone()).collect();
+    let mut admin = Client::connect(peers[serving].as_str()).unwrap();
+    assert_eq!(admin.reconfigure(2, survivors).unwrap(), 2);
+    poll_until(
+        "re-replication to carry the trace to the last shard",
+        || {
+            has_kind(
+                &dump_from(peers[other].as_str(), trace),
+                SpanKind::ReplicaIngest,
+            )
+        },
+    );
+
+    // ---- reconstruct end to end from the surviving rings -----------
+    let mut shards: Vec<ShardDump> = survivor_ids
+        .iter()
+        .map(|&s| ShardDump {
+            addr: peers[s].clone(),
+            dump: dump_from(peers[s].as_str(), trace),
+        })
+        .collect();
+    shards.push(ShardDump {
+        addr: "client".to_string(),
+        dump: balancer.local_dump(),
+    });
+
+    let contributing = shards
+        .iter()
+        .filter(|s| s.dump.spans.iter().any(|sp| sp.trace == trace))
+        .count();
+    assert!(
+        contributing >= 3,
+        "expected spans from the client and both surviving shards, got {contributing}"
+    );
+
+    // the serving replica tells the whole survival story: the ingest
+    // recorded before the kill, the warm failover serve, and the
+    // re-replication push that rebalanced the key afterwards
+    let serving_dump = &shards[survivor_ids.iter().position(|&s| s == serving).unwrap()].dump;
+    for kind in [
+        SpanKind::ReplicaIngest,
+        SpanKind::RecvDecode,
+        SpanKind::QueueWait,
+        SpanKind::CacheMemory,
+        SpanKind::Embed,
+        SpanKind::Segment,
+        SpanKind::CodecTx,
+        SpanKind::ReplicatePush,
+    ] {
+        assert!(
+            has_kind(serving_dump, kind),
+            "serving replica is missing a {kind} span for the trace"
+        );
+    }
+    assert!(
+        serving_dump.spans.iter().all(|s| s.trace == trace),
+        "a trace-filtered dump leaked spans from another trace"
+    );
+    assert_eq!(
+        serving_dump.evicted, 0,
+        "the span ring must not have evicted"
+    );
+
+    // the balancer's own spans cover both submissions and the hop
+    let client_dump = &shards.last().unwrap().dump;
+    assert!(
+        client_dump
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::ClientSubmit)
+            .count()
+            >= 2,
+        "both the cold and the warm run must record a client-submit span"
+    );
+    assert!(has_kind(client_dump, SpanKind::FailoverHop));
+
+    // stitching is causally ordered: the ingest that saved the key
+    // precedes the warm cache hit that served it after the kill
+    let timeline = stitch(&shards);
+    assert!(!timeline.is_empty());
+    assert!(
+        timeline
+            .windows(2)
+            .all(|w| w[0].abs_start_micros <= w[1].abs_start_micros),
+        "stitched timeline is not time-ordered"
+    );
+    let pos = |kind: SpanKind, addr: &str| {
+        timeline
+            .iter()
+            .position(|e| e.span.kind == kind && e.addr == addr)
+            .unwrap_or_else(|| panic!("no {kind} span from {addr} in the timeline"))
+    };
+    let serving_addr = peers[serving].as_str();
+    assert!(
+        pos(SpanKind::ReplicaIngest, serving_addr) < pos(SpanKind::CacheMemory, serving_addr),
+        "the replica ingest must precede the warm hit it made possible"
+    );
+
     for handle in handles.into_iter().flatten() {
         handle.shutdown();
     }
